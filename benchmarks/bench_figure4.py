@@ -1,0 +1,41 @@
+"""Figure 4 benches: EB vs PC vs EBPC across the EB weight r.
+
+Regenerates both panels (4a: SSD earning, 4b: PSD delivery rate) at bench
+scale and checks the paper's qualitative shape: PC trails EB in SSD, and
+EBPC interpolates between the two (its endpoints coincide exactly).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_series
+from repro.experiments import figure4
+
+R_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_fig4a_ssd_earning_vs_r(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: figure4.run_panel_a(bench_scale, r_values=R_GRID),
+        rounds=1,
+        iterations=1,
+    )
+    record_series(benchmark, result)
+    ebpc, eb, pc = result.series["ebpc"], result.series["eb"], result.series["pc"]
+    # Paper: PC earns less than EB in SSD.
+    assert pc[0] < eb[0]
+    # Endpoint identities: EBPC(0) == PC, EBPC(1) == EB.
+    assert ebpc[0] == pc[0]
+    assert ebpc[-1] == eb[-1]
+
+
+def test_fig4b_psd_delivery_vs_r(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: figure4.run_panel_b(bench_scale, r_values=R_GRID),
+        rounds=1,
+        iterations=1,
+    )
+    record_series(benchmark, result)
+    ebpc, eb, pc = result.series["ebpc"], result.series["eb"], result.series["pc"]
+    assert ebpc[0] == pc[0] and ebpc[-1] == eb[-1]
+    # Paper: EB and PC are close in PSD (within a third of each other).
+    assert abs(eb[0] - pc[0]) <= 0.35 * max(eb[0], pc[0])

@@ -1,0 +1,46 @@
+"""Figure 6 benches (PSD): delivery rate and message number vs publishing
+rate for EB / PC / FIFO / RL.
+
+Shape checks mirror the paper: delivery rate falls with load for every
+strategy, EB/PC stay well above FIFO which stays above RL (paper at rate
+15: 40.1 % / 22.5 % / 11.6 %), and EB's traffic overhead is modest.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_series
+from repro.experiments import figure6
+
+RATES = (3.0, 9.0, 15.0)
+
+
+def test_fig6a_psd_delivery_vs_rate(benchmark, bench_scale):
+    panel_a, _ = benchmark.pedantic(
+        lambda: figure6.run_both_panels(bench_scale, rates=RATES),
+        rounds=1,
+        iterations=1,
+    )
+    record_series(benchmark, panel_a)
+    top = panel_a.x_values.index(max(panel_a.x_values))
+    eb, pc = panel_a.series["eb"][top], panel_a.series["pc"][top]
+    fifo, rl = panel_a.series["fifo"][top], panel_a.series["rl"][top]
+    assert min(eb, pc) > fifo > rl
+    # Delivery rate decreases with load for every strategy.
+    for series in panel_a.series.values():
+        assert series[0] >= series[-1]
+
+
+def test_fig6b_psd_traffic_vs_rate(benchmark, bench_scale):
+    _, panel_b = benchmark.pedantic(
+        lambda: figure6.run_both_panels(bench_scale, rates=RATES),
+        rounds=1,
+        iterations=1,
+    )
+    record_series(benchmark, panel_b)
+    top = panel_b.x_values.index(max(panel_b.x_values))
+    eb = panel_b.series["eb"][top]
+    fifo = panel_b.series["fifo"][top]
+    rl = panel_b.series["rl"][top]
+    # Paper: +17 % vs FIFO, +60 % vs RL at rate 15.
+    assert fifo <= eb <= 2.0 * fifo
+    assert eb <= 2.5 * rl

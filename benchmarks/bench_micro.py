@@ -1,0 +1,113 @@
+"""Micro-benchmarks for the hot paths.
+
+These auto-calibrate (many rounds) and exist to keep the simulator fast
+enough for paper-scale sweeps: matching, metric kernels, queue selection,
+event throughput and routing setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import expected_benefit, expected_benefit_vec
+from repro.core.strategies import EbStrategy, QueueEntry
+from repro.des.simulator import Simulator
+from repro.network.routing import compute_sink_tree
+from repro.network.topology import build_layered_mesh
+from repro.pubsub.matching import BruteForceMatcher, CountingIndexMatcher
+from repro.pubsub.message import Message
+from repro.pubsub.subscription import RowArrays
+from repro.stats.normal import normal_cdf_vec
+from repro.workload.subscriptions import random_attributes, random_conjunctive_filter
+from tests.core.helpers import make_ctx, make_message, make_row
+
+N_SUBSCRIPTIONS = 1000
+
+
+def _build_matchers():
+    rng = np.random.default_rng(0)
+    filters = [(f"s{i}", random_conjunctive_filter(rng)) for i in range(N_SUBSCRIPTIONS)]
+    brute = BruteForceMatcher()
+    index = CountingIndexMatcher()
+    for key, f in filters:
+        brute.add(key, f)
+        index.add(key, f)
+    messages = [random_attributes(rng) for _ in range(100)]
+    return brute, index, messages
+
+
+@pytest.fixture(scope="module")
+def matchers():
+    return _build_matchers()
+
+
+def test_match_brute_force_1k_subs(benchmark, matchers):
+    brute, _, messages = matchers
+    benchmark(lambda: [brute.match(m) for m in messages])
+
+
+def test_match_counting_index_1k_subs(benchmark, matchers):
+    _, index, messages = matchers
+    benchmark(lambda: [index.match(m) for m in messages])
+
+
+@pytest.fixture(scope="module")
+def entry_rows():
+    return [
+        make_row(f"S{i}", deadline_ms=10_000.0 * (1 + i % 6), nn=1 + i % 4,
+                 mean=50.0 + i, variance=400.0)
+        for i in range(40)
+    ]
+
+
+def test_eb_scalar_40_rows(benchmark, entry_rows):
+    msg = make_message()
+    benchmark(lambda: expected_benefit(entry_rows, msg, 5_000.0, 2.0))
+
+
+def test_eb_vectorised_40_rows(benchmark, entry_rows):
+    msg = make_message()
+    arrays = RowArrays.from_rows(entry_rows)
+    benchmark(lambda: expected_benefit_vec(arrays, msg, 5_000.0, 2.0))
+
+
+def test_normal_cdf_vec_kernel(benchmark):
+    x = np.linspace(-3, 3, 1000)
+    mean = np.full(1000, 0.5)
+    std = np.full(1000, 1.5)
+    benchmark(lambda: normal_cdf_vec(x, mean, std))
+
+
+def test_strategy_select_50_entry_queue(benchmark, entry_rows):
+    entries = [
+        QueueEntry(make_message(msg_id=i, publish_time=-100.0 * i), entry_rows[:8], 0.0, i)
+        for i in range(50)
+    ]
+    ctx = make_ctx(now=1_000.0)
+    strategy = EbStrategy()
+    benchmark(lambda: strategy.select(entries, ctx))
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_sink_tree_paper_topology(benchmark):
+    topo = build_layered_mesh(np.random.default_rng(0))
+    sinks = [b for b in topo.brokers if topo.subscribers_of(b)]
+    benchmark(lambda: [compute_sink_tree(topo, s) for s in sinks])

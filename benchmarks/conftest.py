@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Figure benches run each harness **once** (``benchmark.pedantic`` with one
+round): these are macro-simulations whose interesting output is the figure
+series itself, recorded into ``benchmark.extra_info`` so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction record
+at small scale.  Micro benches auto-calibrate as usual.
+
+``BENCH_SCALE`` (default 0.02 — ~86 simulated seconds per point) can be
+overridden via the ``REPRO_BENCH_SCALE`` environment variable to regenerate
+the figures at paper scale (1.0) on a beefier time budget.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ScaleSpec
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ScaleSpec:
+    return ScaleSpec(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+def record_series(benchmark, result) -> None:
+    """Attach a figure's series to the benchmark record."""
+    benchmark.extra_info["figure"] = result.figure_id
+    benchmark.extra_info["x"] = result.x_values
+    benchmark.extra_info["series"] = {k: [round(v, 4) for v in vs] for k, vs in result.series.items()}

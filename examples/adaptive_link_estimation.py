@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Link-parameter estimation: scheduling on measured, not oracle, bandwidth.
+
+The paper assumes each broker estimates its links' N(mu, sigma^2)
+transmission-rate parameters "by some tools of network measurement".  This
+example runs the same congested workload twice — once with oracle
+parameters, once with online Welford estimators that learn from every
+completed transmission — and reports how much delivery quality the
+estimation error costs, along with the per-link estimation accuracy.
+
+Run:  python examples/adaptive_link_estimation.py
+"""
+
+from repro import Scenario, SimulationConfig
+from repro.network.measurement import MeasurementMode
+from repro.sim.runner import build_system, schedule_workload
+
+BASE = SimulationConfig(
+    seed=11,
+    scenario=Scenario.PSD,
+    strategy="eb",
+    publishing_rate_per_min=12.0,
+    duration_ms=8 * 60_000.0,
+)
+
+
+def run(mode: MeasurementMode):
+    config = BASE.replace(measurement_mode=mode)
+    system = build_system(config)
+    schedule_workload(system, config)
+    system.sim.run(until=config.horizon_ms)
+    return system
+
+
+def main() -> None:
+    oracle = run(MeasurementMode.ORACLE)
+    estimated = run(MeasurementMode.ESTIMATED)
+
+    print("EB scheduling with oracle vs estimated link parameters (PSD)")
+    print()
+    print(f"  {'':22s}{'oracle':>10s}{'estimated':>10s}")
+    print("  " + "-" * 42)
+    for label, attr in [
+        ("delivery rate", "delivery_rate"),
+        ("valid deliveries", "deliveries_valid"),
+        ("pruned in transit", "pruned"),
+    ]:
+        ov = getattr(oracle.metrics, attr)
+        ev = getattr(estimated.metrics, attr)
+        fmt = "10.3f" if isinstance(ov, float) else "10d"
+        print(f"  {label:22s}{ov:>{fmt}}{ev:>{fmt}}")
+
+    # How well did the estimators converge?
+    errors = []
+    for (src, dst), monitor in sorted(estimated.monitors.items()):
+        if monitor.samples >= 2:
+            errors.append((monitor.estimation_error(), monitor.samples, f"{src}->{dst}"))
+    errors.sort(reverse=True)
+    print()
+    print(f"  links with >=2 samples : {len(errors)} / {len(estimated.monitors)}")
+    if errors:
+        mean_err = sum(e for e, _, _ in errors) / len(errors)
+        print(f"  mean |mu error|        : {mean_err:.1f} ms/KB (true mu in [50, 100])")
+        worst = errors[0]
+        print(f"  worst link             : {worst[2]} off by {worst[0]:.1f} ms/KB after {worst[1]} samples")
+    print(
+        "\nBusy links converge quickly (every transmission is a sample), so\n"
+        "the strategies lose little to estimation; idle links keep the\n"
+        "conservative prior, which only matters if traffic suddenly shifts."
+    )
+
+
+if __name__ == "__main__":
+    main()

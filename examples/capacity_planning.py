@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Capacity planning: where does the overlay saturate, and who suffers?
+
+Uses the analysis subsystem to answer the operator questions behind
+Figures 5/6: the analytic saturation knee (the publishing rate where the
+busiest link runs out of wall clock), the measured per-link utilisation,
+latency percentiles per strategy, and how far publish-time feasibility
+predictions erode under queueing.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import Scenario, SimulationConfig
+from repro.analysis.capacity import bottleneck, saturation_rate_per_publisher, utilisation_report
+from repro.analysis.feasibility import calibrate
+from repro.analysis.latency import latency_stats
+from repro.sim.runner import build_system, schedule_workload
+
+BASE = SimulationConfig(
+    seed=17,
+    scenario=Scenario.PSD,
+    publishing_rate_per_min=12.0,
+    duration_ms=8 * 60_000.0,
+)
+
+
+def run(strategy: str):
+    config = BASE.replace(strategy=strategy)
+    system = build_system(config)
+    published = []
+    # Wrap publish to keep the Message objects for calibration.
+    original = system.publish
+
+    def tracked(*args, **kwargs):
+        message = original(*args, **kwargs)
+        published.append(message)
+        return message
+
+    system.publish = tracked  # type: ignore[method-assign]
+    schedule_workload(system, config)
+    system.sim.run(until=config.horizon_ms)
+    return system, published
+
+
+def main() -> None:
+    system, messages = run("eb")
+
+    knee = saturation_rate_per_publisher(system)
+    print("Capacity planning on the paper's 32-broker overlay (EB, PSD)")
+    print()
+    print(f"analytic saturation knee : ~{knee:.1f} msgs/min/publisher")
+    print(f"offered load this run    : {BASE.publishing_rate_per_min:g} msgs/min/publisher"
+          f" ({'past' if BASE.publishing_rate_per_min > knee else 'below'} the knee)")
+    print()
+
+    top = bottleneck(system, BASE.horizon_ms)
+    print(f"bottleneck link          : {top.src}->{top.dst} at {top.utilisation:.0%} busy "
+          f"({top.transmissions} sends, {top.kilobytes:.0f} KB)")
+    hot = [r for r in utilisation_report(system, BASE.horizon_ms) if r.utilisation > 0.8]
+    print(f"links above 80% busy     : {len(hot)}")
+    print()
+
+    report = calibrate(system, messages)
+    print(f"feasibility calibration  : predicted {report.predicted_mean:.2f} per pair, "
+          f"achieved {report.achieved_rate:.2f} "
+          f"(queueing erosion {report.queueing_erosion:.0%})")
+    print()
+
+    print(f"{'strategy':8s}{'p50 ms':>10s}{'p90 ms':>10s}{'p99 ms':>10s}{'delivered':>11s}")
+    print("-" * 49)
+    for strategy in ("eb", "fifo"):
+        system_s, _ = run(strategy)
+        stats = latency_stats(list(system_s.subscribers.values()))
+        print(f"{strategy:8s}{stats.p50:>10.0f}{stats.p90:>10.0f}{stats.p99:>10.0f}"
+              f"{stats.count:>11d}")
+    print()
+    print("EB's percentiles run closer to the deadline than FIFO's — it")
+    print("spends slack on rescuing marginal messages instead of banking it.")
+
+
+if __name__ == "__main__":
+    main()

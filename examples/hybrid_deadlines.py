@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Hybrid deadlines: publishers AND subscribers both bound the delay.
+
+The paper notes its model "can easily be extended to the case where both
+publishers and subscribers specify their delay requirements"; this library
+implements that extension (the effective bound for a (message, subscription)
+pair is the minimum of the two).  This example demonstrates it end to end
+and checks the dominance relation: hybrid can never deliver more valid
+messages than either single-sided scenario on the same workload.
+
+Run:  python examples/hybrid_deadlines.py
+"""
+
+from repro import Scenario, SimulationConfig, run_simulation
+
+BASE = SimulationConfig(
+    seed=23,
+    strategy="eb",
+    publishing_rate_per_min=10.0,
+    duration_ms=8 * 60_000.0,
+)
+
+
+def main() -> None:
+    results = {
+        scenario.value: run_simulation(BASE.replace(scenario=scenario))
+        for scenario in (Scenario.PSD, Scenario.SSD, Scenario.HYBRID)
+    }
+
+    print("One workload, three deadline regimes (EB strategy)")
+    print()
+    print(f"  {'scenario':8s}{'deliveries':>12s}{'earning':>10s}{'pruned':>8s}")
+    print("  " + "-" * 38)
+    for name, r in results.items():
+        print(f"  {name:8s}{r.deliveries_valid:>12d}{r.earning:>10.0f}{r.pruned:>8d}")
+
+    hybrid, psd, ssd = results["hybrid"], results["psd"], results["ssd"]
+    assert hybrid.deliveries_valid <= min(psd.deliveries_valid, ssd.deliveries_valid), (
+        "hybrid bounds are the pairwise minimum, so hybrid deliveries can "
+        "never exceed either single-sided scenario"
+    )
+    print(
+        "\nHybrid applies min(publisher bound, subscriber bound) per pair —\n"
+        f"its {hybrid.deliveries_valid} valid deliveries are <= PSD's "
+        f"{psd.deliveries_valid} and <= SSD's {ssd.deliveries_valid}, as expected.\n"
+        "Brokers prune copies that are hopeless under the *combined* bound,\n"
+        f"hence the higher prune count ({hybrid.pruned} vs {psd.pruned}/{ssd.pruned})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Stock-ticker feed with tiered pricing (the paper's SSD scenario).
+
+A market-data provider sells the same tick stream at three service tiers:
+premium subscribers pay 3 per delivered tick but demand it within 10 s,
+standard pay 2 within 30 s, economy pay 1 within 60 s.  The provider's
+revenue is exactly the paper's "total earning" objective — this example
+shows how the EB scheduler prices bandwidth implicitly, serving premium
+subscribers first when the overlay congests.
+
+Run:  python examples/stock_ticker_tiered_pricing.py
+"""
+
+from repro import Scenario, SimulationConfig, run_simulation
+from repro.sim.runner import build_system, schedule_workload
+
+TIERS = {"premium (10s/3)": 10_000.0, "standard (30s/2)": 30_000.0, "economy (60s/1)": 1.0}
+
+
+def revenue_by_tier(strategy: str, rate: float, seed: int = 5) -> tuple[float, dict[str, float]]:
+    """Run one SSD point and split earnings by price tier."""
+    config = SimulationConfig(
+        seed=seed,
+        scenario=Scenario.SSD,
+        strategy=strategy,
+        publishing_rate_per_min=rate,
+        duration_ms=8 * 60_000.0,
+    )
+    system = build_system(config)
+    schedule_workload(system, config)
+    system.sim.run(until=config.horizon_ms)
+
+    tier_revenue = {3.0: 0.0, 2.0: 0.0, 1.0: 0.0}
+    for handle in system.subscribers.values():
+        row = None
+        # Tier = the subscription's price; find it via the edge broker table.
+        edge = system.topology.subscriber_brokers[handle.name]
+        row = system.brokers[edge].table.row(handle.name)
+        tier_revenue[row.price] += row.price * handle.valid_count
+    return system.metrics.earning, tier_revenue
+
+
+def main() -> None:
+    rate = 12.0  # msgs/min/publisher: enough to congest the overlay
+    print(f"Stock ticker, tiered pricing (SSD) at publishing rate {rate:g}")
+    print()
+    print(f"  {'strategy':8s}{'total':>10s}{'premium':>10s}{'standard':>10s}{'economy':>10s}")
+    print("  " + "-" * 48)
+    results = {}
+    for strategy in ("eb", "pc", "fifo", "rl"):
+        total, tiers = revenue_by_tier(strategy, rate)
+        results[strategy] = total
+        print(
+            f"  {strategy:8s}{total:>10.0f}{tiers[3.0]:>10.0f}"
+            f"{tiers[2.0]:>10.0f}{tiers[1.0]:>10.0f}"
+        )
+    print()
+    if results["fifo"]:
+        print(f"EB earns {results['eb'] / results['fifo']:.1f}x FIFO's revenue", end="")
+    if results["rl"]:
+        print(f" and {results['eb'] / results['rl']:.1f}x RL's.")
+    print(
+        "\nNote how EB's revenue skews toward the premium tier: expected\n"
+        "benefit weighs each message by price x success probability, so\n"
+        "contended bandwidth goes to the subscribers who pay the most\n"
+        "among those still reachable in time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Post-hoc analysis of finished simulations.
+
+The paper reports three aggregate metrics; operators of a real deployment
+need more:
+
+* :mod:`~repro.analysis.capacity` — per-link utilisation, bottleneck
+  identification, and an analytic saturation estimate that predicts where
+  Figures 5/6 bend (the knee where FIFO/RL earnings collapse).
+* :mod:`~repro.analysis.latency` — delivery-latency distributions per
+  subscriber/tier (percentiles, deadline-margin histograms).
+* :mod:`~repro.analysis.feasibility` — publish-time success prediction:
+  the same ``success(s, m)`` machinery the schedulers use, applied end to
+  end from the source broker, and its calibration against what actually
+  happened.
+"""
+
+from repro.analysis.capacity import (
+    LinkUtilisation,
+    saturation_rate_per_publisher,
+    utilisation_report,
+)
+from repro.analysis.feasibility import CalibrationReport, calibrate, predict_success
+from repro.analysis.latency import LatencyStats, latency_by_subscriber, latency_stats
+from repro.analysis.revenue import TierRevenue, premium_share, revenue_by_tier
+
+__all__ = [
+    "TierRevenue",
+    "revenue_by_tier",
+    "premium_share",
+    "LinkUtilisation",
+    "utilisation_report",
+    "saturation_rate_per_publisher",
+    "LatencyStats",
+    "latency_stats",
+    "latency_by_subscriber",
+    "predict_success",
+    "calibrate",
+    "CalibrationReport",
+]

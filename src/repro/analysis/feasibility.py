@@ -1,0 +1,85 @@
+"""Publish-time success prediction and its calibration.
+
+The schedulers' ``success(s, m)`` machinery can be evaluated once at
+publish time, from the source broker, over the *whole* routed path — an
+analytic prediction of the delivery probability for each (message,
+subscriber) pair under zero queueing.  Comparing predictions with outcomes
+measures both model calibration and how much queueing (which the model
+ignores — the paper sets downstream scheduling delay to 0) erodes
+delivery under load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pubsub.message import Message
+from repro.pubsub.system import PubSubSystem
+
+
+def predict_success(system: PubSubSystem, message: Message, subscriber: str) -> float:
+    """P(delivery within bound) for one pair, assuming no queueing.
+
+    Uses the source broker's installed row for the subscriber (the same
+    ``(NN_p, μ_p, σ_p²)`` the EB scheduler consults), so prediction and
+    scheduling are provably consistent.
+    """
+    from repro.core.success import success_probability
+
+    source = system.brokers[message.source_broker]
+    if subscriber not in source.table:
+        raise KeyError(f"no row for {subscriber!r} at {message.source_broker!r}")
+    row = source.table.row(subscriber)
+    return success_probability(
+        row, message, message.publish_time, source.processing_delay_ms
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationReport:
+    """Predicted vs achieved delivery over a finished run."""
+
+    pairs: int
+    predicted_mean: float
+    achieved_rate: float
+
+    @property
+    def queueing_erosion(self) -> float:
+        """How much of the zero-queueing prediction was lost to contention
+        (0 = none; values near 1 mean the network was hopelessly loaded)."""
+        if self.predicted_mean == 0.0:
+            return 0.0
+        return max(0.0, 1.0 - self.achieved_rate / self.predicted_mean)
+
+
+def calibrate(
+    system: PubSubSystem,
+    messages: list[Message],
+) -> CalibrationReport:
+    """Score the zero-queueing prediction against a finished run.
+
+    For every (message, interested subscriber) pair with a row at the
+    source broker, accumulate the predicted probability; compare with the
+    fraction of those pairs actually delivered in time.
+    """
+    predicted = 0.0
+    pairs = 0
+    delivered = 0
+    received: dict[str, set[int]] = {
+        name: {r.msg_id for r in handle.records if r.valid}
+        for name, handle in system.subscribers.items()
+    }
+    for message in messages:
+        source = system.brokers[message.source_broker]
+        for row in source.table.match(message):
+            pairs += 1
+            predicted += predict_success(system, message, row.subscriber)
+            if message.msg_id in received.get(row.subscriber, ()):
+                delivered += 1
+    if pairs == 0:
+        return CalibrationReport(pairs=0, predicted_mean=0.0, achieved_rate=0.0)
+    return CalibrationReport(
+        pairs=pairs,
+        predicted_mean=predicted / pairs,
+        achieved_rate=delivered / pairs,
+    )

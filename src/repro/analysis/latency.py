@@ -1,0 +1,94 @@
+"""Delivery-latency distributions."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.pubsub.client import SubscriberHandle
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyStats:
+    """Summary of a latency sample (milliseconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencyStats":
+        if not samples:
+            return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, maximum=0.0)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=_quantile(ordered, 0.50),
+            p90=_quantile(ordered, 0.90),
+            p99=_quantile(ordered, 0.99),
+            maximum=ordered[-1],
+        )
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation quantile on a pre-sorted sample."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def latency_stats(
+    handles: list[SubscriberHandle], valid_only: bool = True
+) -> LatencyStats:
+    """Pooled latency stats over a set of subscriber endpoints."""
+    samples = [
+        r.latency_ms
+        for h in handles
+        for r in h.records
+        if r.valid or not valid_only
+    ]
+    return LatencyStats.from_samples(samples)
+
+
+def latency_by_subscriber(
+    handles: list[SubscriberHandle], valid_only: bool = True
+) -> dict[str, LatencyStats]:
+    """Per-subscriber latency stats (subscribers with no deliveries included
+    with an empty summary, so tier comparisons stay total)."""
+    return {
+        h.name: LatencyStats.from_samples(
+            [r.latency_ms for r in h.records if r.valid or not valid_only]
+        )
+        for h in handles
+    }
+
+
+def deadline_margins(
+    handles: list[SubscriberHandle], deadline_ms: float
+) -> list[float]:
+    """``deadline − latency`` per valid delivery against a common deadline.
+
+    Positive margins are slack; the left tail shows how close the scheduler
+    runs to the bound (EB runs much closer than FIFO — it spends slack on
+    rescuing other messages).
+    """
+    if deadline_ms <= 0.0:
+        raise ValueError("deadline_ms must be positive")
+    return [
+        deadline_ms - r.latency_ms
+        for h in handles
+        for r in h.records
+        if r.valid
+    ]

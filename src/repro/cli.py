@@ -1,0 +1,164 @@
+"""Command-line interface: regenerate any paper artefact or run a custom point.
+
+Examples::
+
+    python -m repro fig6a --scale 0.1
+    python -m repro fig4a --scale 0.05 --seed 3
+    python -m repro tab1
+    python -m repro claims --scale 0.1
+    python -m repro run --scenario ssd --strategy ebpc --r 0.6 --rate 12 --minutes 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figure4, figure5, figure6, table1
+from repro.experiments.claims import format_report, run_all
+from repro.experiments.common import ScaleSpec
+from repro.experiments.report import format_series_table
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import run_simulation
+from repro.workload.scenarios import Scenario
+
+_FIGURES = {
+    "fig4a": figure4.run_panel_a,
+    "fig4b": figure4.run_panel_b,
+    "fig5a": figure5.run_panel_a,
+    "fig5b": figure5.run_panel_b,
+    "fig6a": figure6.run_panel_a,
+    "fig6b": figure6.run_panel_b,
+}
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="fraction of the paper's 2-hour test period to simulate (default 0.1; 1.0 = full)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pubsub",
+        description="Reproduce Wang et al. (ICPP 2006): bounded-delay pub/sub scheduling.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for fig_id in _FIGURES:
+        p = sub.add_parser(fig_id, help=f"regenerate {fig_id}")
+        _add_scale_args(p)
+        p.add_argument("--plot", action="store_true", help="also render an ASCII chart")
+
+    sub.add_parser("tab1", help="render Table 1 (related-work taxonomy)")
+
+    p = sub.add_parser("claims", help="check the paper's headline claims")
+    _add_scale_args(p)
+
+    p = sub.add_parser("record", help="regenerate the EXPERIMENTS.md reproduction record")
+    _add_scale_args(p)
+    p.add_argument("-o", "--output", default=None, help="write markdown here (default: stdout)")
+
+    p = sub.add_parser("ablate", help="run one ablation study")
+    from repro.experiments.ablation import STUDIES
+
+    p.add_argument("study", choices=sorted(STUDIES))
+    _add_scale_args(p)
+
+    p = sub.add_parser("doctor", help="validate the assembled system's routing state")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--scenario", choices=[s.value for s in Scenario], default="psd"
+    )
+
+    p = sub.add_parser("run", help="run one custom simulation point")
+    p.add_argument("--scenario", choices=[s.value for s in Scenario], default="psd")
+    p.add_argument("--strategy", default="eb", help="fifo | rl | eb | pc | ebpc")
+    p.add_argument("--r", type=float, default=0.5, help="EB weight for ebpc")
+    p.add_argument("--rate", type=float, default=10.0, help="msgs/min/publisher")
+    p.add_argument("--minutes", type=float, default=10.0, help="simulated test period")
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    start = time.perf_counter()
+
+    if args.command in _FIGURES:
+        result = _FIGURES[args.command](ScaleSpec(scale=args.scale, seed=args.seed))
+        print(format_series_table(result))
+        if args.plot:
+            from repro.experiments.asciiplot import render_ascii_chart
+
+            print()
+            print(render_ascii_chart(result))
+    elif args.command == "tab1":
+        print(table1.render())
+    elif args.command == "claims":
+        print(format_report(run_all(ScaleSpec(scale=args.scale, seed=args.seed))))
+    elif args.command == "ablate":
+        from repro.experiments.ablation import STUDIES
+
+        result = STUDIES[args.study](ScaleSpec(scale=args.scale, seed=args.seed))
+        print(format_series_table(result))
+    elif args.command == "doctor":
+        from repro.sim.runner import build_system
+        from repro.sim.validation import validate_system
+
+        system = build_system(
+            SimulationConfig(seed=args.seed, scenario=Scenario(args.scenario))
+        )
+        findings = validate_system(system)
+        if findings:
+            for finding in findings:
+                print(finding)
+            return 1
+        print(
+            f"ok: {len(system.brokers)} brokers, {len(system.monitors)} link directions, "
+            f"{system.subscription_count} subscriptions — no structural findings"
+        )
+    elif args.command == "record":
+        from repro.experiments.record import render_markdown, run_everything
+
+        bundle = run_everything(ScaleSpec(scale=args.scale, seed=args.seed))
+        text = render_markdown(bundle)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(text)
+            print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+        else:
+            print(text)
+    elif args.command == "run":
+        params = {"r": args.r} if args.strategy == "ebpc" else {}
+        result = run_simulation(
+            SimulationConfig(
+                seed=args.seed,
+                scenario=Scenario(args.scenario),
+                strategy=args.strategy,
+                strategy_params=params,
+                publishing_rate_per_min=args.rate,
+                duration_ms=args.minutes * 60_000.0,
+            )
+        )
+        print(f"strategy          : {result.strategy}")
+        print(f"scenario          : {result.scenario}")
+        print(f"published         : {result.published}")
+        print(f"delivery rate     : {result.delivery_rate:.4f}")
+        print(f"total earning     : {result.earning:.1f}")
+        print(f"message number    : {result.message_number}")
+        print(f"pruned            : {result.pruned}")
+        print(f"mean latency (ms) : {result.mean_latency_ms:.0f}")
+    else:  # pragma: no cover - argparse enforces choices
+        raise SystemExit(2)
+
+    print(f"\n[{time.perf_counter() - start:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

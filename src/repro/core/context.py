@@ -1,0 +1,31 @@
+"""Per-decision scheduling context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.normal import Normal
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulingContext:
+    """Everything a strategy may consult when ranking one output queue.
+
+    ``ft_ms`` is the paper's ``FT``: the estimated time to send one
+    average-size message on *this* link first (average observed message
+    size × the link's mean per-KB rate).  ``link_rate`` is the (possibly
+    estimated) distribution of this link direction's per-KB rate —
+    available for extensions, though the paper's metrics only use the
+    remaining-path parameters stored in the subscription rows.
+    """
+
+    now: float
+    processing_delay_ms: float
+    ft_ms: float
+    link_rate: Normal
+
+    def __post_init__(self) -> None:
+        if self.processing_delay_ms < 0.0:
+            raise ValueError("processing_delay_ms must be non-negative")
+        if self.ft_ms < 0.0:
+            raise ValueError("ft_ms must be non-negative")

@@ -1,0 +1,73 @@
+"""Invalid-message detection (Section 5.4, Eq. 11).
+
+A queued copy is deleted when every subscription it still serves is
+hopeless: ``∀ i: success(s_i, m) < ε`` with ε small (the paper uses
+0.05 % = 5·10⁻⁴).  Because an expired pair has success ≈ 0 < ε, the
+ε-rule subsumes plain expiry; the FIFO/RL baselines apply only the plain
+expiry rule (deleting already-dead messages is standard practice and is
+what keeps their traffic finite), which :class:`PruningPolicy` encodes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.core.metrics import max_success_vec
+from repro.core.strategies import QueueEntry
+from repro.core.success import effective_deadline
+
+#: The paper's ε (0.05 %).
+DEFAULT_EPSILON = 5e-4
+
+
+class PruningPolicy(enum.Enum):
+    """Which invalid-message rule an output queue applies."""
+
+    NONE = "none"  # never delete (ablation only; traffic can explode)
+    EXPIRED = "expired"  # delete when every deadline has already passed
+    PROBABILISTIC = "probabilistic"  # Eq. 11: delete when hopeless (< ε)
+
+    @staticmethod
+    def for_strategy(probabilistic_pruning: bool) -> "PruningPolicy":
+        return (
+            PruningPolicy.PROBABILISTIC
+            if probabilistic_pruning
+            else PruningPolicy.EXPIRED
+        )
+
+
+def entry_is_expired(entry: QueueEntry, now: float) -> bool:
+    """True iff every (subscription, message) pair's deadline has passed."""
+    for row in entry.rows:
+        adl = effective_deadline(row, entry.message)
+        if entry.message.hdl(now) <= adl:
+            return False
+    return True
+
+
+def entry_is_hopeless(
+    entry: QueueEntry,
+    now: float,
+    processing_delay_ms: float,
+    epsilon: float = DEFAULT_EPSILON,
+) -> bool:
+    """Eq. 11: every remaining subscription has success < ε."""
+    if epsilon <= 0.0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    return max_success_vec(entry.arrays, entry.message, now, processing_delay_ms) < epsilon
+
+
+def should_prune(
+    entry: QueueEntry,
+    now: float,
+    processing_delay_ms: float,
+    policy: PruningPolicy,
+    epsilon: float = DEFAULT_EPSILON,
+) -> bool:
+    """Apply the queue's pruning policy to one entry."""
+    if policy is PruningPolicy.NONE:
+        return False
+    if policy is PruningPolicy.EXPIRED:
+        return entry_is_expired(entry, now)
+    return entry_is_hopeless(entry, now, processing_delay_ms, epsilon)

@@ -1,0 +1,43 @@
+"""Name-based strategy construction for configs, CLI and sweeps."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.strategies import (
+    EbpcStrategy,
+    EbStrategy,
+    FifoStrategy,
+    PcStrategy,
+    RemainingLifetimeStrategy,
+    Strategy,
+)
+
+#: Canonical strategy names accepted by :func:`make_strategy`.
+STRATEGY_NAMES: tuple[str, ...] = ("fifo", "rl", "eb", "pc", "ebpc")
+
+
+def make_strategy(name: str, **kwargs: Any) -> Strategy:
+    """Build a strategy by name.
+
+    ``ebpc`` accepts ``r`` (EB weight, default 0.5) and ``rl`` accepts
+    ``aggregation`` ("average", the paper's choice, or "min"); the other
+    strategies take no parameters.  Unknown names or stray parameters raise
+    ``ValueError`` so config typos fail loudly.
+    """
+    key = name.strip().lower()
+    if key == "rl":
+        return RemainingLifetimeStrategy(**kwargs)
+    if key == "fifo":
+        cls: type[Strategy] = FifoStrategy
+    elif key == "eb":
+        cls = EbStrategy
+    elif key == "pc":
+        cls = PcStrategy
+    elif key == "ebpc":
+        return EbpcStrategy(**kwargs)
+    else:
+        raise ValueError(f"unknown strategy {name!r}; known: {', '.join(STRATEGY_NAMES)}")
+    if kwargs:
+        raise ValueError(f"strategy {name!r} takes no parameters, got {sorted(kwargs)}")
+    return cls()

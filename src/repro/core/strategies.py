@@ -1,0 +1,170 @@
+"""Queue disciplines: FIFO, RL, EB, PC, EBPC (Sections 5.1–5.3, 6.1).
+
+A strategy ranks the entries of one output queue; the broker sends the
+entry with the **highest score** (deterministic FIFO tie-break on the
+enqueue sequence number).  Scores may depend on the current time — EB and
+PC shrink as a message ages — so they are recomputed at each selection.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.context import SchedulingContext
+from repro.core.metrics import (
+    ebpc_value,
+    expected_benefit_vec,
+    postponing_cost_vec,
+)
+from repro.core.success import effective_deadline
+from repro.pubsub.message import Message
+from repro.pubsub.subscription import RowArrays, TableRow
+
+
+@dataclass
+class QueueEntry:
+    """One message copy waiting in one output queue.
+
+    ``rows`` are the subscriptions reachable through this queue's neighbour
+    that the message satisfies (fixed at enqueue time; the evaluation uses
+    a static subscription population, as in the paper).  ``arrays`` is the
+    vectorised view used by the metric kernels.
+    """
+
+    message: Message
+    rows: list[TableRow]
+    enqueue_time: float
+    seq: int
+    arrays: RowArrays = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise ValueError("a queue entry must target at least one subscription")
+        self.arrays = RowArrays.from_rows(self.rows)
+
+
+class Strategy(ABC):
+    """Interface all queue disciplines implement."""
+
+    #: Human-readable name used by the registry and reports.
+    name: str = "abstract"
+
+    #: Whether the broker should apply the ε-probabilistic invalid-message
+    #: detection of Section 5.4 (True for the paper's EB/PC/EBPC; the FIFO
+    #: and RL baselines delete only already-expired messages).
+    probabilistic_pruning: bool = True
+
+    @abstractmethod
+    def score(self, entry: QueueEntry, ctx: SchedulingContext) -> float:
+        """Higher is sent first."""
+
+    def select(self, entries: list[QueueEntry], ctx: SchedulingContext) -> int:
+        """Index of the entry to send: max score, FIFO tie-break."""
+        if not entries:
+            raise ValueError("cannot select from an empty queue")
+        best_idx = 0
+        best_key = (-math.inf, math.inf)
+        for i, entry in enumerate(entries):
+            key = (self.score(entry, ctx), -entry.seq)
+            if key > best_key:
+                best_key = key
+                best_idx = i
+        return best_idx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FifoStrategy(Strategy):
+    """First in, first out — the classic network baseline."""
+
+    name = "fifo"
+    probabilistic_pruning = False
+
+    def score(self, entry: QueueEntry, ctx: SchedulingContext) -> float:
+        return -float(entry.seq)
+
+
+class RemainingLifetimeStrategy(Strategy):
+    """Minimum remaining lifetime first (EDF-style baseline).
+
+    With several interested subscriptions a message has several remaining
+    lifetimes; per Section 6.1 the *average* is used by default.  The
+    ``aggregation="min"`` variant (classic EDF: most urgent pair decides)
+    exists for the ablation bench.  Unbounded pairs (no deadline on either
+    side) are excluded; an entry with no bounded pair at all scores lowest
+    (it is never urgent).
+    """
+
+    name = "rl"
+    probabilistic_pruning = False
+
+    def __init__(self, aggregation: str = "average") -> None:
+        if aggregation not in ("average", "min"):
+            raise ValueError(f"aggregation must be 'average' or 'min', got {aggregation!r}")
+        self.aggregation = aggregation
+        if aggregation != "average":
+            self.name = f"rl({aggregation})"
+
+    def score(self, entry: QueueEntry, ctx: SchedulingContext) -> float:
+        total = 0.0
+        smallest = math.inf
+        bounded = 0
+        for row in entry.rows:
+            adl = effective_deadline(row, entry.message)
+            if math.isinf(adl):
+                continue
+            lifetime = adl - entry.message.hdl(ctx.now)
+            total += lifetime
+            smallest = min(smallest, lifetime)
+            bounded += 1
+        if bounded == 0:
+            return -math.inf
+        if self.aggregation == "min":
+            return -smallest
+        return -(total / bounded)  # smallest average lifetime => highest score
+
+
+class EbStrategy(Strategy):
+    """Maximum Expected Benefit first (Section 5.1)."""
+
+    name = "eb"
+
+    def score(self, entry: QueueEntry, ctx: SchedulingContext) -> float:
+        return expected_benefit_vec(
+            entry.arrays, entry.message, ctx.now, ctx.processing_delay_ms
+        )
+
+
+class PcStrategy(Strategy):
+    """Maximum Postponing Cost first (Section 5.2)."""
+
+    name = "pc"
+
+    def score(self, entry: QueueEntry, ctx: SchedulingContext) -> float:
+        return postponing_cost_vec(
+            entry.arrays, entry.message, ctx.now, ctx.processing_delay_ms, ctx.ft_ms
+        )
+
+
+class EbpcStrategy(Strategy):
+    """Maximum ``r·EB + (1−r)·PC`` first (Section 5.3)."""
+
+    name = "ebpc"
+
+    def __init__(self, r: float = 0.5) -> None:
+        if not 0.0 <= r <= 1.0:
+            raise ValueError(f"r must be in [0, 1], got {r}")
+        self.r = r
+        self.name = f"ebpc(r={r:g})"
+
+    def score(self, entry: QueueEntry, ctx: SchedulingContext) -> float:
+        eb = expected_benefit_vec(
+            entry.arrays, entry.message, ctx.now, ctx.processing_delay_ms
+        )
+        eb_postponed = expected_benefit_vec(
+            entry.arrays, entry.message, ctx.now, ctx.processing_delay_ms, ctx.ft_ms
+        )
+        return ebpc_value(eb, eb - eb_postponed, self.r)

@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic event-heap kernel purpose-built for the broker
+overlay simulation:
+
+* :class:`~repro.des.simulator.Simulator` — monotonic clock + binary-heap
+  event queue with stable FIFO ordering among simultaneous events and O(1)
+  cancellation.
+* :class:`~repro.des.rng.RngStreams` — named, independent
+  ``numpy.random.Generator`` streams derived from one root seed so that, for
+  example, the workload stream is identical across strategy runs (paired
+  comparison, exactly what the paper's figures need).
+* :class:`~repro.des.trace.TraceRecorder` — optional structured tracing.
+"""
+
+from repro.des.event import Event, EventHandle
+from repro.des.rng import RngStreams
+from repro.des.simulator import Simulator
+from repro.des.trace import TraceRecorder, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "Simulator",
+    "RngStreams",
+    "TraceRecorder",
+    "TraceRecord",
+]

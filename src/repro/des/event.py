@@ -1,0 +1,56 @@
+"""Event records for the simulation kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is ``(time, priority, seq)``: earlier simulated time first,
+    then lower ``priority`` value, then insertion order — which makes event
+    execution fully deterministic for a fixed schedule, a prerequisite for
+    seed-reproducible experiments.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when
+    popped, so cancel is O(1) and the heap never needs re-sifting.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the event; returns False if it was already cancelled."""
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True

@@ -1,0 +1,64 @@
+"""Structured tracing for simulations.
+
+Tracing is opt-in and costs one dict append per record; production sweeps
+run with it disabled.  Tests and the examples use it to assert on event
+causality (e.g. a message is never forwarded after it was pruned).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace entry: what happened, when, where, to which message."""
+
+    time: float
+    kind: str
+    node: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only trace sink with cheap filtering helpers."""
+
+    def __init__(self, enabled: bool = True, capacity: int | None = None) -> None:
+        self.enabled = enabled
+        self._capacity = capacity
+        self._records: list[TraceRecord] = []
+        self._dropped = 0
+
+    def record(self, time: float, kind: str, node: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self._capacity is not None and len(self._records) >= self._capacity:
+            self._dropped += 1
+            return
+        self._records.append(TraceRecord(time=time, kind=kind, node=node, detail=detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded because the capacity bound was hit."""
+        return self._dropped
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self._records if r.kind == kind]
+
+    def at_node(self, node: str) -> list[TraceRecord]:
+        return [r for r in self._records if r.node == node]
+
+    def kind_counts(self) -> Counter:
+        return Counter(r.kind for r in self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._dropped = 0

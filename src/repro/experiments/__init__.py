@@ -1,0 +1,32 @@
+"""Reproduction harnesses for every table and figure in the paper.
+
+One module per artefact:
+
+========  =====================================================  ==========================
+artefact  content                                                module
+========  =====================================================  ==========================
+Fig 4(a)  SSD total earning vs EB weight r (EB/PC/EBPC)          :mod:`~repro.experiments.figure4`
+Fig 4(b)  PSD delivery rate vs EB weight r                       :mod:`~repro.experiments.figure4`
+Fig 5(a)  SSD total earning vs publishing rate (4 strategies)    :mod:`~repro.experiments.figure5`
+Fig 5(b)  SSD message number vs publishing rate                  :mod:`~repro.experiments.figure5`
+Fig 6(a)  PSD delivery rate vs publishing rate                   :mod:`~repro.experiments.figure6`
+Fig 6(b)  PSD message number vs publishing rate                  :mod:`~repro.experiments.figure6`
+Table 1   related-work taxonomy (static, rendered for record)    :mod:`~repro.experiments.table1`
+claims    headline shape checks (who wins, by what factor)       :mod:`~repro.experiments.claims`
+========  =====================================================  ==========================
+
+Each module exposes ``run(scale=...) -> FigureResult`` and the CLI prints
+the series as aligned tables.  ``scale`` shrinks the simulated test period
+(1.0 = the paper's 2 hours) so CI-sized runs stay fast; shapes are stable
+from ``scale≈0.05`` upward.
+"""
+
+from repro.experiments.common import FigureResult, ScaleSpec, paper_base_config
+from repro.experiments.report import format_series_table
+
+__all__ = [
+    "FigureResult",
+    "ScaleSpec",
+    "paper_base_config",
+    "format_series_table",
+]

@@ -1,0 +1,67 @@
+"""Terminal line charts for figure results (no plotting dependency).
+
+Renders a :class:`~repro.experiments.common.FigureResult` as a fixed-size
+character grid: one marker per series, y axis auto-scaled, legend below.
+Good enough to eyeball the crossovers the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import FigureResult
+
+#: Series markers, assigned in iteration order.
+MARKERS = "ox+*#@%&"
+
+
+def render_ascii_chart(
+    result: FigureResult,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Plot every series of ``result`` on one grid."""
+    if width < 10 or height < 4:
+        raise ValueError("chart must be at least 10x4")
+    if not result.x_values:
+        raise ValueError("nothing to plot")
+
+    xs = result.x_values
+    all_y = [v for series in result.series.values() for v in series]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:  # flat chart: pad so everything sits mid-height
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        row = height - 1 - row  # terminal rows grow downward
+        cell = grid[row][col]
+        grid[row][col] = "*" if cell not in (" ", marker) else marker
+
+    legend = []
+    for i, (label, series) in enumerate(result.series.items()):
+        marker = MARKERS[i % len(MARKERS)]
+        legend.append(f"{marker} {label}")
+        for x, y in zip(xs, series):
+            place(x, y, marker)
+
+    y_hi_label = f"{y_hi:.4g}"
+    y_lo_label = f"{y_lo:.4g}"
+    gutter = max(len(y_hi_label), len(y_lo_label))
+    lines = [result.title, ""]
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = y_hi_label.rjust(gutter)
+        elif row_idx == height - 1:
+            prefix = y_lo_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row)}|")
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(" " * gutter + "  " + x_axis)
+    lines.append(" " * gutter + "  " + result.x_label)
+    lines.append("legend: " + "   ".join(legend) + "   (* = overlap)")
+    return "\n".join(lines)

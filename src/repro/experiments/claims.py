@@ -1,0 +1,156 @@
+"""Headline-claim checks: does the reproduction show the paper's *shape*?
+
+Absolute numbers are not expected to match (our substrate is a simulator
+with its own randomness, and several workload details are under-specified
+in the paper), but the qualitative findings should hold.  Each claim is
+checked programmatically and reported pass/fail; EXPERIMENTS.md records a
+full run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import figure5, figure6
+from repro.experiments.common import FigureResult, ScaleSpec
+
+
+@dataclass(frozen=True, slots=True)
+class ClaimResult:
+    claim_id: str
+    description: str
+    passed: bool
+    detail: str
+
+
+def _at(result: FigureResult, series: str, x: float) -> float:
+    return result.series[series][result.x_values.index(x)]
+
+
+def check_ssd_claims(panel_a: FigureResult, panel_b: FigureResult) -> list[ClaimResult]:
+    """Figure 5 claims (SSD)."""
+    out: list[ClaimResult] = []
+    top_rate = max(panel_a.x_values)
+
+    eb, pc = _at(panel_a, "eb", top_rate), _at(panel_a, "pc", top_rate)
+    fifo, rl = _at(panel_a, "fifo", top_rate), _at(panel_a, "rl", top_rate)
+    out.append(
+        ClaimResult(
+            "ssd-ordering",
+            "at the highest rate, earning: EB > PC ≥ FIFO > RL",
+            eb > pc >= fifo > rl,
+            f"EB={eb:.4g} PC={pc:.4g} FIFO={fifo:.4g} RL={rl:.4g}",
+        )
+    )
+    out.append(
+        ClaimResult(
+            "ssd-eb-vs-fifo-factor",
+            "EB earns a large multiple of FIFO at the highest rate (paper: ≈5x)",
+            fifo == 0 or eb / fifo >= 2.0,
+            f"ratio EB/FIFO = {eb / fifo if fifo else float('inf'):.2f}",
+        )
+    )
+    out.append(
+        ClaimResult(
+            "ssd-eb-vs-rl-factor",
+            "EB earns a large multiple of RL at the highest rate (paper: ≈10x)",
+            rl == 0 or eb / rl >= 3.0,
+            f"ratio EB/RL = {eb / rl if rl else float('inf'):.2f}",
+        )
+    )
+
+    # Monotone-ish growth for EB: last point is its maximum.
+    eb_series = panel_a.series["eb"]
+    out.append(
+        ClaimResult(
+            "ssd-eb-monotone",
+            "EB earning keeps growing with publishing rate",
+            eb_series[-1] == max(eb_series),
+            f"series={['%.3g' % v for v in eb_series]}",
+        )
+    )
+    # FIFO/RL peak before the end (earning declines past the knee).
+    for s in ("fifo", "rl"):
+        series = panel_a.series[s]
+        out.append(
+            ClaimResult(
+                f"ssd-{s}-peaks",
+                f"{s.upper()} earning peaks below the highest rate",
+                max(series) > series[-1],
+                f"series={['%.3g' % v for v in series]}",
+            )
+        )
+
+    traffic_eb = _at(panel_b, "eb", top_rate)
+    traffic_fifo = _at(panel_b, "fifo", top_rate)
+    traffic_rl = _at(panel_b, "rl", top_rate)
+    out.append(
+        ClaimResult(
+            "ssd-traffic-modest",
+            "EB carries more traffic than FIFO/RL, but less than ~2x (paper: +23 % / +64 %)",
+            traffic_fifo <= traffic_eb <= 2.0 * traffic_rl
+            and traffic_eb <= 2.0 * traffic_fifo,
+            f"EB={traffic_eb:.4g} FIFO={traffic_fifo:.4g} RL={traffic_rl:.4g}",
+        )
+    )
+    return out
+
+
+def check_psd_claims(panel_a: FigureResult, panel_b: FigureResult) -> list[ClaimResult]:
+    """Figure 6 claims (PSD)."""
+    out: list[ClaimResult] = []
+    top_rate = max(panel_a.x_values)
+    eb, pc = _at(panel_a, "eb", top_rate), _at(panel_a, "pc", top_rate)
+    fifo, rl = _at(panel_a, "fifo", top_rate), _at(panel_a, "rl", top_rate)
+    out.append(
+        ClaimResult(
+            "psd-ordering",
+            "at the highest rate, delivery rate: {EB, PC} > FIFO > RL",
+            min(eb, pc) > fifo > rl,
+            f"EB={eb:.4g} PC={pc:.4g} FIFO={fifo:.4g} RL={rl:.4g}",
+        )
+    )
+    for s in ("eb", "pc", "fifo", "rl"):
+        series = panel_a.series[s]
+        non_increasing = all(a >= b - 0.02 for a, b in zip(series, series[1:]))
+        out.append(
+            ClaimResult(
+                f"psd-{s}-decreasing",
+                f"{s.upper()} delivery rate decreases with publishing rate",
+                non_increasing,
+                f"series={['%.3g' % v for v in series]}",
+            )
+        )
+    traffic_eb = _at(panel_b, "eb", top_rate)
+    traffic_fifo = _at(panel_b, "fifo", top_rate)
+    traffic_rl = _at(panel_b, "rl", top_rate)
+    out.append(
+        ClaimResult(
+            "psd-traffic-modest",
+            "EB traffic exceeds FIFO/RL only modestly (paper: +17 % / +60 %)",
+            traffic_fifo <= traffic_eb <= 2.0 * traffic_rl
+            and traffic_eb <= 2.0 * traffic_fifo,
+            f"EB={traffic_eb:.4g} FIFO={traffic_fifo:.4g} RL={traffic_rl:.4g}",
+        )
+    )
+    return out
+
+
+def run_all(scale: ScaleSpec | None = None) -> list[ClaimResult]:
+    """Run Figures 5 and 6 and evaluate every claim."""
+    scale = scale or ScaleSpec(scale=0.1)
+    f5a, f5b = figure5.run_both_panels(scale)
+    f6a, f6b = figure6.run_both_panels(scale)
+    return check_ssd_claims(f5a, f5b) + check_psd_claims(f6a, f6b)
+
+
+def format_report(claims: list[ClaimResult]) -> str:
+    lines = ["Headline-claim check", "====================", ""]
+    for c in claims:
+        status = "PASS" if c.passed else "FAIL"
+        lines.append(f"[{status}] {c.claim_id}: {c.description}")
+        lines.append(f"        {c.detail}")
+    passed = sum(c.passed for c in claims)
+    lines.append("")
+    lines.append(f"{passed}/{len(claims)} claims hold")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.config import PAPER_DURATION_MS, SimulationConfig
+from repro.workload.scenarios import Scenario
+
+#: Publishing rates on the x axis of Figures 5 and 6.  The paper's axis
+#: runs 0..15; rate 0 publishes nothing, so the first sampled point is 1.
+FIGURE56_RATES: tuple[float, ...] = (1.0, 3.0, 6.0, 9.0, 12.0, 15.0)
+
+#: EB-weight grid of Figure 4 (0 %, 10 %, ..., 100 %).
+FIGURE4_R_VALUES: tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleSpec:
+    """How much of the paper's 2-hour test period to simulate.
+
+    ``scale=1.0`` is the full evaluation; smaller values shrink the
+    publication window proportionally (the grace window is unchanged so
+    late messages still resolve).  Metrics that are totals (earning,
+    message number) shrink roughly linearly; rates are scale-free.
+    """
+
+    scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+
+    @property
+    def duration_ms(self) -> float:
+        return PAPER_DURATION_MS * self.scale
+
+
+def paper_base_config(scenario: Scenario, scale: ScaleSpec | None = None) -> SimulationConfig:
+    """The ICPP'06 setup at the requested scale."""
+    scale = scale or ScaleSpec()
+    return SimulationConfig(
+        seed=scale.seed,
+        scenario=scenario,
+        publishing_rate_per_min=10.0,
+        duration_ms=scale.duration_ms,
+    )
+
+
+@dataclass
+class FigureResult:
+    """A rendered experiment: x axis plus named series of y values."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: list[float]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def winner_at(self, x: float) -> str:
+        """Series with the highest y at the given x (shape checks)."""
+        i = self.x_values.index(x)
+        return max(self.series, key=lambda label: self.series[label][i])

@@ -1,0 +1,58 @@
+"""Figure 4: EB vs PC vs EBPC across the EB weight ``r``.
+
+Panel (a): SSD total earning at publishing rate 10.
+Panel (b): PSD delivery rate at publishing rate 10.
+
+The paper's reading: in SSD the PC strategy trails EB, and EBPC beats both
+for ``r`` roughly in (23 %, 100 %); in PSD, EB ≈ PC and the combination is
+consistently at least as good.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import FIGURE4_R_VALUES, FigureResult, ScaleSpec, paper_base_config
+from repro.sim.sweep import sweep_r_weight
+from repro.workload.scenarios import Scenario
+
+
+def run_panel_a(
+    scale: ScaleSpec | None = None,
+    r_values: Sequence[float] = FIGURE4_R_VALUES,
+    seeds: Sequence[int] | None = None,
+) -> FigureResult:
+    """Fig. 4(a): SSD total earning vs r."""
+    scale = scale or ScaleSpec()
+    sweep = sweep_r_weight(paper_base_config(Scenario.SSD, scale), r_values, seeds=seeds)
+    return FigureResult(
+        figure_id="fig4a",
+        title="Fig 4(a) — SSD: total earning vs EB weight (publishing rate 10)",
+        x_label="weight of EB, r",
+        y_label="total earning",
+        x_values=list(r_values),
+        series={label: sweep.metric(label, lambda r: r.earning) for label in ("ebpc", "eb", "pc")},
+        notes=[f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"],
+    )
+
+
+def run_panel_b(
+    scale: ScaleSpec | None = None,
+    r_values: Sequence[float] = FIGURE4_R_VALUES,
+    seeds: Sequence[int] | None = None,
+) -> FigureResult:
+    """Fig. 4(b): PSD delivery rate vs r."""
+    scale = scale or ScaleSpec()
+    sweep = sweep_r_weight(paper_base_config(Scenario.PSD, scale), r_values, seeds=seeds)
+    return FigureResult(
+        figure_id="fig4b",
+        title="Fig 4(b) — PSD: delivery rate vs EB weight (publishing rate 10)",
+        x_label="weight of EB, r",
+        y_label="delivery rate",
+        x_values=list(r_values),
+        series={
+            label: sweep.metric(label, lambda r: r.delivery_rate)
+            for label in ("ebpc", "eb", "pc")
+        },
+        notes=[f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"],
+    )

@@ -1,0 +1,61 @@
+"""Figure 5: the SSD scenario across publishing rates.
+
+Panel (a): total earning — EB and PC keep climbing with load while FIFO
+and RL peak and then *fall* (congestion lets low-value/expired messages
+crowd out deliverable ones); EB earns the most (paper: ≈5× FIFO and ≈10×
+RL at rate 15).
+
+Panel (b): message number — EB/PC carry slightly more traffic than FIFO
+(paper: +23 % at rate 15) and more than RL (+64 %), the price of actually
+delivering more messages end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import FIGURE56_RATES, FigureResult, ScaleSpec, paper_base_config
+from repro.sim.sweep import sweep_publishing_rate
+from repro.workload.scenarios import Scenario
+
+STRATEGIES: tuple[str, ...] = ("eb", "pc", "fifo", "rl")
+
+
+def run_both_panels(
+    scale: ScaleSpec | None = None,
+    rates: Sequence[float] = FIGURE56_RATES,
+    seeds: Sequence[int] | None = None,
+) -> tuple[FigureResult, FigureResult]:
+    """Run the SSD rate sweep once; derive both panels from it."""
+    scale = scale or ScaleSpec()
+    sweep = sweep_publishing_rate(
+        paper_base_config(Scenario.SSD, scale), rates, STRATEGIES, seeds=seeds
+    )
+    note = f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"
+    panel_a = FigureResult(
+        figure_id="fig5a",
+        title="Fig 5(a) — SSD: total earning vs publishing rate",
+        x_label="publishing rate (msgs/min/publisher)",
+        y_label="total earning",
+        x_values=list(rates),
+        series={s: sweep.metric(s, lambda r: r.earning) for s in STRATEGIES},
+        notes=[note],
+    )
+    panel_b = FigureResult(
+        figure_id="fig5b",
+        title="Fig 5(b) — SSD: message number vs publishing rate",
+        x_label="publishing rate (msgs/min/publisher)",
+        y_label="message number (broker receptions)",
+        x_values=list(rates),
+        series={s: sweep.metric(s, lambda r: float(r.message_number)) for s in STRATEGIES},
+        notes=[note],
+    )
+    return panel_a, panel_b
+
+
+def run_panel_a(scale: ScaleSpec | None = None, **kw) -> FigureResult:
+    return run_both_panels(scale, **kw)[0]
+
+
+def run_panel_b(scale: ScaleSpec | None = None, **kw) -> FigureResult:
+    return run_both_panels(scale, **kw)[1]

@@ -1,0 +1,59 @@
+"""Figure 6: the PSD scenario across publishing rates.
+
+Panel (a): delivery rate — decreasing in load for every strategy (system
+capacity is fixed); EB ≈ PC well above FIFO, RL worst (paper at rate 15:
+40.1 % / 22.5 % / 11.6 % for EB / FIFO / RL).
+
+Panel (b): message number — EB slightly above FIFO (paper: +17 % at rate
+15) and above RL (+60 %).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import FIGURE56_RATES, FigureResult, ScaleSpec, paper_base_config
+from repro.sim.sweep import sweep_publishing_rate
+from repro.workload.scenarios import Scenario
+
+STRATEGIES: tuple[str, ...] = ("eb", "pc", "fifo", "rl")
+
+
+def run_both_panels(
+    scale: ScaleSpec | None = None,
+    rates: Sequence[float] = FIGURE56_RATES,
+    seeds: Sequence[int] | None = None,
+) -> tuple[FigureResult, FigureResult]:
+    """Run the PSD rate sweep once; derive both panels from it."""
+    scale = scale or ScaleSpec()
+    sweep = sweep_publishing_rate(
+        paper_base_config(Scenario.PSD, scale), rates, STRATEGIES, seeds=seeds
+    )
+    note = f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"
+    panel_a = FigureResult(
+        figure_id="fig6a",
+        title="Fig 6(a) — PSD: delivery rate vs publishing rate",
+        x_label="publishing rate (msgs/min/publisher)",
+        y_label="delivery rate",
+        x_values=list(rates),
+        series={s: sweep.metric(s, lambda r: r.delivery_rate) for s in STRATEGIES},
+        notes=[note],
+    )
+    panel_b = FigureResult(
+        figure_id="fig6b",
+        title="Fig 6(b) — PSD: message number vs publishing rate",
+        x_label="publishing rate (msgs/min/publisher)",
+        y_label="message number (broker receptions)",
+        x_values=list(rates),
+        series={s: sweep.metric(s, lambda r: float(r.message_number)) for s in STRATEGIES},
+        notes=[note],
+    )
+    return panel_a, panel_b
+
+
+def run_panel_a(scale: ScaleSpec | None = None, **kw) -> FigureResult:
+    return run_both_panels(scale, **kw)[0]
+
+
+def run_panel_b(scale: ScaleSpec | None = None, **kw) -> FigureResult:
+    return run_both_panels(scale, **kw)[1]

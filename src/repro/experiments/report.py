@@ -1,0 +1,38 @@
+"""ASCII rendering of figure results."""
+
+from __future__ import annotations
+
+from repro.experiments.common import FigureResult
+
+
+def format_series_table(result: FigureResult, precision: int = 4) -> str:
+    """One aligned table: x column plus one column per series."""
+    labels = list(result.series)
+    header = [result.x_label] + labels
+    rows: list[list[str]] = [header]
+    for i, x in enumerate(result.x_values):
+        row = [f"{x:g}"]
+        for label in labels:
+            value = result.series[label][i]
+            row.append(f"{value:.{precision}g}")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [result.title, ""]
+    for j, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    label_a: str, value_a: float, label_b: str, value_b: float, what: str
+) -> str:
+    """One-line ratio summary, e.g. 'EB earns 4.8x FIFO at rate 15'."""
+    if value_b == 0:
+        ratio = float("inf")
+    else:
+        ratio = value_a / value_b
+    return f"{label_a} {what} = {value_a:.4g}, {label_b} = {value_b:.4g} (ratio {ratio:.2f}x)"

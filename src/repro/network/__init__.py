@@ -1,0 +1,57 @@
+"""Overlay network substrate: topology, links, routing, measurement.
+
+The paper's system model (Section 3): brokers form a mesh overlay; each
+overlay link is a TCP connection whose *transmission rate* ``TR`` (ms per
+KB) is normally distributed and independent across links; single-path
+routing picks, for every (broker, subscriber) pair, the path minimising the
+mean transmission rate.
+
+* :mod:`~repro.network.topology` — static overlay description + builders
+  (the paper's 4-layer mesh, acyclic tree, random mesh).
+* :mod:`~repro.network.paths` — the ``TR_p ~ N(Σμ, Σσ²)`` path algebra and
+  exhaustive path enumeration (used to verify routing optimality).
+* :mod:`~repro.network.routing` — min-mean-TR single-path routing as
+  per-subscriber sink trees (Dijkstra), plus a k-shortest-paths extension.
+* :mod:`~repro.network.link` — the simulation-time channel: serialised
+  transmissions with stochastic per-message duration.
+* :mod:`~repro.network.measurement` — per-link online parameter estimation
+  ("estimated from measured data"), with an oracle mode for the paper's
+  known-parameters assumption.
+"""
+
+from repro.network.link import DirectedLink, LinkStats
+from repro.network.measurement import LinkMonitor, MeasurementMode
+from repro.network.paths import (
+    enumerate_simple_paths,
+    path_distribution,
+    path_mean,
+    remaining_hops,
+)
+from repro.network.routing import RouteEntry, SinkTree, k_shortest_paths, shortest_path
+from repro.network.topology import (
+    LayeredMeshSpec,
+    Topology,
+    build_acyclic_tree,
+    build_layered_mesh,
+    build_random_mesh,
+)
+
+__all__ = [
+    "Topology",
+    "LayeredMeshSpec",
+    "build_layered_mesh",
+    "build_acyclic_tree",
+    "build_random_mesh",
+    "path_distribution",
+    "path_mean",
+    "remaining_hops",
+    "enumerate_simple_paths",
+    "RouteEntry",
+    "SinkTree",
+    "shortest_path",
+    "k_shortest_paths",
+    "DirectedLink",
+    "LinkStats",
+    "LinkMonitor",
+    "MeasurementMode",
+]

@@ -1,0 +1,91 @@
+"""Simulation-time link channel.
+
+Brokers exchange messages over TCP (Section 3.1), so each direction of an
+overlay link serialises its traffic: one message in flight at a time, and
+the transmission time of an ``m``-KB message is ``m · tr`` with ``tr`` a
+fresh draw from the link's (positivity-truncated) normal rate.  The queue
+*discipline* — which waiting message goes next — is the broker's job; the
+link only models the channel and reports per-transmission measurements to
+whoever is listening (the measurement substrate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.stats.normal import Normal
+from repro.stats.sampling import sample_positive_normal
+
+
+@dataclass
+class LinkStats:
+    """Running totals for one link direction."""
+
+    transmissions: int = 0
+    kilobytes: float = 0.0
+    busy_time: float = 0.0
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent transmitting."""
+        if elapsed <= 0.0:
+            return 0.0
+        return min(self.busy_time / elapsed, 1.0)
+
+
+class DirectedLink:
+    """One direction of an overlay link (e.g. ``B1 -> B5``).
+
+    ``true_rate`` is the ground-truth distribution the channel samples
+    from; schedulers consume the (possibly estimated) distribution exposed
+    by the measurement layer, never this object directly.
+    """
+
+    __slots__ = ("src", "dst", "true_rate", "_rng", "busy", "stats", "_observers")
+
+    def __init__(self, src: str, dst: str, true_rate: Normal, rng: np.random.Generator) -> None:
+        self.src = src
+        self.dst = dst
+        self.true_rate = true_rate
+        self._rng = rng
+        self.busy = False
+        self.stats = LinkStats()
+        self._observers: list[Callable[[float, float], None]] = []
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    def add_observer(self, observer: Callable[[float, float], None]) -> None:
+        """Register a ``(size_kb, duration_ms)`` callback per transmission."""
+        self._observers.append(observer)
+
+    def draw_transmission_time(self, size_kb: float) -> float:
+        """Sample the time (ms) to push ``size_kb`` through this direction.
+
+        The per-KB rate is drawn once per message (TCP throughput is highly
+        correlated within one transfer), then scaled by the size.
+        """
+        if size_kb <= 0.0:
+            raise ValueError(f"size_kb must be positive, got {size_kb}")
+        per_kb = sample_positive_normal(self._rng, self.true_rate.mean, self.true_rate.std)
+        duration = size_kb * per_kb
+        self.stats.transmissions += 1
+        self.stats.kilobytes += size_kb
+        self.stats.busy_time += duration
+        for observer in self._observers:
+            observer(size_kb, duration)
+        return duration
+
+    def acquire(self) -> None:
+        """Mark the channel busy; caller must release when the send ends."""
+        if self.busy:
+            raise RuntimeError(f"link {self.name} is already busy")
+        self.busy = True
+
+    def release(self) -> None:
+        if not self.busy:
+            raise RuntimeError(f"link {self.name} is not busy")
+        self.busy = False

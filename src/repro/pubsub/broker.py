@@ -1,0 +1,237 @@
+"""The message broker (Section 3.2, Fig. 2).
+
+A broker has three modules: message receiving, message processing and
+message forwarding.  Incoming messages incur a fixed processing delay
+``PD``; processed messages are matched against the subscription table and
+either delivered locally or placed, one copy per downstream neighbour, in
+that neighbour's **output queue**.  Each output queue is drained over a
+serialised link; when the link frees, the configured
+:class:`~repro.core.strategies.Strategy` picks the next entry after the
+queue's pruning policy has deleted invalid messages (Section 5.4).
+
+Input-queue waiting is ignored, as in the paper (processing is never the
+bottleneck), so processing completes exactly ``PD`` after reception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.context import SchedulingContext
+from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy, should_prune
+from repro.core.strategies import QueueEntry, Strategy
+from repro.core.success import effective_deadline
+from repro.des.simulator import Simulator
+from repro.des.trace import TraceRecorder
+from repro.network.link import DirectedLink
+from repro.network.measurement import LinkMonitor
+from repro.pubsub.message import Message
+from repro.pubsub.metrics import MetricsCollector
+from repro.pubsub.subscription import SubscriptionTable, TableRow
+
+
+@dataclass
+class OutputQueue:
+    """Waiting entries for one downstream neighbour."""
+
+    neighbor: str
+    link: DirectedLink
+    monitor: LinkMonitor
+    deliver: Callable[[Message], None]
+    entries: list[QueueEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+DeliveryCallback = Callable[[str, Message, float, bool], None]
+
+
+class Broker:
+    """One overlay broker."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        strategy: Strategy,
+        metrics: MetricsCollector,
+        processing_delay_ms: float = 2.0,
+        epsilon: float = DEFAULT_EPSILON,
+        pruning_override: PruningPolicy | None = None,
+        default_size_kb: float = 50.0,
+        scheduling_slack_per_hop_ms: float = 0.0,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        if processing_delay_ms < 0.0:
+            raise ValueError("processing_delay_ms must be non-negative")
+        if scheduling_slack_per_hop_ms < 0.0:
+            raise ValueError("scheduling_slack_per_hop_ms must be non-negative")
+        self.name = name
+        self.sim = sim
+        self.strategy = strategy
+        self.metrics = metrics
+        self.processing_delay_ms = processing_delay_ms
+        # The paper assumes downstream scheduling delay is 0 inside fdl;
+        # this slack relaxes that, billing every remaining hop an extra
+        # planning allowance inside success() without changing the real
+        # per-hop delay.  0 reproduces the paper.
+        self.planning_delay_ms = processing_delay_ms + scheduling_slack_per_hop_ms
+        self.epsilon = epsilon
+        self.pruning = (
+            pruning_override
+            if pruning_override is not None
+            else PruningPolicy.for_strategy(strategy.probabilistic_pruning)
+        )
+        self.table = SubscriptionTable()
+        self.queues: dict[str, OutputQueue] = {}
+        self.trace = trace
+        self._seq = 0
+        self._size_sum = 0.0
+        self._size_count = 0
+        self._default_size_kb = default_size_kb
+        #: Called on local delivery attempts: (subscriber, message, latency, valid).
+        self.delivery_callbacks: list[DeliveryCallback] = []
+
+    # ------------------------------------------------------------------ #
+    # Wiring.
+    # ------------------------------------------------------------------ #
+    def add_neighbor(
+        self,
+        neighbor: str,
+        link: DirectedLink,
+        monitor: LinkMonitor,
+        deliver: Callable[[Message], None],
+    ) -> None:
+        """Register the outbound channel to ``neighbor``.
+
+        ``deliver`` is invoked (at transmission-completion time) with the
+        message so the system can hand it to the neighbour broker.
+        """
+        if neighbor in self.queues:
+            raise ValueError(f"{self.name}: neighbor {neighbor!r} already wired")
+        self.queues[neighbor] = OutputQueue(neighbor, link, monitor, deliver)
+
+    def install(self, row: TableRow) -> None:
+        if row.next_hop is not None and row.next_hop not in self.queues:
+            raise ValueError(
+                f"{self.name}: row for {row.subscriber!r} routes via unwired "
+                f"neighbor {row.next_hop!r}"
+            )
+        self.table.install(row)
+
+    # ------------------------------------------------------------------ #
+    # Message path.
+    # ------------------------------------------------------------------ #
+    def receive(self, message: Message) -> None:
+        """Message arrives from upstream (or from a local publisher)."""
+        self.metrics.on_reception()
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "receive", self.name, msg=message.msg_id)
+        self.sim.schedule(
+            self.processing_delay_ms,
+            lambda: self._process(message),
+            label=f"{self.name}:process:{message.msg_id}",
+        )
+
+    def _process(self, message: Message) -> None:
+        self._size_sum += message.size_kb
+        self._size_count += 1
+        local, remote = self.table.match_grouped(message)
+        now = self.sim.now
+        for row in local:
+            latency = message.hdl(now)
+            valid = latency <= effective_deadline(row, message)
+            price = row.price if row.price is not None else 1.0
+            self.metrics.on_delivery(message.msg_id, row.subscriber, latency, price, valid)
+            for callback in self.delivery_callbacks:
+                callback(row.subscriber, message, latency, valid)
+            if self.trace is not None:
+                self.trace.record(
+                    now, "deliver", self.name,
+                    msg=message.msg_id, subscriber=row.subscriber, valid=valid,
+                )
+        for neighbor in sorted(remote):
+            entry = QueueEntry(message, remote[neighbor], enqueue_time=now, seq=self._seq)
+            self._seq += 1
+            self.queues[neighbor].entries.append(entry)
+            if self.trace is not None:
+                self.trace.record(
+                    now, "enqueue", self.name,
+                    msg=message.msg_id, neighbor=neighbor, fanout=len(remote[neighbor]),
+                )
+            self._try_send(neighbor)
+
+    # ------------------------------------------------------------------ #
+    # Output-queue service.
+    # ------------------------------------------------------------------ #
+    def average_size_kb(self) -> float:
+        """Running average of processed message sizes (the ``FT`` input)."""
+        if self._size_count == 0:
+            return self._default_size_kb
+        return self._size_sum / self._size_count
+
+    def _context_for(self, queue: OutputQueue) -> SchedulingContext:
+        rate = queue.monitor.rate()
+        return SchedulingContext(
+            now=self.sim.now,
+            processing_delay_ms=self.planning_delay_ms,
+            ft_ms=self.average_size_kb() * rate.mean,
+            link_rate=rate,
+        )
+
+    def _prune(self, queue: OutputQueue) -> None:
+        now = self.sim.now
+        kept: list[QueueEntry] = []
+        pruned = 0
+        for entry in queue.entries:
+            if should_prune(entry, now, self.planning_delay_ms, self.pruning, self.epsilon):
+                pruned += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        now, "prune", self.name,
+                        msg=entry.message.msg_id, neighbor=queue.neighbor,
+                    )
+            else:
+                kept.append(entry)
+        if pruned:
+            queue.entries = kept
+            self.metrics.on_prune(pruned)
+
+    def _try_send(self, neighbor: str) -> None:
+        queue = self.queues[neighbor]
+        if queue.link.busy:
+            return
+        self._prune(queue)
+        if not queue.entries:
+            return
+        ctx = self._context_for(queue)
+        idx = self.strategy.select(queue.entries, ctx)
+        entry = queue.entries.pop(idx)
+        duration = queue.link.draw_transmission_time(entry.message.size_kb)
+        queue.link.acquire()
+        self.metrics.on_transmission()
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "send", self.name,
+                msg=entry.message.msg_id, neighbor=neighbor, duration=duration,
+            )
+        self.sim.schedule(
+            duration,
+            lambda: self._complete_send(neighbor, entry),
+            label=f"{self.name}->{neighbor}:{entry.message.msg_id}",
+        )
+
+    def _complete_send(self, neighbor: str, entry: QueueEntry) -> None:
+        queue = self.queues[neighbor]
+        queue.link.release()
+        queue.deliver(entry.message)
+        self._try_send(neighbor)
+
+    # ------------------------------------------------------------------ #
+    # Introspection.
+    # ------------------------------------------------------------------ #
+    def queued_entries(self) -> int:
+        """Total entries currently waiting across all output queues."""
+        return sum(len(q) for q in self.queues.values())

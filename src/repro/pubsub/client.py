@@ -1,0 +1,71 @@
+"""Client endpoints: publishers and subscribers.
+
+Clients talk to their edge broker locally (no access link is modelled,
+matching the paper), so these classes are thin: a publisher stamps and
+injects messages, a subscriber records what arrives.  Examples and tests
+use them; the sweep harness drives the system directly for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pubsub.message import Message
+    from repro.pubsub.system import PubSubSystem
+
+
+@dataclass
+class PublisherHandle:
+    """Named publisher bound to a system; counts what it published."""
+
+    name: str
+    system: "PubSubSystem"
+    published: int = 0
+
+    def publish(
+        self,
+        attributes: Mapping[str, float],
+        size_kb: float | None = None,
+        deadline_ms: float | None = None,
+    ) -> "Message":
+        message = self.system.publish(
+            self.name, attributes, size_kb=size_kb, deadline_ms=deadline_ms
+        )
+        self.published += 1
+        return message
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryRecord:
+    """One message arrival at a subscriber endpoint."""
+
+    msg_id: int
+    time: float
+    latency_ms: float
+    valid: bool
+
+
+@dataclass
+class SubscriberHandle:
+    """Named subscriber endpoint recording its deliveries."""
+
+    name: str
+    records: list[DeliveryRecord] = field(default_factory=list)
+
+    def on_delivery(self, message: "Message", latency_ms: float, valid: bool, now: float) -> None:
+        self.records.append(
+            DeliveryRecord(msg_id=message.msg_id, time=now, latency_ms=latency_ms, valid=valid)
+        )
+
+    @property
+    def valid_count(self) -> int:
+        return sum(1 for r in self.records if r.valid)
+
+    @property
+    def late_count(self) -> int:
+        return sum(1 for r in self.records if not r.valid)
+
+    def received_ids(self) -> set[int]:
+        return {r.msg_id for r in self.records}

@@ -1,0 +1,170 @@
+"""Matching engines: which subscriptions does a message satisfy?
+
+Two implementations behind one protocol:
+
+* :class:`BruteForceMatcher` — evaluate every filter; the correctness
+  oracle and the right choice for small tables.
+* :class:`CountingIndexMatcher` — the classic *counting algorithm* for
+  conjunctive subscriptions (Yan & Garcia-Molina): per-(attribute, op)
+  sorted threshold indexes produce, per message, the count of satisfied
+  predicates per subscription; a subscription matches when its count equals
+  its predicate total.  Non-conjunctive filters degrade to brute force.
+
+Engines are generic over an opaque ``key`` so both the global population
+(for the delivery-rate denominator) and per-broker tables reuse them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Generic, Hashable, Iterable, Mapping, Protocol, TypeVar
+
+from repro.pubsub.filters import Filter, Predicate, conjunction_predicates
+
+K = TypeVar("K", bound=Hashable)
+
+
+class MatchingEngine(Protocol[K]):
+    """Protocol shared by all matchers."""
+
+    def add(self, key: K, filter_: Filter) -> None: ...
+
+    def remove(self, key: K) -> None: ...
+
+    def match(self, attributes: Mapping[str, float]) -> set[K]: ...
+
+    def __len__(self) -> int: ...
+
+
+class BruteForceMatcher(Generic[K]):
+    """Evaluate every registered filter."""
+
+    def __init__(self) -> None:
+        self._filters: dict[K, Filter] = {}
+
+    def add(self, key: K, filter_: Filter) -> None:
+        if key in self._filters:
+            raise KeyError(f"duplicate key {key!r}")
+        self._filters[key] = filter_
+
+    def remove(self, key: K) -> None:
+        del self._filters[key]
+
+    def match(self, attributes: Mapping[str, float]) -> set[K]:
+        return {k for k, f in self._filters.items() if f.matches(attributes)}
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+
+class _AttrOpIndex:
+    """Sorted thresholds for one (attribute, op) pair.
+
+    For ``<``/``<=`` predicates, a message value ``v`` satisfies all
+    thresholds strictly greater than ``v`` (resp. ``>= v``); bisect gives
+    the satisfied suffix in O(log n) + output size.
+    """
+
+    __slots__ = ("op", "_thresholds", "_keys")
+
+    def __init__(self, op: str) -> None:
+        self.op = op
+        self._thresholds: list[float] = []
+        self._keys: list[list] = []  # parallel: keys sharing each threshold
+
+    def add(self, value: float, key) -> None:
+        i = bisect.bisect_left(self._thresholds, value)
+        if i < len(self._thresholds) and self._thresholds[i] == value:
+            self._keys[i].append(key)
+        else:
+            self._thresholds.insert(i, value)
+            self._keys.insert(i, [key])
+
+    def remove(self, value: float, key) -> None:
+        i = bisect.bisect_left(self._thresholds, value)
+        if i >= len(self._thresholds) or self._thresholds[i] != value:
+            raise KeyError(key)
+        self._keys[i].remove(key)
+        if not self._keys[i]:
+            del self._thresholds[i]
+            del self._keys[i]
+
+    def satisfied_keys(self, v: float) -> Iterable:
+        t, ks = self._thresholds, self._keys
+        op = self.op
+        if op == "<":  # v < threshold  => thresholds strictly above v
+            start = bisect.bisect_right(t, v)
+            rng = range(start, len(t))
+        elif op == "<=":
+            start = bisect.bisect_left(t, v)
+            rng = range(start, len(t))
+        elif op == ">":  # v > threshold => thresholds strictly below v
+            stop = bisect.bisect_left(t, v)
+            rng = range(0, stop)
+        elif op == ">=":
+            stop = bisect.bisect_right(t, v)
+            rng = range(0, stop)
+        elif op == "==":
+            i = bisect.bisect_left(t, v)
+            rng = range(i, i + 1) if i < len(t) and t[i] == v else range(0)
+        else:  # "!=": everything except the equal threshold
+            i = bisect.bisect_left(t, v)
+            skip = i if i < len(t) and t[i] == v else -1
+            for j in range(len(t)):
+                if j != skip:
+                    yield from ks[j]
+            return
+        for j in rng:
+            yield from ks[j]
+
+
+class CountingIndexMatcher(Generic[K]):
+    """Counting-algorithm matcher for conjunctive filters."""
+
+    def __init__(self) -> None:
+        self._indexes: dict[tuple[str, str], _AttrOpIndex] = {}
+        self._predicate_count: dict[K, int] = {}
+        self._predicates: dict[K, tuple[Predicate, ...]] = {}
+        self._fallback = BruteForceMatcher[K]()
+
+    def add(self, key: K, filter_: Filter) -> None:
+        if key in self._predicate_count:
+            raise KeyError(f"duplicate key {key!r}")
+        preds = conjunction_predicates(filter_)
+        if preds is None:
+            self._fallback.add(key, filter_)
+            return
+        self._predicate_count[key] = len(preds)
+        self._predicates[key] = preds
+        for p in preds:
+            idx = self._indexes.get((p.attribute, p.op))
+            if idx is None:
+                idx = self._indexes[(p.attribute, p.op)] = _AttrOpIndex(p.op)
+            idx.add(p.value, key)
+
+    def remove(self, key: K) -> None:
+        preds = self._predicates.pop(key, None)
+        if preds is None:
+            self._fallback.remove(key)
+            return
+        del self._predicate_count[key]
+        for p in preds:
+            self._indexes[(p.attribute, p.op)].remove(p.value, key)
+
+    def match(self, attributes: Mapping[str, float]) -> set[K]:
+        counts: dict[K, int] = defaultdict(int)
+        for (attr, _op), idx in self._indexes.items():
+            v = attributes.get(attr)
+            if v is None:
+                continue
+            for key in idx.satisfied_keys(v):
+                counts[key] += 1
+        result = {k for k, c in counts.items() if c == self._predicate_count[k]}
+        # Empty conjunctions (match-all) never appear in any index.
+        result.update(k for k, n in self._predicate_count.items() if n == 0)
+        result.update(self._fallback.match(attributes))
+        return result
+
+    def __len__(self) -> int:
+        return len(self._predicate_count) + len(self._fallback)

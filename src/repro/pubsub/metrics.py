@@ -1,0 +1,100 @@
+"""Evaluation counters (Section 4.1 and 6.1).
+
+* **Delivery rate** (PSD): ``Σ ds_i / Σ ts_i`` over published messages,
+  where ``ts_i`` is how many subscribers are interested in message ``i``
+  and ``ds_i`` how many received it before its deadline.
+* **Total earning** (SSD): ``Σ price(s) · msg(s)`` over subscribers.
+* **Message number**: total messages received by all brokers — the
+  network-traffic proxy the paper plots in Figs. 5(b)/6(b).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MetricsCollector:
+    """Mutable counters updated by the system while the simulation runs."""
+
+    published: int = 0
+    receptions: int = 0  # "message number"
+    transmissions: int = 0
+    deliveries_valid: int = 0
+    deliveries_late: int = 0
+    pruned: int = 0  # queue entries deleted as invalid/hopeless
+    earning: float = 0.0
+    interested: dict[int, int] = field(default_factory=dict)  # msg_id -> ts_i
+    delivered: dict[int, int] = field(default_factory=lambda: defaultdict(int))  # msg_id -> ds_i
+    per_subscriber_valid: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    latency_sum_ms: float = 0.0
+    # Pair-level dedup: under multi-path routing the same (message,
+    # subscriber) pair can arrive more than once; only the first arrival
+    # counts (single-path routing never produces duplicates, so this is a
+    # no-op there).  Keys are (msg_id, subscriber).
+    _valid_pairs: set = field(default_factory=set, repr=False)
+    _late_pairs: set = field(default_factory=set, repr=False)
+    duplicate_deliveries: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording.
+    # ------------------------------------------------------------------ #
+    def on_publish(self, msg_id: int, interested_subscribers: int) -> None:
+        self.published += 1
+        self.interested[msg_id] = interested_subscribers
+
+    def on_reception(self) -> None:
+        self.receptions += 1
+
+    def on_transmission(self) -> None:
+        self.transmissions += 1
+
+    def on_delivery(self, msg_id: int, subscriber: str, latency_ms: float, price: float, valid: bool) -> None:
+        pair = (msg_id, subscriber)
+        if pair in self._valid_pairs or pair in self._late_pairs:
+            self.duplicate_deliveries += 1
+            return
+        if valid:
+            self._valid_pairs.add(pair)
+            self.deliveries_valid += 1
+            self.delivered[msg_id] += 1
+            self.per_subscriber_valid[subscriber] += 1
+            self.earning += price
+            self.latency_sum_ms += latency_ms
+        else:
+            # Arrivals are time-ordered, so a late first arrival implies
+            # every later duplicate is late too — safe to settle the pair.
+            self._late_pairs.add(pair)
+            self.deliveries_late += 1
+
+    def on_prune(self, count: int = 1) -> None:
+        self.pruned += count
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics.
+    # ------------------------------------------------------------------ #
+    @property
+    def total_interested(self) -> int:
+        return sum(self.interested.values())
+
+    @property
+    def delivery_rate(self) -> float:
+        """``Σ ds_i / Σ ts_i`` — 0.0 when nothing was publishable."""
+        denom = self.total_interested
+        return self.deliveries_valid / denom if denom else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.latency_sum_ms / self.deliveries_valid if self.deliveries_valid else 0.0
+
+    def check_invariants(self) -> None:
+        """Accounting sanity: raise AssertionError on impossible counters."""
+        assert self.deliveries_valid == sum(self.delivered.values())
+        assert self.deliveries_valid <= self.total_interested, (
+            "delivered more than the interested population"
+        )
+        for msg_id, count in self.delivered.items():
+            assert count <= self.interested.get(msg_id, 0), f"over-delivery of msg {msg_id}"
+        assert self.receptions >= 0 and self.pruned >= 0
+        assert self.earning >= 0.0

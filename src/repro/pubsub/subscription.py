@@ -1,0 +1,185 @@
+"""Subscriptions and the per-broker subscription table (Section 4.2).
+
+The paper's table row is ``(subscriber, filter, dl, pr, nb, NN_p, μ_p,
+σ_p²)``.  :class:`TableRow` carries exactly that, plus the set of source
+(publisher-hosting) brokers for which this broker lies on the routing path —
+the provenance check that makes single-path routing duplicate-free on a
+mesh (see :mod:`repro.pubsub.system`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pubsub.filters import Filter
+from repro.pubsub.matching import CountingIndexMatcher
+from repro.pubsub.message import Message
+from repro.stats.normal import Normal
+
+
+@dataclass(frozen=True, slots=True)
+class Subscription:
+    """A subscriber's standing interest.
+
+    ``deadline_ms`` / ``price`` are the SSD scenario's ``dl`` / ``pr``;
+    both are ``None`` in the pure PSD scenario (the paper then treats the
+    price as 1, which :mod:`repro.core.metrics` does).
+    """
+
+    subscriber: str
+    filter: Filter
+    deadline_ms: float | None = None
+    price: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms is not None and self.deadline_ms <= 0.0:
+            raise ValueError(f"deadline_ms must be positive, got {self.deadline_ms}")
+        if self.price is not None and self.price < 0.0:
+            raise ValueError(f"price must be non-negative, got {self.price}")
+
+
+@dataclass(frozen=True, slots=True)
+class TableRow:
+    """One subscription-table entry at one broker.
+
+    ``next_hop is None`` means the subscriber is local to this broker.
+    ``nn``, ``rate`` describe the remaining path (``NN_p``, ``TR_p``).
+    ``sources`` is the set of publisher-hosting brokers whose routed path
+    to this subscriber passes through this broker; a message is forwarded
+    on this row only if its source broker is in the set.
+
+    ``path_id`` distinguishes rows when the multi-path routing extension
+    installs several routes for the same subscriber (single-path routing
+    always uses 0).
+    """
+
+    subscription: Subscription
+    next_hop: str | None
+    nn: int
+    rate: Normal
+    sources: frozenset[str]
+    path_id: int = 0
+
+    @property
+    def is_local(self) -> bool:
+        return self.next_hop is None
+
+    @property
+    def subscriber(self) -> str:
+        return self.subscription.subscriber
+
+    @property
+    def deadline_ms(self) -> float | None:
+        return self.subscription.deadline_ms
+
+    @property
+    def price(self) -> float | None:
+        return self.subscription.price
+
+
+class SubscriptionTable:
+    """All rows installed at one broker, with an index for matching.
+
+    Rows are keyed by ``(subscriber, path_id)``: single-path routing keeps
+    one row per subscriber (path 0), the multi-path extension several.
+    """
+
+    def __init__(self) -> None:
+        self._rows: dict[tuple[str, int], TableRow] = {}
+        self._matcher: CountingIndexMatcher[tuple[str, int]] = CountingIndexMatcher()
+
+    def install(self, row: TableRow) -> None:
+        key = (row.subscriber, row.path_id)
+        if key in self._rows:
+            raise KeyError(f"row {key!r} already installed")
+        self._rows[key] = row
+        self._matcher.add(key, row.subscription.filter)
+
+    def uninstall(self, subscriber: str) -> None:
+        """Remove every row (any path) of a subscriber."""
+        keys = [k for k in self._rows if k[0] == subscriber]
+        if not keys:
+            raise KeyError(subscriber)
+        for key in keys:
+            del self._rows[key]
+            self._matcher.remove(key)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, subscriber: str) -> bool:
+        return any(k[0] == subscriber for k in self._rows)
+
+    def row(self, subscriber: str, path_id: int = 0) -> TableRow:
+        return self._rows[(subscriber, path_id)]
+
+    def rows(self) -> list[TableRow]:
+        return [self._rows[k] for k in sorted(self._rows)]
+
+    def match(self, message: Message) -> list[TableRow]:
+        """Rows whose filter matches *and* whose sources include the
+        message's origin broker (provenance check)."""
+        keys = self._matcher.match(message.attributes)
+        out = [
+            self._rows[k]
+            for k in sorted(keys)
+            if message.source_broker in self._rows[k].sources
+        ]
+        return out
+
+    def match_grouped(self, message: Message) -> tuple[list[TableRow], dict[str, list[TableRow]]]:
+        """Split matches into (local rows, remote rows grouped by next hop).
+
+        Within each group, rows are deduplicated by subscriber (multi-path
+        can route the same subscriber through one broker via several paths
+        sharing a next hop — the queue copy must count the subscriber's
+        benefit once).  Local rows are likewise unique per subscriber.
+        """
+        local: dict[str, TableRow] = {}
+        remote: dict[str, dict[str, TableRow]] = defaultdict(dict)
+        for row in self.match(message):
+            if row.is_local:
+                local.setdefault(row.subscriber, row)
+            else:
+                remote[row.next_hop].setdefault(row.subscriber, row)
+        return (
+            list(local.values()),
+            {hop: list(rows.values()) for hop, rows in remote.items()},
+        )
+
+
+@dataclass(frozen=True)
+class RowArrays:
+    """Vectorised view of a set of rows for the metric kernels.
+
+    ``deadline``/``price`` use ``inf``/1.0 for unspecified values, matching
+    the paper's PSD convention (price 1, deadline supplied by the message).
+    """
+
+    nn: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+    deadline: np.ndarray
+    price: np.ndarray
+
+    @staticmethod
+    def from_rows(rows: list[TableRow]) -> "RowArrays":
+        n = len(rows)
+        nn = np.empty(n)
+        mean = np.empty(n)
+        std = np.empty(n)
+        deadline = np.empty(n)
+        price = np.empty(n)
+        for i, row in enumerate(rows):
+            nn[i] = row.nn
+            mean[i] = row.rate.mean
+            std[i] = row.rate.std
+            deadline[i] = row.deadline_ms if row.deadline_ms is not None else np.inf
+            price[i] = row.price if row.price is not None else 1.0
+        return RowArrays(nn=nn, mean=mean, std=std, deadline=deadline, price=price)
+
+    def __len__(self) -> int:
+        return int(self.nn.shape[0])

@@ -1,0 +1,336 @@
+"""System assembly: topology + strategy -> a running broker overlay.
+
+Responsibilities:
+
+* instantiate one :class:`~repro.pubsub.broker.Broker` per topology node
+  and two :class:`~repro.network.link.DirectedLink` channels per edge
+  (TCP is full-duplex; each direction serialises independently);
+* attach a :class:`~repro.network.measurement.LinkMonitor` per direction
+  (oracle or estimated parameters);
+* install subscriptions: for each subscriber, compute the min-mean-TR sink
+  tree rooted at its edge broker, then place one
+  :class:`~repro.pubsub.subscription.TableRow` on every broker lying on a
+  routed path from some publisher-hosting broker, recording *which*
+  source brokers route through it.  The provenance check in
+  :meth:`SubscriptionTable.match` then guarantees each (message,
+  subscriber) pair travels exactly one path — single-path routing with no
+  duplicate deliveries, as Section 3.3 requires;
+* accept publications, count the interested population (the ``ts_i``
+  denominator of Eq. 1) and inject the message at its source broker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import networkx as nx
+
+from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy
+from repro.core.strategies import Strategy
+from repro.des.rng import RngStreams
+from repro.des.simulator import Simulator
+from repro.des.trace import TraceRecorder
+from repro.network.link import DirectedLink
+from repro.network.measurement import LinkMonitor, MeasurementMode
+from repro.network.paths import path_distribution
+from repro.network.routing import SinkTree, compute_sink_tree, k_shortest_paths
+from repro.network.topology import Topology, TopologyError
+from repro.pubsub.broker import Broker
+from repro.pubsub.client import PublisherHandle, SubscriberHandle
+from repro.pubsub.matching import CountingIndexMatcher
+from repro.pubsub.message import Message
+from repro.pubsub.metrics import MetricsCollector
+from repro.pubsub.subscription import Subscription, TableRow
+from repro.stats.normal import Normal
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingMode:
+    """Single-path (the paper, Section 3.3) or multi-path (the DCP-style
+    alternative the paper contrasts itself against).
+
+    Multi-path installs up to ``k`` lowest-mean simple paths per
+    (publisher broker, subscriber) pair; duplicate arrivals are settled
+    once by the metrics layer.  ``extra_hops`` bounds path enumeration to
+    the hop-shortest route plus that many extra hops.
+    """
+
+    k: int = 1
+    extra_hops: int = 2
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.extra_hops < 0:
+            raise ValueError(f"extra_hops must be non-negative, got {self.extra_hops}")
+
+    @property
+    def is_single_path(self) -> bool:
+        return self.k == 1
+
+    @classmethod
+    def single_path(cls) -> "RoutingMode":
+        return cls(k=1)
+
+    @classmethod
+    def multi_path(cls, k: int = 2, extra_hops: int = 2) -> "RoutingMode":
+        return cls(k=k, extra_hops=extra_hops)
+
+
+@dataclass(frozen=True, slots=True)
+class SystemConfig:
+    """Knobs shared by every broker in the system.
+
+    Defaults are the paper's simulation setup: 2 ms processing delay,
+    ε = 0.05 %, 50 KB messages, oracle link parameters, single-path
+    routing.
+    """
+
+    processing_delay_ms: float = 2.0
+    epsilon: float = DEFAULT_EPSILON
+    default_size_kb: float = 50.0
+    measurement_mode: MeasurementMode = MeasurementMode.ORACLE
+    pruning_override: PruningPolicy | None = None
+    scheduling_slack_per_hop_ms: float = 0.0
+    routing: RoutingMode = RoutingMode.single_path()
+    enable_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.processing_delay_ms < 0.0:
+            raise ValueError("processing_delay_ms must be non-negative")
+        if self.scheduling_slack_per_hop_ms < 0.0:
+            raise ValueError("scheduling_slack_per_hop_ms must be non-negative")
+        if self.epsilon <= 0.0:
+            raise ValueError("epsilon must be positive")
+        if self.default_size_kb <= 0.0:
+            raise ValueError("default_size_kb must be positive")
+
+
+class PubSubSystem:
+    """A fully wired overlay ready to publish into."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        strategy: Strategy,
+        sim: Simulator,
+        streams: RngStreams,
+        config: SystemConfig | None = None,
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        if not topology.is_connected():
+            raise TopologyError("topology must be connected")
+        self.topology = topology
+        self.strategy = strategy
+        self.sim = sim
+        self.streams = streams
+        self.config = config or SystemConfig()
+        self.metrics = metrics or MetricsCollector()
+        self.trace = TraceRecorder(enabled=self.config.enable_trace)
+
+        self.brokers: dict[str, Broker] = {}
+        self.monitors: dict[tuple[str, str], LinkMonitor] = {}
+        self.subscribers: dict[str, SubscriberHandle] = {}
+        self.publishers: dict[str, PublisherHandle] = {}
+        self._subscriptions: dict[str, Subscription] = {}
+        self._population: CountingIndexMatcher[str] = CountingIndexMatcher()
+        self._sink_trees: dict[str, SinkTree] = {}
+        self._next_msg_id = 0
+
+        self._build_brokers()
+        self._wire_links()
+        for pub in sorted(topology.publisher_brokers):
+            self.publishers[pub] = PublisherHandle(pub, self)
+
+    # ------------------------------------------------------------------ #
+    # Construction.
+    # ------------------------------------------------------------------ #
+    def _build_brokers(self) -> None:
+        for name in self.topology.brokers:
+            broker = Broker(
+                name=name,
+                sim=self.sim,
+                strategy=self.strategy,
+                metrics=self.metrics,
+                processing_delay_ms=self.config.processing_delay_ms,
+                epsilon=self.config.epsilon,
+                pruning_override=self.config.pruning_override,
+                default_size_kb=self.config.default_size_kb,
+                scheduling_slack_per_hop_ms=self.config.scheduling_slack_per_hop_ms,
+                trace=self.trace if self.config.enable_trace else None,
+            )
+            broker.delivery_callbacks.append(self._on_local_delivery)
+            self.brokers[name] = broker
+
+    def _wire_links(self) -> None:
+        for a, b, rate in self.topology.links():
+            for src, dst in ((a, b), (b, a)):
+                rng = self.streams.get(f"link:{src}->{dst}")
+                link = DirectedLink(src, dst, rate, rng)
+                monitor = LinkMonitor(link, mode=self.config.measurement_mode)
+                self.monitors[(src, dst)] = monitor
+                self.brokers[src].add_neighbor(
+                    dst, link, monitor, self._make_deliver(dst)
+                )
+
+    def _make_deliver(self, dst: str) -> Callable[[Message], None]:
+        broker = self.brokers[dst]
+        return broker.receive
+
+    def _on_local_delivery(self, subscriber: str, message: Message, latency: float, valid: bool) -> None:
+        handle = self.subscribers.get(subscriber)
+        if handle is not None:
+            handle.on_delivery(message, latency, valid, self.sim.now)
+
+    # ------------------------------------------------------------------ #
+    # Subscriptions.
+    # ------------------------------------------------------------------ #
+    def _sink_tree(self, edge_broker: str) -> SinkTree:
+        tree = self._sink_trees.get(edge_broker)
+        if tree is None:
+            tree = compute_sink_tree(self.topology, edge_broker)
+            self._sink_trees[edge_broker] = tree
+        return tree
+
+    def subscribe(self, subscription: Subscription) -> SubscriberHandle:
+        """Install a subscription along all routed paths toward it.
+
+        The subscriber must be attached to a broker in the topology.  Rows
+        are installed on every broker on the routed path(s) from each
+        publisher-hosting broker to the subscriber's edge broker; each row
+        records the set of source brokers that route through it.  With
+        multi-path routing, one row per (path, broker) is installed.
+        """
+        name = subscription.subscriber
+        if name in self._subscriptions:
+            raise ValueError(f"subscriber {name!r} already has a subscription")
+        edge = self.topology.subscriber_brokers.get(name)
+        if edge is None:
+            raise TopologyError(f"subscriber {name!r} is not attached to any broker")
+
+        if self.config.routing.is_single_path:
+            self._install_single_path(subscription, edge)
+        else:
+            self._install_multi_path(subscription, edge)
+
+        self._subscriptions[name] = subscription
+        self._population.add(name, subscription.filter)
+        handle = SubscriberHandle(name)
+        self.subscribers[name] = handle
+        return handle
+
+    def _install_single_path(self, subscription: Subscription, edge: str) -> None:
+        tree = self._sink_tree(edge)
+        source_brokers = sorted(set(self.topology.publisher_brokers.values()))
+        on_path_sources: dict[str, set[str]] = {}
+        for source in source_brokers:
+            for node in tree.path_from(source):
+                on_path_sources.setdefault(node, set()).add(source)
+
+        for node, sources in on_path_sources.items():
+            entry = tree.entry(node)
+            self.brokers[node].install(
+                TableRow(
+                    subscription=subscription,
+                    next_hop=entry.next_hop,
+                    nn=entry.nn,
+                    rate=entry.rate if entry.next_hop is not None else Normal(0.0, 0.0),
+                    sources=frozenset(sources),
+                )
+            )
+
+    def _install_multi_path(self, subscription: Subscription, edge: str) -> None:
+        mode = self.config.routing
+        graph = self.topology.graph_view()
+        path_id = 0
+        for source in sorted(set(self.topology.publisher_brokers.values())):
+            if source == edge:
+                paths: list[list[str]] = [[edge]]
+            else:
+                min_hops = nx.shortest_path_length(graph, source, edge)
+                paths = k_shortest_paths(
+                    self.topology, source, edge, k=mode.k,
+                    cutoff=min_hops + mode.extra_hops,
+                )
+            for path in paths:
+                for i, node in enumerate(path):
+                    suffix = path[i:]
+                    self.brokers[node].install(
+                        TableRow(
+                            subscription=subscription,
+                            next_hop=path[i + 1] if i + 1 < len(path) else None,
+                            nn=len(suffix) - 1,
+                            rate=path_distribution(self.topology, suffix),
+                            sources=frozenset({source}),
+                            path_id=path_id,
+                        )
+                    )
+                path_id += 1
+
+    def subscribe_all(self, subscriptions: list[Subscription]) -> None:
+        for subscription in subscriptions:
+            self.subscribe(subscription)
+
+    def unsubscribe(self, subscriber: str) -> SubscriberHandle:
+        """Remove a subscription from every broker that holds a row for it.
+
+        In-flight queue copies are not chased: their entries still carry
+        the old rows and will either deliver (the endpoint handle is kept
+        and returned so late records remain inspectable) or be pruned.
+        This mirrors real systems, where unsubscription propagates as
+        state-change messages and races in-flight data.
+        """
+        if subscriber not in self._subscriptions:
+            raise KeyError(f"no subscription for {subscriber!r}")
+        for broker in self.brokers.values():
+            if subscriber in broker.table:
+                broker.table.uninstall(subscriber)
+        del self._subscriptions[subscriber]
+        self._population.remove(subscriber)
+        return self.subscribers.pop(subscriber)
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    # ------------------------------------------------------------------ #
+    # Publishing.
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        publisher: str,
+        attributes: Mapping[str, float],
+        size_kb: float | None = None,
+        deadline_ms: float | None = None,
+    ) -> Message:
+        """Publish now: stamp, count the interested population, inject."""
+        source = self.topology.publisher_brokers.get(publisher)
+        if source is None:
+            raise TopologyError(f"publisher {publisher!r} is not attached to any broker")
+        message = Message(
+            msg_id=self._next_msg_id,
+            publisher=publisher,
+            source_broker=source,
+            attributes=dict(attributes),
+            size_kb=size_kb if size_kb is not None else self.config.default_size_kb,
+            publish_time=self.sim.now,
+            deadline_ms=deadline_ms,
+        )
+        self._next_msg_id += 1
+        interested = len(self._population.match(message.attributes))
+        self.metrics.on_publish(message.msg_id, interested)
+        self.brokers[source].receive(message)
+        return message
+
+    # ------------------------------------------------------------------ #
+    # Introspection.
+    # ------------------------------------------------------------------ #
+    def total_queued(self) -> int:
+        return sum(b.queued_entries() for b in self.brokers.values())
+
+    def routing_path(self, source_broker: str, subscriber: str) -> list[str]:
+        """The single path a message from ``source_broker`` takes to reach
+        ``subscriber`` (diagnostics/tests)."""
+        edge = self.topology.subscriber_brokers[subscriber]
+        return self._sink_tree(edge).path_from(source_broker)

@@ -1,0 +1,40 @@
+"""End-to-end simulation harness.
+
+* :class:`~repro.sim.config.SimulationConfig` — one experiment point:
+  seed, scenario, strategy, publishing rate, duration, topology and model
+  parameters.  Defaults reproduce the paper's setup.
+* :func:`~repro.sim.runner.run_simulation` — build everything from the
+  config, run, return a :class:`~repro.sim.results.SimulationResult`.
+* :mod:`~repro.sim.sweep` — strategy × parameter sweeps with paired
+  workloads (identical topology / subscriptions / publications per seed)
+  and multi-seed aggregation.
+"""
+
+from repro.sim.config import SimulationConfig
+from repro.sim.io import (
+    load_results_csv,
+    load_results_json,
+    save_results_csv,
+    save_results_json,
+)
+from repro.sim.results import SimulationResult, aggregate_results
+from repro.sim.runner import build_system, run_simulation, schedule_workload
+from repro.sim.sweep import sweep_publishing_rate, sweep_r_weight
+from repro.sim.validation import Finding, validate_system
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "aggregate_results",
+    "build_system",
+    "run_simulation",
+    "schedule_workload",
+    "sweep_publishing_rate",
+    "sweep_r_weight",
+    "save_results_json",
+    "load_results_json",
+    "save_results_csv",
+    "load_results_csv",
+    "validate_system",
+    "Finding",
+]

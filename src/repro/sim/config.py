@@ -1,0 +1,68 @@
+"""Experiment-point configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy
+from repro.network.measurement import MeasurementMode
+from repro.network.topology import LayeredMeshSpec
+from repro.workload.generator import ArrivalProcess
+from repro.workload.scenarios import Scenario
+
+#: The paper's test period: 2 hours, in milliseconds.
+PAPER_DURATION_MS = 2 * 60 * 60 * 1000.0
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """One simulation run, fully specified.
+
+    Defaults are the ICPP'06 evaluation setup.  ``grace_ms`` extends the
+    run beyond the publication window so messages published near the end
+    can still reach their subscribers (the longest allowed delay is 60 s);
+    events after ``duration_ms + grace_ms`` are abandoned.
+    """
+
+    seed: int = 0
+    scenario: Scenario = Scenario.PSD
+    strategy: str = "eb"
+    strategy_params: dict[str, Any] = field(default_factory=dict)
+    publishing_rate_per_min: float = 10.0
+    duration_ms: float = PAPER_DURATION_MS
+    grace_ms: float = 60_000.0
+    message_size_kb: float = 50.0
+    arrival: ArrivalProcess = ArrivalProcess.POISSON
+    topology_spec: LayeredMeshSpec = field(default_factory=LayeredMeshSpec)
+    processing_delay_ms: float = 2.0
+    epsilon: float = DEFAULT_EPSILON
+    measurement_mode: MeasurementMode = MeasurementMode.ORACLE
+    pruning_override: PruningPolicy | None = None
+    scheduling_slack_per_hop_ms: float = 0.0
+    routing_paths: int = 1  # 1 = the paper's single-path; >1 = multi-path
+    psd_deadline_range_ms: tuple[float, float] = (10_000.0, 30_000.0)
+    enable_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.publishing_rate_per_min < 0.0:
+            raise ValueError("publishing_rate_per_min must be non-negative")
+        if self.duration_ms <= 0.0:
+            raise ValueError("duration_ms must be positive")
+        if self.grace_ms < 0.0:
+            raise ValueError("grace_ms must be non-negative")
+
+    def replace(self, **changes: Any) -> "SimulationConfig":
+        """A copy with the given fields changed (configs are frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def horizon_ms(self) -> float:
+        return self.duration_ms + self.grace_ms
+
+    def strategy_label(self) -> str:
+        if self.strategy == "ebpc":
+            r = self.strategy_params.get("r", 0.5)
+            return f"ebpc(r={r:g})"
+        return self.strategy

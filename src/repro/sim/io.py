@@ -1,0 +1,77 @@
+"""Result persistence: JSON and CSV round-trips.
+
+Sweeps at paper scale take minutes; persisting results lets the figure
+renderers, EXPERIMENTS.md generator and notebooks consume a finished run
+without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.sim.results import SimulationResult
+
+#: Column order for CSV output (matches the dataclass field order).
+_FIELDS = [f.name for f in dataclasses.fields(SimulationResult)]
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    unknown = set(data) - set(_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown result fields: {sorted(unknown)}")
+    missing = set(_FIELDS) - set(data)
+    if missing:
+        raise ValueError(f"missing result fields: {sorted(missing)}")
+    return SimulationResult(**data)
+
+
+def save_results_json(results: Iterable[SimulationResult], path: str | Path) -> None:
+    payload = [result_to_dict(r) for r in results]
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_results_json(path: str | Path) -> list[SimulationResult]:
+    payload = json.loads(Path(path).read_text())
+    return [result_from_dict(d) for d in payload]
+
+
+def save_results_csv(results: Iterable[SimulationResult], path: str | Path) -> None:
+    results = list(results)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer.writeheader()
+        for r in results:
+            writer.writerow(result_to_dict(r))
+
+
+_FLOAT_FIELDS = {
+    "publishing_rate_per_min",
+    "delivery_rate",
+    "earning",
+    "mean_latency_ms",
+}
+_STR_FIELDS = {"strategy", "scenario"}
+
+
+def load_results_csv(path: str | Path) -> list[SimulationResult]:
+    out: list[SimulationResult] = []
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            coerced: dict = {}
+            for key, value in row.items():
+                if key in _STR_FIELDS:
+                    coerced[key] = value
+                elif key in _FLOAT_FIELDS:
+                    coerced[key] = float(value)
+                else:
+                    coerced[key] = int(value)
+            out.append(result_from_dict(coerced))
+    return out

@@ -1,0 +1,82 @@
+"""Simulation outputs and aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Iterable
+
+from repro.pubsub.metrics import MetricsCollector
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Snapshot of one finished run.
+
+    ``message_number`` is the paper's network-traffic metric: the total
+    number of messages received by all brokers over the run.
+    """
+
+    strategy: str
+    scenario: str
+    seed: int
+    publishing_rate_per_min: float
+    published: int
+    message_number: int
+    transmissions: int
+    deliveries_valid: int
+    deliveries_late: int
+    pruned: int
+    total_interested: int
+    delivery_rate: float
+    earning: float
+    mean_latency_ms: float
+    residual_queued: int
+    executed_events: int
+
+    @classmethod
+    def from_metrics(
+        cls,
+        metrics: MetricsCollector,
+        *,
+        strategy: str,
+        scenario: str,
+        seed: int,
+        publishing_rate_per_min: float,
+        residual_queued: int,
+        executed_events: int,
+    ) -> "SimulationResult":
+        metrics.check_invariants()
+        return cls(
+            strategy=strategy,
+            scenario=scenario,
+            seed=seed,
+            publishing_rate_per_min=publishing_rate_per_min,
+            published=metrics.published,
+            message_number=metrics.receptions,
+            transmissions=metrics.transmissions,
+            deliveries_valid=metrics.deliveries_valid,
+            deliveries_late=metrics.deliveries_late,
+            pruned=metrics.pruned,
+            total_interested=metrics.total_interested,
+            delivery_rate=metrics.delivery_rate,
+            earning=metrics.earning,
+            mean_latency_ms=metrics.mean_latency_ms,
+            residual_queued=residual_queued,
+            executed_events=executed_events,
+        )
+
+
+def aggregate_results(results: Iterable[SimulationResult]) -> dict[str, float]:
+    """Mean of the headline metrics over replicas (e.g. multiple seeds)."""
+    results = list(results)
+    if not results:
+        raise ValueError("no results to aggregate")
+    return {
+        "delivery_rate": mean(r.delivery_rate for r in results),
+        "earning": mean(r.earning for r in results),
+        "message_number": mean(r.message_number for r in results),
+        "deliveries_valid": mean(r.deliveries_valid for r in results),
+        "pruned": mean(r.pruned for r in results),
+        "replicas": float(len(results)),
+    }

@@ -1,0 +1,99 @@
+"""Build-and-run: config in, result out.
+
+The RNG stream layout makes comparisons *paired*: topology wiring,
+subscription filters and the publication schedule are drawn from streams
+keyed only by the seed, so two runs differing only in strategy see exactly
+the same workload over exactly the same overlay — which is how the paper's
+figures compare strategies.
+"""
+
+from __future__ import annotations
+
+from repro.core.registry import make_strategy
+from repro.des.rng import RngStreams
+from repro.des.simulator import Simulator
+from repro.network.topology import Topology, build_layered_mesh
+from repro.pubsub.system import PubSubSystem, RoutingMode, SystemConfig
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.workload.generator import generate_publications
+from repro.workload.scenarios import build_subscriptions
+
+
+def build_system(
+    config: SimulationConfig,
+    topology: Topology | None = None,
+) -> PubSubSystem:
+    """Construct the fully wired system for a config (without running it).
+
+    Exposed separately so tests and examples can poke at the assembled
+    overlay; ``run_simulation`` goes through here.
+    """
+    streams = RngStreams(config.seed)
+    if topology is None:
+        topology = build_layered_mesh(streams.get("topology"), config.topology_spec)
+    strategy = make_strategy(config.strategy, **config.strategy_params)
+    system = PubSubSystem(
+        topology=topology,
+        strategy=strategy,
+        sim=Simulator(),
+        streams=streams,
+        config=SystemConfig(
+            processing_delay_ms=config.processing_delay_ms,
+            epsilon=config.epsilon,
+            default_size_kb=config.message_size_kb,
+            measurement_mode=config.measurement_mode,
+            pruning_override=config.pruning_override,
+            scheduling_slack_per_hop_ms=config.scheduling_slack_per_hop_ms,
+            routing=RoutingMode(k=config.routing_paths),
+            enable_trace=config.enable_trace,
+        ),
+    )
+    system.subscribe_all(
+        build_subscriptions(config.scenario, streams.get("subscriptions"), topology)
+    )
+    return system
+
+
+def schedule_workload(system: PubSubSystem, config: SimulationConfig) -> int:
+    """Schedule every publication as a simulator event; returns the count."""
+    streams = system.streams
+    publications = generate_publications(
+        streams.get("workload"),
+        publishers=sorted(system.topology.publisher_brokers),
+        rate_per_minute=config.publishing_rate_per_min,
+        duration_ms=config.duration_ms,
+        scenario=config.scenario,
+        size_kb=config.message_size_kb,
+        arrival=config.arrival,
+        deadline_range_ms=config.psd_deadline_range_ms,
+    )
+    for pub in publications:
+        system.sim.schedule_at(
+            pub.time_ms,
+            # Bind loop variable via default argument.
+            lambda p=pub: system.publish(
+                p.publisher, p.attributes, size_kb=p.size_kb, deadline_ms=p.deadline_ms
+            ),
+            label=f"publish:{pub.publisher}",
+        )
+    return len(publications)
+
+
+def run_simulation(
+    config: SimulationConfig,
+    topology: Topology | None = None,
+) -> SimulationResult:
+    """Run one experiment point to completion and collect the metrics."""
+    system = build_system(config, topology)
+    schedule_workload(system, config)
+    executed = system.sim.run(until=config.horizon_ms)
+    return SimulationResult.from_metrics(
+        system.metrics,
+        strategy=config.strategy_label(),
+        scenario=config.scenario.value,
+        seed=config.seed,
+        publishing_rate_per_min=config.publishing_rate_per_min,
+        residual_queued=system.total_queued(),
+        executed_events=executed,
+    )

@@ -1,0 +1,136 @@
+"""Parameter sweeps: the shapes of the paper's figures.
+
+A *sweep* runs a grid of (strategy, parameter) points over paired
+workloads.  Results come back as ``{series_label: [value per x]}`` plus
+the x axis — exactly what the figure harnesses print and what the benches
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult, aggregate_results
+from repro.sim.runner import run_simulation
+
+
+@dataclass
+class SweepResult:
+    """A family of series over one x axis."""
+
+    x_label: str
+    x_values: list[float]
+    series: dict[str, list[SimulationResult]] = field(default_factory=dict)
+
+    def metric(self, label: str, extract: Callable[[SimulationResult], float]) -> list[float]:
+        return [extract(r) for r in self.series[label]]
+
+    def table(self, extract: Callable[[SimulationResult], float]) -> dict[str, list[float]]:
+        return {label: self.metric(label, extract) for label in self.series}
+
+
+def _strategy_points(strategies: Sequence[str | tuple[str, dict[str, Any]]]):
+    for item in strategies:
+        if isinstance(item, str):
+            yield item, {}
+        else:
+            name, params = item
+            yield name, dict(params)
+
+
+def _label(name: str, params: dict[str, Any]) -> str:
+    if name == "ebpc":
+        return f"ebpc(r={params.get('r', 0.5):g})"
+    return name
+
+
+def sweep_publishing_rate(
+    base: SimulationConfig,
+    rates: Sequence[float],
+    strategies: Sequence[str | tuple[str, dict[str, Any]]],
+    seeds: Sequence[int] | None = None,
+) -> SweepResult:
+    """Figures 5/6: strategies × publishing rates.
+
+    With multiple ``seeds``, each point is re-run per seed and the stored
+    result is the seed-0 run; use :func:`sweep_publishing_rate_aggregated`
+    for means.  Single-seed (the paper's protocol) is the default.
+    """
+    seeds = list(seeds) if seeds is not None else [base.seed]
+    out = SweepResult(x_label="publishing rate (msgs/min/publisher)", x_values=list(rates))
+    for name, params in _strategy_points(strategies):
+        label = _label(name, params)
+        runs: list[SimulationResult] = []
+        for rate in rates:
+            per_seed = [
+                run_simulation(
+                    base.replace(
+                        strategy=name,
+                        strategy_params=params,
+                        publishing_rate_per_min=rate,
+                        seed=seed,
+                    )
+                )
+                for seed in seeds
+            ]
+            runs.append(per_seed[0] if len(per_seed) == 1 else _mean_result(per_seed))
+        out.series[label] = runs
+    return out
+
+
+def sweep_r_weight(
+    base: SimulationConfig,
+    r_values: Sequence[float],
+    seeds: Sequence[int] | None = None,
+) -> SweepResult:
+    """Figure 4: EBPC across the EB weight ``r``, plus EB and PC baselines.
+
+    EB and PC do not depend on ``r``; they are run once and replicated
+    across the x axis as flat reference lines (as in the paper's plot).
+    """
+    seeds = list(seeds) if seeds is not None else [base.seed]
+    out = SweepResult(x_label="weight of EB, r", x_values=list(r_values))
+
+    def run_point(name: str, params: dict[str, Any]) -> SimulationResult:
+        per_seed = [
+            run_simulation(base.replace(strategy=name, strategy_params=params, seed=seed))
+            for seed in seeds
+        ]
+        return per_seed[0] if len(per_seed) == 1 else _mean_result(per_seed)
+
+    out.series["ebpc"] = [run_point("ebpc", {"r": r}) for r in r_values]
+    eb = run_point("eb", {})
+    pc = run_point("pc", {})
+    out.series["eb"] = [eb] * len(r_values)
+    out.series["pc"] = [pc] * len(r_values)
+    return out
+
+
+def _mean_result(results: list[SimulationResult]) -> SimulationResult:
+    """Collapse replicas into one result carrying mean headline metrics.
+
+    Count-like fields are rounded means; identification fields come from
+    the first replica.
+    """
+    agg = aggregate_results(results)
+    first = results[0]
+    return SimulationResult(
+        strategy=first.strategy,
+        scenario=first.scenario,
+        seed=first.seed,
+        publishing_rate_per_min=first.publishing_rate_per_min,
+        published=round(sum(r.published for r in results) / len(results)),
+        message_number=round(agg["message_number"]),
+        transmissions=round(sum(r.transmissions for r in results) / len(results)),
+        deliveries_valid=round(agg["deliveries_valid"]),
+        deliveries_late=round(sum(r.deliveries_late for r in results) / len(results)),
+        pruned=round(agg["pruned"]),
+        total_interested=round(sum(r.total_interested for r in results) / len(results)),
+        delivery_rate=agg["delivery_rate"],
+        earning=agg["earning"],
+        mean_latency_ms=sum(r.mean_latency_ms for r in results) / len(results),
+        residual_queued=round(sum(r.residual_queued for r in results) / len(results)),
+        executed_events=sum(r.executed_events for r in results),
+    )

@@ -1,0 +1,105 @@
+"""Structural validation of an assembled system ("doctor").
+
+Routing-state corruption (a row pointing at an unwired neighbour, a path
+parameter that disagrees with the tree it came from, orphaned endpoints)
+would silently distort every experiment.  ``validate_system`` checks the
+invariants that must hold for *any* correctly assembled overlay and
+returns human-readable findings; tests assert it is empty, and the CLI
+exposes it as ``python -m repro doctor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pubsub.system import PubSubSystem
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One validation problem."""
+
+    severity: str  # "error" | "warning"
+    where: str
+    what: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.where}: {self.what}"
+
+
+def validate_system(system: PubSubSystem) -> list[Finding]:
+    """All structural problems found (empty list = healthy)."""
+    findings: list[Finding] = []
+    findings.extend(_check_wiring(system))
+    findings.extend(_check_rows(system))
+    findings.extend(_check_endpoints(system))
+    return findings
+
+
+def _check_wiring(system: PubSubSystem) -> list[Finding]:
+    out: list[Finding] = []
+    topo = system.topology
+    for name, broker in system.brokers.items():
+        expected = set(topo.neighbors(name))
+        wired = set(broker.queues)
+        for missing in sorted(expected - wired):
+            out.append(Finding("error", name, f"neighbor {missing!r} has no output queue"))
+        for extra in sorted(wired - expected):
+            out.append(Finding("error", name, f"output queue to non-neighbor {extra!r}"))
+        for neighbor, queue in broker.queues.items():
+            if queue.link.src != name or queue.link.dst != neighbor:
+                out.append(
+                    Finding("error", name, f"queue to {neighbor!r} holds link {queue.link.name}")
+                )
+    return out
+
+
+def _check_rows(system: PubSubSystem) -> list[Finding]:
+    out: list[Finding] = []
+    for name, broker in system.brokers.items():
+        for row in broker.table.rows():
+            where = f"{name}/row[{row.subscriber},{row.path_id}]"
+            if row.next_hop is not None:
+                if row.next_hop not in broker.queues:
+                    out.append(Finding("error", where, f"next hop {row.next_hop!r} unwired"))
+                    continue
+                # The next hop must hold a continuation row for the same
+                # subscriber serving at least the same sources.
+                next_table = system.brokers[row.next_hop].table
+                if row.subscriber not in next_table:
+                    out.append(
+                        Finding("error", where, f"next hop {row.next_hop!r} has no row")
+                    )
+                if row.nn < 1:
+                    out.append(Finding("error", where, "remote row with nn < 1"))
+                if row.rate.mean <= 0.0:
+                    out.append(Finding("error", where, "remote row with non-positive rate"))
+            else:
+                edge = system.topology.subscriber_brokers.get(row.subscriber)
+                if edge != name:
+                    out.append(
+                        Finding("error", where, f"local row but subscriber attached to {edge!r}")
+                    )
+                if row.nn != 0:
+                    out.append(Finding("error", where, "local row with nn != 0"))
+            if not row.sources:
+                out.append(Finding("warning", where, "row with empty source set"))
+    return out
+
+
+def _check_endpoints(system: PubSubSystem) -> list[Finding]:
+    out: list[Finding] = []
+    topo = system.topology
+    for publisher, broker in topo.publisher_brokers.items():
+        if publisher not in system.publishers:
+            out.append(Finding("error", publisher, "attached publisher has no handle"))
+        if broker not in system.brokers:
+            out.append(Finding("error", publisher, f"attached to unknown broker {broker!r}"))
+    for subscriber in system.subscribers:
+        edge = topo.subscriber_brokers.get(subscriber)
+        if edge is None:
+            out.append(Finding("error", subscriber, "endpoint without topology attachment"))
+            continue
+        if subscriber not in system.brokers[edge].table:
+            out.append(Finding("error", subscriber, f"no local row at edge broker {edge!r}"))
+    return out

@@ -1,0 +1,223 @@
+"""Online estimators of link transmission-rate parameters.
+
+Section 3.2 of the paper: *"Each broker estimates the parameters of the
+probability distribution of the transmission rate to each neighbor by some
+tools of network measurement."*  The strategies only ever consume the
+resulting ``(mean, variance)`` pair, so any consistent online estimator
+plugs in.  Three classic choices are provided:
+
+* :class:`WelfordEstimator` — numerically stable running mean/variance over
+  the full history (best when the link is stationary, as the paper assumes).
+* :class:`SlidingWindowEstimator` — mean/variance over the last ``window``
+  samples (adapts if the link drifts).
+* :class:`EwmaEstimator` — exponentially weighted moments (cheap, smooth).
+
+All satisfy the :class:`RateEstimator` protocol used by
+:class:`repro.network.measurement.LinkMonitor`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Protocol, runtime_checkable
+
+from repro.stats.normal import Normal
+
+
+@runtime_checkable
+class RateEstimator(Protocol):
+    """Anything that ingests samples and exposes running (mean, variance)."""
+
+    def observe(self, sample: float) -> None:
+        """Ingest one measured sample."""
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed so far."""
+
+    @property
+    def mean(self) -> float:
+        """Current mean estimate."""
+
+    @property
+    def variance(self) -> float:
+        """Current (population-style) variance estimate."""
+
+
+class _EstimatorBase:
+    """Shared conveniences for the concrete estimators."""
+
+    count: int
+    mean: float
+    variance: float
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def distribution(self) -> Normal:
+        """Snapshot the current estimate as a :class:`Normal`."""
+        return Normal(self.mean, self.variance)
+
+    def observe_many(self, samples) -> None:
+        for sample in samples:
+            self.observe(sample)
+
+
+class WelfordEstimator(_EstimatorBase):
+    """Numerically stable streaming mean/variance (Welford 1962).
+
+    ``variance`` is the *sample* variance (``n - 1`` denominator) once two
+    or more samples have been seen, and 0 before that.
+    """
+
+    __slots__ = ("_count", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def observe(self, sample: float) -> None:
+        sample = float(sample)
+        if not math.isfinite(sample):
+            raise ValueError(f"sample must be finite, got {sample}")
+        self._count += 1
+        delta = sample - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (sample - self._mean)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+
+class SlidingWindowEstimator(_EstimatorBase):
+    """Mean/variance over the most recent ``window`` samples.
+
+    Running sums are kept relative to an *offset* (re-anchored to the
+    current mean at periodic resyncs), so the variance formula cancels
+    against the window spread rather than the absolute magnitude — the
+    naive sum-of-squares form loses all precision when ``mean >> std``.
+    Variance uses the ``n − 1`` denominator.
+    """
+
+    __slots__ = ("_window", "_samples", "_offset", "_dsum", "_dsumsq", "_evictions")
+
+    def __init__(self, window: int = 64) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self._window = window
+        self._samples: deque[float] = deque()
+        self._offset = 0.0
+        self._dsum = 0.0
+        self._dsumsq = 0.0
+        self._evictions = 0
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    def observe(self, sample: float) -> None:
+        sample = float(sample)
+        if not math.isfinite(sample):
+            raise ValueError(f"sample must be finite, got {sample}")
+        if not self._samples:
+            self._offset = sample
+        self._samples.append(sample)
+        d = sample - self._offset
+        self._dsum += d
+        self._dsumsq += d * d
+        if len(self._samples) > self._window:
+            old = self._samples.popleft() - self._offset
+            self._dsum -= old
+            self._dsumsq -= old * old
+            self._evictions += 1
+            if self._evictions >= 2 * self._window:
+                self._resync()
+
+    def _resync(self) -> None:
+        self._offset = sum(self._samples) / len(self._samples)
+        self._dsum = sum(s - self._offset for s in self._samples)
+        self._dsumsq = sum((s - self._offset) ** 2 for s in self._samples)
+        self._evictions = 0
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        n = len(self._samples)
+        return self._offset + self._dsum / n if n else 0.0
+
+    @property
+    def variance(self) -> float:
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        var = (self._dsumsq - self._dsum * self._dsum / n) / (n - 1)
+        return max(var, 0.0)
+
+
+class EwmaEstimator(_EstimatorBase):
+    """Exponentially weighted moving mean and variance.
+
+    Uses the standard recursion (West 1979): with weight ``alpha`` on the
+    newest sample,
+
+    ``mean_t = (1 - alpha) * mean_{t-1} + alpha * x_t``
+    ``var_t  = (1 - alpha) * (var_{t-1} + alpha * (x_t - mean_{t-1})^2)``
+
+    The first sample initialises the mean with zero variance.
+    """
+
+    __slots__ = ("_alpha", "_count", "_mean", "_var")
+
+    def __init__(self, alpha: float = 0.125) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self._alpha = alpha
+        self._count = 0
+        self._mean = 0.0
+        self._var = 0.0
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    def observe(self, sample: float) -> None:
+        sample = float(sample)
+        if not math.isfinite(sample):
+            raise ValueError(f"sample must be finite, got {sample}")
+        self._count += 1
+        if self._count == 1:
+            self._mean = sample
+            self._var = 0.0
+            return
+        delta = sample - self._mean
+        self._var = (1.0 - self._alpha) * (self._var + self._alpha * delta * delta)
+        self._mean += self._alpha * delta
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        return self._var

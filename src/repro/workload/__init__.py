@@ -1,0 +1,33 @@
+"""Workload generation: the evaluation's publishers and subscribers.
+
+Section 6.1 of the paper:
+
+* message headers ``{A1=x1, A2=x2}`` with values uniform in (0, 10);
+* subscription filters ``A1 < x1 ∧ A2 < x2`` with thresholds uniform in
+  (0, 10) — average selectivity (1/2)² = 25 %;
+* PSD: per-message allowed delay uniform in [10 s, 30 s];
+* SSD: per-subscription allowed delay from {10 s, 30 s, 60 s} with prices
+  {3, 2, 1};
+* each publisher publishes at a configured average rate (messages/minute)
+  for a 2-hour test period; messages are 50 KB.
+"""
+
+from repro.workload.generator import ArrivalProcess, Publication, generate_publications
+from repro.workload.scenarios import (
+    SSD_PRICE_BY_DEADLINE_MS,
+    Scenario,
+    build_subscriptions,
+    draw_message_deadline_ms,
+)
+from repro.workload.subscriptions import random_conjunctive_filter
+
+__all__ = [
+    "Publication",
+    "ArrivalProcess",
+    "generate_publications",
+    "Scenario",
+    "build_subscriptions",
+    "draw_message_deadline_ms",
+    "random_conjunctive_filter",
+    "SSD_PRICE_BY_DEADLINE_MS",
+]

@@ -1,0 +1,98 @@
+"""Publication schedules.
+
+The paper says each publisher "continuously publishes messages at a
+certain rate", quantified as the average number of messages per minute.
+Three arrival processes are provided; **Poisson** is the default (matches
+"average rate" semantics and is the standard open-loop workload model),
+with deterministic and jittered-uniform alternatives for ablations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.workload.scenarios import Scenario, draw_message_deadline_ms
+from repro.workload.subscriptions import random_attributes
+
+
+class ArrivalProcess(enum.Enum):
+    """How inter-publication gaps are drawn."""
+
+    POISSON = "poisson"  # exponential gaps
+    FIXED = "fixed"  # exact period, random initial phase
+    UNIFORM = "uniform"  # gaps uniform in [0.5, 1.5] * period
+
+
+@dataclass(frozen=True, slots=True)
+class Publication:
+    """One scheduled publish action."""
+
+    time_ms: float
+    publisher: str
+    attributes: Mapping[str, float]
+    size_kb: float
+    deadline_ms: float | None
+
+
+def generate_publications(
+    rng: np.random.Generator,
+    publishers: Sequence[str],
+    rate_per_minute: float,
+    duration_ms: float,
+    scenario: Scenario,
+    size_kb: float = 50.0,
+    arrival: ArrivalProcess = ArrivalProcess.POISSON,
+    attributes: Sequence[str] = ("A1", "A2"),
+    value_range: tuple[float, float] = (0.0, 10.0),
+    deadline_range_ms: tuple[float, float] = (10_000.0, 30_000.0),
+) -> list[Publication]:
+    """All publications in ``[0, duration_ms)``, time-sorted.
+
+    ``rate_per_minute`` is per publisher (the paper's "publishing rate").
+    A rate of 0 yields an empty schedule (the figures' leftmost points).
+    """
+    if rate_per_minute < 0.0:
+        raise ValueError("rate_per_minute must be non-negative")
+    if duration_ms <= 0.0:
+        raise ValueError("duration_ms must be positive")
+    if size_kb <= 0.0:
+        raise ValueError("size_kb must be positive")
+    if rate_per_minute == 0.0 or not publishers:
+        return []
+
+    period_ms = 60_000.0 / rate_per_minute
+    out: list[Publication] = []
+    for publisher in publishers:
+        t = _first_arrival(rng, period_ms, arrival)
+        while t < duration_ms:
+            out.append(
+                Publication(
+                    time_ms=t,
+                    publisher=publisher,
+                    attributes=random_attributes(rng, attributes, value_range),
+                    size_kb=size_kb,
+                    deadline_ms=draw_message_deadline_ms(scenario, rng, deadline_range_ms),
+                )
+            )
+            t += _gap(rng, period_ms, arrival)
+    out.sort(key=lambda p: (p.time_ms, p.publisher))
+    return out
+
+
+def _first_arrival(rng: np.random.Generator, period_ms: float, arrival: ArrivalProcess) -> float:
+    if arrival is ArrivalProcess.POISSON:
+        return float(rng.exponential(period_ms))
+    # Random phase keeps fixed-rate publishers unsynchronised.
+    return float(rng.uniform(0.0, period_ms))
+
+
+def _gap(rng: np.random.Generator, period_ms: float, arrival: ArrivalProcess) -> float:
+    if arrival is ArrivalProcess.POISSON:
+        return float(rng.exponential(period_ms))
+    if arrival is ArrivalProcess.FIXED:
+        return period_ms
+    return float(rng.uniform(0.5 * period_ms, 1.5 * period_ms))

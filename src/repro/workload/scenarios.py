@@ -1,0 +1,98 @@
+"""Delay-requirement scenarios (Section 4.1).
+
+* **PSD** — publisher-specified delay: each message carries an allowed
+  delay (uniform in [10 s, 30 s] in the evaluation); subscriptions are
+  unpriced and unbounded.  Objective: delivery rate (Eq. 1).
+* **SSD** — subscriber-specified delay: each subscription carries an
+  allowed delay from {10 s, 30 s, 60 s} priced {3, 2, 1}; messages are
+  unbounded.  Objective: total earning (Eq. 2).
+* **HYBRID** — both specify; the effective bound per (message,
+  subscription) pair is the minimum.  The paper notes this extension is
+  straightforward; it is implemented and tested here.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.network.topology import Topology
+from repro.pubsub.subscription import Subscription
+from repro.workload.subscriptions import random_conjunctive_filter
+
+#: SSD deadline -> price table from Section 6.1 (milliseconds -> price).
+SSD_PRICE_BY_DEADLINE_MS: dict[float, float] = {
+    10_000.0: 3.0,
+    30_000.0: 2.0,
+    60_000.0: 1.0,
+}
+
+#: PSD per-message allowed delay range (milliseconds).
+PSD_DEADLINE_RANGE_MS: tuple[float, float] = (10_000.0, 30_000.0)
+
+
+class Scenario(enum.Enum):
+    """Who specifies the delay bound."""
+
+    PSD = "psd"
+    SSD = "ssd"
+    HYBRID = "hybrid"
+
+    @property
+    def messages_carry_deadlines(self) -> bool:
+        return self in (Scenario.PSD, Scenario.HYBRID)
+
+    @property
+    def subscriptions_carry_deadlines(self) -> bool:
+        return self in (Scenario.SSD, Scenario.HYBRID)
+
+
+def draw_message_deadline_ms(
+    scenario: Scenario,
+    rng: np.random.Generator,
+    deadline_range_ms: tuple[float, float] = PSD_DEADLINE_RANGE_MS,
+) -> float | None:
+    """Per-message allowed delay, or None when publishers don't specify."""
+    if not scenario.messages_carry_deadlines:
+        return None
+    lo, hi = deadline_range_ms
+    if not 0.0 < lo <= hi:
+        raise ValueError(f"bad deadline_range_ms {deadline_range_ms}")
+    return float(rng.uniform(lo, hi))
+
+
+def build_subscriptions(
+    scenario: Scenario,
+    rng: np.random.Generator,
+    topology: Topology,
+    attributes: Sequence[str] = ("A1", "A2"),
+    value_range: tuple[float, float] = (0.0, 10.0),
+    price_table: dict[float, float] | None = None,
+) -> list[Subscription]:
+    """One random subscription per subscriber attached to the topology.
+
+    SSD/HYBRID subscriptions draw (deadline, price) uniformly from
+    ``price_table`` (default: the paper's {10 s: 3, 30 s: 2, 60 s: 1}).
+    """
+    table = price_table if price_table is not None else SSD_PRICE_BY_DEADLINE_MS
+    if scenario.subscriptions_carry_deadlines and not table:
+        raise ValueError("price table must not be empty")
+    deadlines = sorted(table)
+    out: list[Subscription] = []
+    for subscriber in sorted(topology.subscriber_brokers):
+        filt = random_conjunctive_filter(rng, attributes, value_range)
+        if scenario.subscriptions_carry_deadlines:
+            dl = deadlines[int(rng.integers(0, len(deadlines)))]
+            out.append(
+                Subscription(
+                    subscriber=subscriber,
+                    filter=filt,
+                    deadline_ms=dl,
+                    price=table[dl],
+                )
+            )
+        else:
+            out.append(Subscription(subscriber=subscriber, filter=filt))
+    return out

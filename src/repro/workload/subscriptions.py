@@ -1,0 +1,46 @@
+"""Random subscription filters (the paper's ``A1<x1 ∧ A2<x2`` workload)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.pubsub.filters import AndFilter, Filter, Predicate
+
+
+def random_conjunctive_filter(
+    rng: np.random.Generator,
+    attributes: Sequence[str] = ("A1", "A2"),
+    value_range: tuple[float, float] = (0.0, 10.0),
+    op: str = "<",
+) -> Filter:
+    """One random conjunction ``A1 < x1 ∧ A2 < x2 ∧ ...``.
+
+    With thresholds and message values both uniform on the same range, a
+    ``k``-attribute filter has expected selectivity ``(1/2)^k`` — the
+    paper's 25 % for ``k = 2``.
+    """
+    lo, hi = value_range
+    if not lo < hi:
+        raise ValueError(f"bad value_range {value_range}")
+    if not attributes:
+        raise ValueError("need at least one attribute")
+    predicates = [
+        Predicate(attr, op, float(rng.uniform(lo, hi))) for attr in attributes
+    ]
+    if len(predicates) == 1:
+        return predicates[0]
+    return AndFilter(predicates)
+
+
+def random_attributes(
+    rng: np.random.Generator,
+    attributes: Sequence[str] = ("A1", "A2"),
+    value_range: tuple[float, float] = (0.0, 10.0),
+) -> dict[str, float]:
+    """One random message header ``{A1=x1, A2=x2}``."""
+    lo, hi = value_range
+    if not lo < hi:
+        raise ValueError(f"bad value_range {value_range}")
+    return {attr: float(rng.uniform(lo, hi)) for attr in attributes}

@@ -1,0 +1,90 @@
+"""Capacity analysis tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.capacity import (
+    bottleneck,
+    saturation_rate_per_publisher,
+    utilisation_report,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_system, schedule_workload
+from repro.workload.scenarios import Scenario
+
+CFG = SimulationConfig(
+    seed=4,
+    scenario=Scenario.PSD,
+    strategy="eb",
+    publishing_rate_per_min=10.0,
+    duration_ms=120_000.0,
+)
+
+
+@pytest.fixture(scope="module")
+def finished_system():
+    system = build_system(CFG)
+    schedule_workload(system, CFG)
+    system.sim.run(until=CFG.horizon_ms)
+    return system
+
+
+class TestUtilisationReport:
+    def test_sorted_and_bounded(self, finished_system):
+        report = utilisation_report(finished_system, CFG.horizon_ms)
+        assert report, "a loaded run must use some links"
+        utils = [r.utilisation for r in report]
+        assert utils == sorted(utils, reverse=True)
+        assert all(0.0 <= u <= 1.0 for u in utils)
+
+    def test_idle_links_excluded(self, finished_system):
+        report = utilisation_report(finished_system, CFG.horizon_ms)
+        assert all(r.transmissions > 0 for r in report)
+        # The paper's mesh has 128 directions; a 2-minute run uses a subset.
+        assert len(report) <= 128
+
+    def test_bottleneck_is_first(self, finished_system):
+        top = bottleneck(finished_system, CFG.horizon_ms)
+        report = utilisation_report(finished_system, CFG.horizon_ms)
+        assert top == report[0]
+
+    def test_invalid_elapsed(self, finished_system):
+        with pytest.raises(ValueError):
+            utilisation_report(finished_system, 0.0)
+
+    def test_untouched_system_has_empty_report(self):
+        system = build_system(CFG)
+        assert utilisation_report(system, 1000.0) == []
+        assert bottleneck(system, 1000.0) is None
+
+
+class TestSaturationEstimate:
+    def test_predicts_figures_knee_region(self, finished_system):
+        """The analytic knee must land inside Figures 5/6's sweep range —
+        the paper's curves bend somewhere between rates 3 and 15."""
+        rate = saturation_rate_per_publisher(finished_system)
+        assert 2.0 <= rate <= 20.0
+
+    def test_no_subscribers_never_saturates(self):
+        from repro.core.strategies import EbStrategy
+        from repro.des.rng import RngStreams
+        from repro.des.simulator import Simulator
+        from repro.network.topology import build_layered_mesh
+        from repro.pubsub.system import PubSubSystem
+        import numpy as np
+
+        topo = build_layered_mesh(np.random.default_rng(0))
+        empty = PubSubSystem(topo, EbStrategy(), Simulator(), RngStreams(0))
+        assert math.isinf(saturation_rate_per_publisher(empty))
+
+    def test_invalid_selectivity(self, finished_system):
+        with pytest.raises(ValueError):
+            saturation_rate_per_publisher(finished_system, selectivity=0.0)
+
+    def test_higher_selectivity_saturates_earlier(self, finished_system):
+        sparse = saturation_rate_per_publisher(finished_system, selectivity=0.1)
+        dense = saturation_rate_per_publisher(finished_system, selectivity=0.9)
+        assert dense < sparse

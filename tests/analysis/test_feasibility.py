@@ -1,0 +1,78 @@
+"""Feasibility prediction and calibration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.feasibility import CalibrationReport, calibrate, predict_success
+from repro.core.strategies import EbStrategy
+from repro.des.rng import RngStreams
+from repro.des.simulator import Simulator
+from repro.pubsub.filters import Predicate
+from repro.pubsub.subscription import Subscription
+from repro.pubsub.system import PubSubSystem
+from repro.stats.normal import Normal
+from tests.conftest import make_line_topology
+
+MATCH_ALL = Predicate("A1", "<", 1e9)
+
+
+def line_system(link_mean=10.0) -> PubSubSystem:
+    topo = make_line_topology(
+        n=3, rate=Normal(link_mean, 4.0),
+        publishers={"P1": "B1"}, subscribers={"S1": "B3"},
+    )
+    system = PubSubSystem(topo, EbStrategy(), Simulator(), RngStreams(3))
+    system.subscribe(Subscription("S1", MATCH_ALL, deadline_ms=5_000.0, price=1.0))
+    return system
+
+
+class TestPredictSuccess:
+    def test_easy_deadline_near_one(self):
+        system = line_system(link_mean=10.0)  # ~1 s propagation vs 5 s bound
+        message = system.publish("P1", {"A1": 1.0})
+        assert predict_success(system, message, "S1") > 0.99
+
+    def test_impossible_deadline_near_zero(self):
+        system = line_system(link_mean=500.0)  # ~50 s propagation vs 5 s bound
+        message = system.publish("P1", {"A1": 1.0})
+        assert predict_success(system, message, "S1") < 1e-6
+
+    def test_unknown_subscriber(self):
+        system = line_system()
+        message = system.publish("P1", {"A1": 1.0})
+        with pytest.raises(KeyError):
+            predict_success(system, message, "nobody")
+
+
+class TestCalibration:
+    def test_uncongested_prediction_matches_outcome(self):
+        system = line_system(link_mean=10.0)
+        messages = [
+            system.publish("P1", {"A1": 1.0}) for _ in range(5)
+        ]
+        system.sim.run()
+        report = calibrate(system, messages)
+        assert report.pairs == 5
+        assert report.predicted_mean > 0.99
+        assert report.achieved_rate == 1.0
+        assert report.queueing_erosion == 0.0
+
+    def test_erosion_under_congestion(self):
+        # Publish a burst far beyond the line's capacity: predictions stay
+        # optimistic (they ignore queueing) but achieved collapses.  Each
+        # hop takes ~2 s for 50 KB, so one message meets the 5 s bound
+        # comfortably — but thirty at once serialise to ~60 s of queue.
+        system = line_system(link_mean=40.0)
+        messages = [system.publish("P1", {"A1": 1.0}) for _ in range(30)]
+        system.sim.run()
+        report = calibrate(system, messages)
+        assert report.pairs == 30
+        assert report.achieved_rate < report.predicted_mean
+        assert report.queueing_erosion > 0.3
+
+    def test_empty_run(self):
+        system = line_system()
+        report = calibrate(system, [])
+        assert report == CalibrationReport(pairs=0, predicted_mean=0.0, achieved_rate=0.0)
+        assert report.queueing_erosion == 0.0

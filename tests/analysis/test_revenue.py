@@ -1,0 +1,80 @@
+"""Per-tier revenue analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.revenue import TierRevenue, premium_share, revenue_by_tier
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_system, schedule_workload
+from repro.workload.scenarios import Scenario
+
+CFG = SimulationConfig(
+    seed=6,
+    scenario=Scenario.SSD,
+    strategy="eb",
+    publishing_rate_per_min=12.0,
+    duration_ms=180_000.0,
+)
+
+
+@pytest.fixture(scope="module")
+def finished():
+    system = build_system(CFG)
+    schedule_workload(system, CFG)
+    system.sim.run(until=CFG.horizon_ms)
+    return system
+
+
+class TestRevenueByTier:
+    def test_three_ssd_tiers(self, finished):
+        tiers = revenue_by_tier(finished)
+        assert [t.price for t in tiers] == [3.0, 2.0, 1.0]
+        assert [t.deadline_ms for t in tiers] == [10_000.0, 30_000.0, 60_000.0]
+
+    def test_population_total(self, finished):
+        tiers = revenue_by_tier(finished)
+        assert sum(t.subscribers for t in tiers) == 160
+
+    def test_revenue_reconciles_with_metrics(self, finished):
+        tiers = revenue_by_tier(finished)
+        assert sum(t.revenue for t in tiers) == pytest.approx(finished.metrics.earning)
+        assert sum(t.valid_deliveries for t in tiers) == finished.metrics.deliveries_valid
+
+    def test_revenue_is_price_times_deliveries(self, finished):
+        for tier in revenue_by_tier(finished):
+            assert tier.revenue == pytest.approx(tier.price * tier.valid_deliveries)
+
+    def test_per_subscriber_rate(self):
+        tier = TierRevenue(price=3.0, deadline_ms=10_000.0, subscribers=10,
+                           valid_deliveries=20, revenue=60.0)
+        assert tier.revenue_per_subscriber == 6.0
+        empty = TierRevenue(price=3.0, deadline_ms=None, subscribers=0,
+                            valid_deliveries=0, revenue=0.0)
+        assert empty.revenue_per_subscriber == 0.0
+
+
+class TestPremiumShare:
+    def test_share_computation(self):
+        tiers = [
+            TierRevenue(3.0, 10_000.0, 50, 30, 90.0),
+            TierRevenue(1.0, 60_000.0, 50, 10, 10.0),
+        ]
+        assert premium_share(tiers) == pytest.approx(0.9)
+
+    def test_empty(self):
+        assert premium_share([]) == 0.0
+
+    def test_real_run_share_bounded(self, finished):
+        share = premium_share(revenue_by_tier(finished))
+        assert 0.0 < share < 1.0
+
+    def test_psd_single_tier(self):
+        cfg = CFG.replace(scenario=Scenario.PSD, duration_ms=60_000.0)
+        system = build_system(cfg)
+        schedule_workload(system, cfg)
+        system.sim.run(until=cfg.horizon_ms)
+        tiers = revenue_by_tier(system)
+        assert len(tiers) == 1
+        assert tiers[0].price == 1.0
+        assert premium_share(tiers) in (0.0, 1.0)

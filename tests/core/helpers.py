@@ -1,0 +1,71 @@
+"""Builders shared by the core-layer tests."""
+
+from __future__ import annotations
+
+from repro.core.context import SchedulingContext
+from repro.core.strategies import QueueEntry
+from repro.pubsub.filters import Predicate
+from repro.pubsub.message import Message
+from repro.pubsub.subscription import Subscription, TableRow
+from repro.stats.normal import Normal
+
+MATCH_ALL = Predicate("A1", "<", 1e9)
+
+
+def make_message(
+    msg_id: int = 1,
+    publish_time: float = 0.0,
+    size_kb: float = 50.0,
+    deadline_ms: float | None = None,
+) -> Message:
+    return Message(
+        msg_id=msg_id,
+        publisher="P1",
+        source_broker="B1",
+        attributes={"A1": 1.0, "A2": 1.0},
+        size_kb=size_kb,
+        publish_time=publish_time,
+        deadline_ms=deadline_ms,
+    )
+
+
+def make_row(
+    subscriber: str = "S1",
+    deadline_ms: float | None = 30_000.0,
+    price: float | None = 1.0,
+    nn: int = 2,
+    mean: float = 100.0,
+    variance: float = 400.0,
+) -> TableRow:
+    return TableRow(
+        subscription=Subscription(
+            subscriber=subscriber, filter=MATCH_ALL, deadline_ms=deadline_ms, price=price
+        ),
+        next_hop="B2",
+        nn=nn,
+        rate=Normal(mean, variance),
+        sources=frozenset({"B1"}),
+    )
+
+
+def make_entry(
+    message: Message | None = None,
+    rows: list[TableRow] | None = None,
+    enqueue_time: float = 0.0,
+    seq: int = 0,
+) -> QueueEntry:
+    return QueueEntry(
+        message=message or make_message(),
+        rows=rows or [make_row()],
+        enqueue_time=enqueue_time,
+        seq=seq,
+    )
+
+
+def make_ctx(
+    now: float = 0.0,
+    pd: float = 2.0,
+    ft: float = 3750.0,
+    link_rate: Normal = Normal(75.0, 400.0),
+) -> SchedulingContext:
+    return SchedulingContext(now=now, processing_delay_ms=pd, ft_ms=ft, link_rate=link_rate)

@@ -1,0 +1,89 @@
+"""Invalid-message detection tests (Eq. 11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pruning import (
+    DEFAULT_EPSILON,
+    PruningPolicy,
+    entry_is_expired,
+    entry_is_hopeless,
+    should_prune,
+)
+from tests.core.helpers import make_entry, make_message, make_row
+
+
+class TestExpiry:
+    def test_live_entry_not_expired(self):
+        entry = make_entry(rows=[make_row(deadline_ms=30_000.0)])
+        assert not entry_is_expired(entry, now=10_000.0)
+
+    def test_all_deadlines_passed(self):
+        entry = make_entry(
+            rows=[make_row("S1", deadline_ms=10_000.0), make_row("S2", deadline_ms=20_000.0)]
+        )
+        assert not entry_is_expired(entry, now=15_000.0)  # S2 still alive
+        assert entry_is_expired(entry, now=25_000.0)
+
+    def test_boundary_is_alive(self):
+        entry = make_entry(rows=[make_row(deadline_ms=10_000.0)])
+        assert not entry_is_expired(entry, now=10_000.0)
+
+    def test_unbounded_never_expires(self):
+        entry = make_entry(
+            make_message(deadline_ms=None), rows=[make_row(deadline_ms=None)]
+        )
+        assert not entry_is_expired(entry, now=1e12)
+
+
+class TestHopeless:
+    def test_fresh_entry_not_hopeless(self):
+        entry = make_entry(rows=[make_row(deadline_ms=30_000.0, nn=1, mean=100.0)])
+        assert not entry_is_hopeless(entry, 0.0, 2.0)
+
+    def test_infeasible_deadline_is_hopeless_before_expiry(self):
+        # Deadline 4 s, but the remaining path needs ~15 s: hopeless at t=0,
+        # long before the message actually expires.  This is the paper's
+        # early-deletion win over plain expiry.
+        entry = make_entry(rows=[make_row(deadline_ms=4_000.0, nn=2, mean=300.0, variance=400.0)])
+        assert entry_is_hopeless(entry, 0.0, 2.0)
+        assert not entry_is_expired(entry, 0.0)
+
+    def test_one_feasible_row_saves_entry(self):
+        entry = make_entry(
+            rows=[
+                make_row("S1", deadline_ms=4_000.0, nn=2, mean=300.0),  # hopeless
+                make_row("S2", deadline_ms=60_000.0, nn=1, mean=50.0),  # fine
+            ]
+        )
+        assert not entry_is_hopeless(entry, 0.0, 2.0)
+
+    def test_epsilon_subsumes_expiry(self):
+        entry = make_entry(rows=[make_row(deadline_ms=10_000.0)])
+        assert entry_is_expired(entry, now=60_000.0)
+        assert entry_is_hopeless(entry, 60_000.0, 2.0)
+
+    def test_invalid_epsilon(self):
+        entry = make_entry()
+        with pytest.raises(ValueError):
+            entry_is_hopeless(entry, 0.0, 2.0, epsilon=0.0)
+
+
+class TestPolicies:
+    def test_none_never_prunes(self):
+        entry = make_entry(rows=[make_row(deadline_ms=1.0)])
+        assert not should_prune(entry, 1e9, 2.0, PruningPolicy.NONE)
+
+    def test_expired_policy(self):
+        entry = make_entry(rows=[make_row(deadline_ms=4_000.0, nn=2, mean=300.0)])
+        # Infeasible but not yet expired: EXPIRED keeps it, PROBABILISTIC kills it.
+        assert not should_prune(entry, 0.0, 2.0, PruningPolicy.EXPIRED)
+        assert should_prune(entry, 0.0, 2.0, PruningPolicy.PROBABILISTIC)
+
+    def test_for_strategy_mapping(self):
+        assert PruningPolicy.for_strategy(True) is PruningPolicy.PROBABILISTIC
+        assert PruningPolicy.for_strategy(False) is PruningPolicy.EXPIRED
+
+    def test_default_epsilon_is_papers(self):
+        assert DEFAULT_EPSILON == 5e-4

@@ -1,0 +1,178 @@
+"""Strategy selection behaviour."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.registry import STRATEGY_NAMES, make_strategy
+from repro.core.strategies import (
+    EbpcStrategy,
+    EbStrategy,
+    FifoStrategy,
+    PcStrategy,
+    QueueEntry,
+    RemainingLifetimeStrategy,
+)
+from tests.core.helpers import make_ctx, make_entry, make_message, make_row
+
+
+class TestFifo:
+    def test_selects_oldest(self):
+        entries = [make_entry(seq=i) for i in (3, 1, 2)]
+        assert FifoStrategy().select(entries, make_ctx()) == 1
+
+    def test_no_probabilistic_pruning(self):
+        assert not FifoStrategy().probabilistic_pruning
+
+
+class TestRemainingLifetime:
+    def test_selects_smallest_average_lifetime(self):
+        urgent = make_entry(rows=[make_row(deadline_ms=5_000.0)], seq=0)
+        relaxed = make_entry(rows=[make_row(deadline_ms=50_000.0)], seq=1)
+        assert RemainingLifetimeStrategy().select([relaxed, urgent], make_ctx()) == 1
+
+    def test_averages_multiple_lifetimes(self):
+        # avg(5s, 55s) = 30s beats a single 40s.
+        multi = make_entry(
+            rows=[make_row("S1", deadline_ms=5_000.0), make_row("S2", deadline_ms=55_000.0)],
+            seq=0,
+        )
+        single = make_entry(rows=[make_row("S3", deadline_ms=40_000.0)], seq=1)
+        assert RemainingLifetimeStrategy().select([single, multi], make_ctx()) == 1
+
+    def test_unbounded_rows_excluded_from_average(self):
+        mixed = make_entry(
+            rows=[make_row("S1", deadline_ms=5_000.0), make_row("S2", deadline_ms=None)],
+            seq=0,
+        )
+        ctx = make_ctx(now=0.0)
+        assert RemainingLifetimeStrategy().score(mixed, ctx) == pytest.approx(-5_000.0)
+
+    def test_fully_unbounded_entry_scores_lowest(self):
+        unbounded = make_entry(
+            make_message(deadline_ms=None), rows=[make_row(deadline_ms=None)], seq=0
+        )
+        assert RemainingLifetimeStrategy().score(unbounded, make_ctx()) == -math.inf
+
+    def test_min_aggregation_variant(self):
+        entry = make_entry(
+            rows=[make_row("S1", deadline_ms=5_000.0), make_row("S2", deadline_ms=55_000.0)],
+            seq=0,
+        )
+        ctx = make_ctx(now=0.0)
+        assert RemainingLifetimeStrategy(aggregation="min").score(entry, ctx) == pytest.approx(
+            -5_000.0
+        )
+        assert RemainingLifetimeStrategy(aggregation="min").name == "rl(min)"
+
+    def test_invalid_aggregation(self):
+        with pytest.raises(ValueError):
+            RemainingLifetimeStrategy(aggregation="median")
+
+
+class TestEb:
+    def test_prefers_more_subscriptions(self):
+        one = make_entry(rows=[make_row("S1")], seq=0)
+        two = make_entry(rows=[make_row("S2"), make_row("S3")], seq=1)
+        assert EbStrategy().select([one, two], make_ctx()) == 1
+
+    def test_prefers_higher_price(self):
+        cheap = make_entry(rows=[make_row("S1", price=1.0)], seq=0)
+        dear = make_entry(rows=[make_row("S2", price=3.0)], seq=1)
+        assert EbStrategy().select([cheap, dear], make_ctx()) == 1
+
+    def test_prefers_higher_success(self):
+        # Same price; the far path's expected delay (~25 s) sits on the CDF
+        # ramp for a 30 s deadline, the near path's (~2.5 s) does not.
+        far = make_entry(rows=[make_row("S1", nn=4, mean=500.0)], seq=0)
+        near = make_entry(rows=[make_row("S2", nn=1, mean=50.0)], seq=1)
+        assert EbStrategy().select([far, near], make_ctx()) == 1
+
+    def test_probabilistic_pruning_enabled(self):
+        assert EbStrategy().probabilistic_pruning
+
+
+class TestPc:
+    def test_prefers_urgent_over_safe(self):
+        # Safe message: huge slack, postponing costs nothing.  Urgent
+        # message: deadline near the feasibility edge, postponing kills it.
+        safe = make_entry(rows=[make_row("S1", deadline_ms=500_000.0)], seq=0)
+        urgent = make_entry(rows=[make_row("S2", deadline_ms=9_000.0, nn=1, mean=100.0)], seq=1)
+        ctx = make_ctx(ft=3_750.0)
+        assert PcStrategy().select([safe, urgent], ctx) == 1
+
+    def test_eb_would_choose_differently(self):
+        # The same pair under EB picks the safe one — the motivating
+        # difference between the two strategies (Section 5.2).
+        safe = make_entry(rows=[make_row("S1", deadline_ms=500_000.0)], seq=0)
+        urgent = make_entry(rows=[make_row("S2", deadline_ms=9_000.0, nn=1, mean=100.0)], seq=1)
+        ctx = make_ctx(ft=3_750.0)
+        assert EbStrategy().select([safe, urgent], ctx) == 0
+
+
+class TestEbpc:
+    def test_r_endpoints_match_components(self):
+        entries = [
+            make_entry(rows=[make_row("S1", deadline_ms=500_000.0)], seq=0),
+            make_entry(rows=[make_row("S2", deadline_ms=9_000.0, nn=1, mean=100.0)], seq=1),
+        ]
+        ctx = make_ctx(ft=3_750.0)
+        for entry in entries:
+            assert EbpcStrategy(r=1.0).score(entry, ctx) == pytest.approx(
+                EbStrategy().score(entry, ctx)
+            )
+            assert EbpcStrategy(r=0.0).score(entry, ctx) == pytest.approx(
+                PcStrategy().score(entry, ctx)
+            )
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            EbpcStrategy(r=2.0)
+
+    def test_name_includes_r(self):
+        assert EbpcStrategy(r=0.6).name == "ebpc(r=0.6)"
+
+
+class TestSelection:
+    def test_tie_break_is_fifo(self):
+        # Identical entries: earliest seq wins.
+        entries = [make_entry(seq=5), make_entry(seq=2), make_entry(seq=7)]
+        assert EbStrategy().select(entries, make_ctx()) == 1
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(ValueError):
+            FifoStrategy().select([], make_ctx())
+
+    def test_entry_requires_rows(self):
+        with pytest.raises(ValueError):
+            QueueEntry(make_message(), rows=[], enqueue_time=0.0, seq=0)
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in STRATEGY_NAMES:
+            strategy = make_strategy(name)
+            assert strategy.name.startswith(name)
+
+    def test_ebpc_with_r(self):
+        s = make_strategy("ebpc", r=0.7)
+        assert isinstance(s, EbpcStrategy)
+        assert s.r == 0.7
+
+    def test_rl_with_aggregation(self):
+        s = make_strategy("rl", aggregation="min")
+        assert isinstance(s, RemainingLifetimeStrategy)
+        assert s.aggregation == "min"
+
+    def test_case_insensitive(self):
+        assert isinstance(make_strategy("  EB "), EbStrategy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_strategy("edf")
+
+    def test_stray_params_rejected(self):
+        with pytest.raises(ValueError):
+            make_strategy("fifo", r=0.5)

@@ -1,0 +1,135 @@
+"""success(s, m) / fdl / effective-deadline tests (Eqs. 4–5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.success import (
+    effective_deadline,
+    fdl_distribution,
+    remaining_lifetime,
+    success_probability,
+)
+from repro.stats.normal import normal_cdf
+from tests.core.helpers import make_message, make_row
+
+
+class TestEffectiveDeadline:
+    def test_subscriber_only(self):
+        row = make_row(deadline_ms=30_000.0)
+        msg = make_message(deadline_ms=None)
+        assert effective_deadline(row, msg) == 30_000.0
+
+    def test_message_only(self):
+        row = make_row(deadline_ms=None)
+        msg = make_message(deadline_ms=20_000.0)
+        assert effective_deadline(row, msg) == 20_000.0
+
+    def test_both_takes_min(self):
+        row = make_row(deadline_ms=30_000.0)
+        msg = make_message(deadline_ms=20_000.0)
+        assert effective_deadline(row, msg) == 20_000.0
+
+    def test_neither_is_inf(self):
+        row = make_row(deadline_ms=None)
+        msg = make_message(deadline_ms=None)
+        assert math.isinf(effective_deadline(row, msg))
+
+
+class TestFdlDistribution:
+    def test_formula(self):
+        # fdl = NN*PD + size*TR_p, TR_p ~ N(100, 400), size=50, NN=2, PD=2.
+        row = make_row(nn=2, mean=100.0, variance=400.0)
+        dist = fdl_distribution(row, size_kb=50.0, processing_delay_ms=2.0)
+        assert dist.mean == pytest.approx(2 * 2.0 + 50.0 * 100.0)
+        assert dist.variance == pytest.approx(50.0**2 * 400.0)
+
+    def test_local_row_is_degenerate(self):
+        row = make_row(nn=0, mean=0.0, variance=0.0)
+        dist = fdl_distribution(row, size_kb=50.0, processing_delay_ms=2.0)
+        assert dist.mean == 0.0 and dist.variance == 0.0
+
+
+class TestSuccessProbability:
+    def test_matches_hand_formula(self):
+        row = make_row(deadline_ms=30_000.0, nn=2, mean=100.0, variance=400.0)
+        msg = make_message(publish_time=0.0, size_kb=50.0)
+        now = 5_000.0
+        # P(hdl + NN*PD + size*TR <= adl) = Phi(((adl-hdl-NN*PD)/size - mu)/sigma)
+        budget = (30_000.0 - 5_000.0 - 2 * 2.0) / 50.0
+        expected = normal_cdf(budget, 100.0, 20.0)
+        assert success_probability(row, msg, now, 2.0) == pytest.approx(expected)
+
+    def test_extra_delay_lowers_success(self):
+        # Deadline near the feasibility edge so the CDF is on its ramp.
+        row = make_row(deadline_ms=16_000.0, nn=2, mean=100.0, variance=400.0)
+        msg = make_message()
+        base = success_probability(row, msg, 10_000.0, 2.0)
+        postponed = success_probability(row, msg, 10_000.0, 2.0, extra_delay_ms=5_000.0)
+        assert 0.0 < postponed < base < 1.0
+
+    def test_unbounded_pair_always_succeeds(self):
+        row = make_row(deadline_ms=None)
+        msg = make_message(deadline_ms=None)
+        assert success_probability(row, msg, 1e12, 2.0) == 1.0
+
+    def test_expired_message_near_zero(self):
+        row = make_row(deadline_ms=10_000.0)
+        msg = make_message(publish_time=0.0)
+        assert success_probability(row, msg, now=60_000.0, processing_delay_ms=2.0) < 1e-6
+
+    def test_local_subscriber_step_function(self):
+        row = make_row(deadline_ms=10_000.0, nn=0, mean=0.0, variance=0.0)
+        msg = make_message()
+        assert success_probability(row, msg, now=5_000.0, processing_delay_ms=2.0) == 1.0
+        assert success_probability(row, msg, now=15_000.0, processing_delay_ms=2.0) == 0.0
+
+    @given(
+        now=st.floats(0, 120_000),
+        deadline=st.floats(1_000, 90_000),
+        nn=st.integers(0, 6),
+        mean=st.floats(10, 500),
+        var=st.floats(0, 10_000),
+        size=st.floats(1, 200),
+    )
+    @settings(max_examples=200)
+    def test_probability_bounds_property(self, now, deadline, nn, mean, var, size):
+        row = make_row(deadline_ms=deadline, nn=nn, mean=mean, variance=var)
+        msg = make_message(size_kb=size)
+        p = success_probability(row, msg, now, 2.0)
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        deadline=st.floats(1_000, 90_000),
+        t1=st.floats(0, 100_000),
+        t2=st.floats(0, 100_000),
+    )
+    @settings(max_examples=200)
+    def test_success_decreases_with_age(self, deadline, t1, t2):
+        row = make_row(deadline_ms=deadline)
+        msg = make_message()
+        early, late = min(t1, t2), max(t1, t2)
+        assert success_probability(row, msg, late, 2.0) <= success_probability(
+            row, msg, early, 2.0
+        ) + 1e-12
+
+
+class TestRemainingLifetime:
+    def test_value(self):
+        row = make_row(deadline_ms=30_000.0)
+        msg = make_message(publish_time=1_000.0)
+        assert remaining_lifetime(row, msg, now=11_000.0) == 20_000.0
+
+    def test_negative_when_expired(self):
+        row = make_row(deadline_ms=10_000.0)
+        msg = make_message()
+        assert remaining_lifetime(row, msg, now=20_000.0) == -10_000.0
+
+    def test_unbounded_is_inf(self):
+        row = make_row(deadline_ms=None)
+        msg = make_message(deadline_ms=None)
+        assert math.isinf(remaining_lifetime(row, msg, now=5.0))

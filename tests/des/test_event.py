@@ -1,0 +1,40 @@
+"""Event record and handle tests."""
+
+from __future__ import annotations
+
+from repro.des.event import Event, EventHandle
+
+
+def ev(time=1.0, priority=0, seq=0, label="") -> Event:
+    return Event(time=time, priority=priority, seq=seq, action=lambda: None, label=label)
+
+
+class TestOrdering:
+    def test_time_dominates(self):
+        assert ev(time=1.0, priority=9, seq=9) < ev(time=2.0, priority=0, seq=0)
+
+    def test_priority_breaks_time_ties(self):
+        assert ev(time=1.0, priority=0, seq=9) < ev(time=1.0, priority=1, seq=0)
+
+    def test_seq_breaks_remaining_ties(self):
+        assert ev(time=1.0, priority=0, seq=0) < ev(time=1.0, priority=0, seq=1)
+
+    def test_action_not_compared(self):
+        # Identical keys with different callables must not raise.
+        a = Event(time=1.0, priority=0, seq=0, action=lambda: 1)
+        b = Event(time=1.0, priority=0, seq=0, action=lambda: 2)
+        assert not (a < b) and not (b < a)
+
+
+class TestHandle:
+    def test_exposes_metadata(self):
+        handle = EventHandle(ev(time=5.0, label="send"))
+        assert handle.time == 5.0
+        assert handle.label == "send"
+        assert not handle.cancelled
+
+    def test_cancel_once(self):
+        handle = EventHandle(ev())
+        assert handle.cancel()
+        assert handle.cancelled
+        assert not handle.cancel()

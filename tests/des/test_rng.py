@@ -1,0 +1,65 @@
+"""RNG stream registry tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.des.rng import RngStreams
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(1).get("workload").random(10)
+        b = RngStreams(1).get("workload").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).get("workload").random(10)
+        b = RngStreams(2).get("workload").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_named_streams_independent_of_creation_order(self):
+        s1 = RngStreams(5)
+        _ = s1.get("a").random(100)  # consume a first
+        x1 = s1.get("b").random(10)
+
+        s2 = RngStreams(5)
+        x2 = s2.get("b").random(10)  # b created without touching a
+        assert np.array_equal(x1, x2)
+
+    def test_distinct_names_distinct_streams(self):
+        s = RngStreams(3)
+        assert not np.array_equal(s.get("x").random(10), s.get("y").random(10))
+
+    def test_get_returns_same_object(self):
+        s = RngStreams(0)
+        assert s.get("a") is s.get("a")
+
+
+class TestRegistry:
+    def test_contains_and_names(self):
+        s = RngStreams(0)
+        assert "a" not in s
+        s.get("a")
+        s.get("b")
+        assert "a" in s
+        assert s.names() == ["a", "b"]
+
+    def test_seed_property(self):
+        assert RngStreams(99).seed == 99
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = RngStreams(1).fork(3).get("w").random(5)
+        b = RngStreams(1).fork(3).get("w").random(5)
+        assert np.array_equal(a, b)
+
+    def test_fork_differs_from_parent_and_siblings(self):
+        base = RngStreams(1)
+        assert not np.array_equal(
+            base.fork(1).get("w").random(5), base.fork(2).get("w").random(5)
+        )
+        assert not np.array_equal(
+            base.get("w").random(5), base.fork(1).get("w").random(5)
+        )

@@ -1,0 +1,45 @@
+"""Trace recorder tests."""
+
+from __future__ import annotations
+
+from repro.des.trace import TraceRecorder
+
+
+class TestRecording:
+    def test_records_in_order(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "send", "B1", msg=1)
+        tr.record(2.0, "receive", "B2", msg=1)
+        assert len(tr) == 2
+        records = list(tr)
+        assert records[0].kind == "send"
+        assert records[1].detail == {"msg": 1}
+
+    def test_disabled_recorder_is_noop(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record(1.0, "send", "B1")
+        assert len(tr) == 0
+
+    def test_capacity_bound(self):
+        tr = TraceRecorder(capacity=2)
+        for i in range(5):
+            tr.record(float(i), "k", "n")
+        assert len(tr) == 2
+        assert tr.dropped == 3
+
+    def test_filters(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "send", "B1")
+        tr.record(2.0, "send", "B2")
+        tr.record(3.0, "prune", "B1")
+        assert len(tr.of_kind("send")) == 2
+        assert len(tr.at_node("B1")) == 2
+        assert tr.kind_counts() == {"send": 2, "prune": 1}
+
+    def test_clear(self):
+        tr = TraceRecorder(capacity=1)
+        tr.record(1.0, "a", "n")
+        tr.record(2.0, "b", "n")
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.dropped == 0

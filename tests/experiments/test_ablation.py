@@ -1,0 +1,51 @@
+"""Ablation study harness tests (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import STUDIES, epsilon_study, routing_study
+from repro.experiments.common import ScaleSpec
+from repro.experiments.report import format_series_table
+
+TINY = ScaleSpec(scale=0.01, seed=0)
+
+
+class TestRegistry:
+    def test_all_studies_present(self):
+        assert set(STUDIES) == {"epsilon", "slack", "measurement", "routing", "arrival"}
+
+
+class TestEpsilonStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return epsilon_study(TINY)
+
+    def test_structure(self, result):
+        assert result.figure_id == "ablate-epsilon"
+        assert set(result.series) == {"delivery_rate", "message_number", "pruned"}
+        assert len(result.x_values) == 4
+        assert any("off, expired-only" in n for n in result.notes)
+
+    def test_pruning_saves_traffic(self, result):
+        # off prunes nothing.  Note prune *counts* are not monotone in
+        # aggressiveness: pruning earlier (upstream) prevents the fan-out
+        # copies a laxer rule would have pruned one by one downstream.
+        # The monotone quantity is carried traffic.
+        pruned = result.series["pruned"]
+        traffic = result.series["message_number"]
+        off, expired, paper, aggressive = range(4)
+        assert pruned[off] == 0.0
+        assert all(p > 0 for p in pruned[1:])
+        assert traffic[off] >= traffic[expired] >= traffic[paper] >= traffic[aggressive]
+
+    def test_renders_as_table(self, result):
+        text = format_series_table(result)
+        assert "delivery_rate" in text and "variant" in text
+
+
+class TestRoutingStudy:
+    def test_multipath_carries_more_traffic(self):
+        result = routing_study(TINY)
+        single, multi = result.series["message_number"]
+        assert multi > single

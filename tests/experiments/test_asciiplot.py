@@ -1,0 +1,64 @@
+"""ASCII chart renderer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.asciiplot import render_ascii_chart
+from repro.experiments.common import FigureResult
+
+
+def fig(series, xs=None) -> FigureResult:
+    xs = xs or [1.0, 2.0, 3.0]
+    return FigureResult(
+        figure_id="f", title="Chart", x_label="rate", y_label="y",
+        x_values=xs, series=series,
+    )
+
+
+class TestRendering:
+    def test_contains_title_axis_legend(self):
+        text = render_ascii_chart(fig({"eb": [1.0, 2.0, 3.0]}))
+        assert "Chart" in text
+        assert "rate" in text
+        assert "o eb" in text
+
+    def test_markers_assigned_per_series(self):
+        text = render_ascii_chart(fig({"eb": [1.0, 2.0, 3.0], "pc": [3.0, 2.0, 1.0]}))
+        assert "o eb" in text and "x pc" in text
+        grid_lines = [l for l in text.splitlines() if "|" in l]
+        assert any("o" in l for l in grid_lines)  # markers actually plotted
+        assert any("x" in l for l in grid_lines)
+
+    def test_extremes_on_border_rows(self):
+        text = render_ascii_chart(fig({"a": [0.0, 10.0, 5.0]}), width=20, height=6)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert "o" in lines[0]  # max lands on the top row
+        assert "o" in lines[-1]  # min lands on the bottom row
+
+    def test_y_labels_show_range(self):
+        text = render_ascii_chart(fig({"a": [2.0, 8.0, 5.0]}))
+        assert "8" in text and "2" in text
+
+    def test_overlap_marker(self):
+        text = render_ascii_chart(fig({"a": [1.0, 2.0, 3.0], "b": [1.0, 2.0, 3.0]}))
+        assert "*" in text
+
+    def test_flat_series(self):
+        # Constant y must not divide by zero.
+        text = render_ascii_chart(fig({"a": [5.0, 5.0, 5.0]}))
+        assert "o" in text
+
+    def test_single_x(self):
+        text = render_ascii_chart(fig({"a": [1.0]}, xs=[10.0]))
+        assert "o" in text
+
+
+class TestValidation:
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart(fig({"a": [1.0, 2.0, 3.0]}), width=5, height=3)
+
+    def test_empty_x(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart(fig({"a": []}, xs=[]))

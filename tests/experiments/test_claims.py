@@ -1,0 +1,96 @@
+"""Claim-checker unit tests on synthetic figure data."""
+
+from __future__ import annotations
+
+from repro.experiments.claims import (
+    ClaimResult,
+    check_psd_claims,
+    check_ssd_claims,
+    format_report,
+)
+from repro.experiments.common import FigureResult
+
+
+def fig(series, y="y", fid="f") -> FigureResult:
+    n = len(next(iter(series.values())))
+    return FigureResult(
+        figure_id=fid, title="t", x_label="rate", y_label=y,
+        x_values=[float(i + 1) for i in range(n)], series=series,
+    )
+
+
+def paper_like_ssd() -> tuple[FigureResult, FigureResult]:
+    earning = fig({
+        "eb": [20.0, 60.0, 120.0, 180.0],
+        "pc": [20.0, 55.0, 100.0, 150.0],
+        "fifo": [20.0, 50.0, 45.0, 36.0],
+        "rl": [18.0, 40.0, 30.0, 18.0],
+    })
+    traffic = fig({
+        "eb": [10.0, 30.0, 60.0, 123.0],
+        "pc": [10.0, 30.0, 60.0, 120.0],
+        "fifo": [10.0, 28.0, 55.0, 100.0],
+        "rl": [10.0, 25.0, 50.0, 75.0],
+    })
+    return earning, traffic
+
+
+def paper_like_psd() -> tuple[FigureResult, FigureResult]:
+    rate = fig({
+        "eb": [0.9, 0.7, 0.55, 0.401],
+        "pc": [0.9, 0.7, 0.54, 0.39],
+        "fifo": [0.88, 0.6, 0.35, 0.225],
+        "rl": [0.88, 0.5, 0.2, 0.116],
+    })
+    traffic = fig({
+        "eb": [10.0, 30.0, 60.0, 117.0],
+        "pc": [10.0, 30.0, 60.0, 115.0],
+        "fifo": [10.0, 28.0, 55.0, 100.0],
+        "rl": [10.0, 25.0, 50.0, 73.0],
+    })
+    return rate, traffic
+
+
+class TestSsdClaims:
+    def test_paper_shape_passes(self):
+        claims = check_ssd_claims(*paper_like_ssd())
+        assert all(c.passed for c in claims), [c for c in claims if not c.passed]
+
+    def test_detects_wrong_ordering(self):
+        earning, traffic = paper_like_ssd()
+        earning.series["rl"], earning.series["eb"] = (
+            earning.series["eb"],
+            earning.series["rl"],
+        )
+        claims = check_ssd_claims(earning, traffic)
+        assert not all(c.passed for c in claims)
+
+    def test_detects_traffic_blowup(self):
+        earning, traffic = paper_like_ssd()
+        traffic.series["eb"] = [v * 5 for v in traffic.series["eb"]]
+        claims = {c.claim_id: c for c in check_ssd_claims(earning, traffic)}
+        assert not claims["ssd-traffic-modest"].passed
+
+
+class TestPsdClaims:
+    def test_paper_shape_passes(self):
+        claims = check_psd_claims(*paper_like_psd())
+        assert all(c.passed for c in claims), [c for c in claims if not c.passed]
+
+    def test_detects_nonmonotone_delivery(self):
+        rate, traffic = paper_like_psd()
+        rate.series["eb"] = [0.2, 0.9, 0.1, 0.9]
+        claims = {c.claim_id: c for c in check_psd_claims(rate, traffic)}
+        assert not claims["psd-eb-decreasing"].passed
+
+
+class TestFormatting:
+    def test_report_lists_all(self):
+        claims = [
+            ClaimResult("a", "first", True, "ok"),
+            ClaimResult("b", "second", False, "bad"),
+        ]
+        text = format_report(claims)
+        assert "[PASS] a" in text
+        assert "[FAIL] b" in text
+        assert "1/2 claims hold" in text

@@ -1,0 +1,88 @@
+"""Figure harness smoke tests (tiny scale — structure, not statistics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure4, figure5, figure6
+from repro.experiments.common import (
+    FIGURE4_R_VALUES,
+    FIGURE56_RATES,
+    FigureResult,
+    ScaleSpec,
+    paper_base_config,
+)
+from repro.workload.scenarios import Scenario
+
+TINY = ScaleSpec(scale=0.01, seed=0)  # 72 simulated seconds
+
+
+class TestScaleSpec:
+    def test_duration(self):
+        assert ScaleSpec(scale=0.5).duration_ms == 3_600_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleSpec(scale=0.0)
+        with pytest.raises(ValueError):
+            ScaleSpec(scale=1.5)
+
+    def test_paper_base_config(self):
+        cfg = paper_base_config(Scenario.SSD, ScaleSpec(scale=0.25, seed=9))
+        assert cfg.scenario is Scenario.SSD
+        assert cfg.seed == 9
+        assert cfg.duration_ms == 1_800_000.0
+        assert cfg.publishing_rate_per_min == 10.0
+
+
+class TestFigure4:
+    def test_panel_a_structure(self):
+        result = figure4.run_panel_a(TINY, r_values=[0.0, 1.0])
+        assert result.figure_id == "fig4a"
+        assert set(result.series) == {"ebpc", "eb", "pc"}
+        assert result.x_values == [0.0, 1.0]
+        # r endpoints coincide with the reference strategies.
+        assert result.series["ebpc"][1] == result.series["eb"][1]
+        assert result.series["ebpc"][0] == result.series["pc"][0]
+
+    def test_panel_b_metric_is_rate(self):
+        result = figure4.run_panel_b(TINY, r_values=[0.5])
+        for values in result.series.values():
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_default_r_grid(self):
+        assert FIGURE4_R_VALUES == (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+class TestFigure5:
+    def test_both_panels_share_sweep(self):
+        a, b = figure5.run_both_panels(TINY, rates=[2.0, 10.0])
+        assert a.figure_id == "fig5a" and b.figure_id == "fig5b"
+        assert set(a.series) == set(b.series) == {"eb", "pc", "fifo", "rl"}
+        assert a.x_values == b.x_values == [2.0, 10.0]
+
+    def test_traffic_counts_positive(self):
+        _, b = figure5.run_both_panels(TINY, rates=[5.0])
+        assert all(v[0] > 0 for v in b.series.values())
+
+    def test_default_rates(self):
+        assert FIGURE56_RATES == (1.0, 3.0, 6.0, 9.0, 12.0, 15.0)
+
+
+class TestFigure6:
+    def test_panels(self):
+        a, b = figure6.run_both_panels(TINY, rates=[2.0])
+        assert a.figure_id == "fig6a" and b.figure_id == "fig6b"
+        for values in a.series.values():
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+
+class TestFigureResult:
+    def test_winner_at(self):
+        result = FigureResult(
+            figure_id="x", title="t", x_label="x", y_label="y",
+            x_values=[1.0, 2.0],
+            series={"a": [1.0, 5.0], "b": [2.0, 3.0]},
+        )
+        assert result.winner_at(1.0) == "b"
+        assert result.winner_at(2.0) == "a"

@@ -1,0 +1,56 @@
+"""Table 1 rendering and report formatting tests."""
+
+from __future__ import annotations
+
+from repro.experiments.common import FigureResult
+from repro.experiments.report import format_comparison, format_series_table
+from repro.experiments.table1 import TABLE1_ROWS, render
+
+
+class TestTable1:
+    def test_contains_all_cells(self):
+        text = render()
+        for row in TABLE1_ROWS:
+            for cell in row:
+                if cell != "—":
+                    assert cell in text
+        assert "Overlay" in text
+        assert "priority control" in text
+
+    def test_has_header_separator(self):
+        lines = render().splitlines()
+        assert any(set(line.strip()) <= {"-", " "} and "-" in line for line in lines)
+
+
+class TestReport:
+    def _result(self) -> FigureResult:
+        return FigureResult(
+            figure_id="figX",
+            title="Test figure",
+            x_label="rate",
+            y_label="value",
+            x_values=[1.0, 2.0],
+            series={"eb": [0.5, 0.25], "fifo": [0.4, 0.1]},
+            notes=["tiny run"],
+        )
+
+    def test_table_contains_everything(self):
+        text = format_series_table(self._result())
+        assert "Test figure" in text
+        assert "rate" in text and "eb" in text and "fifo" in text
+        assert "0.5" in text and "0.25" in text
+        assert "note: tiny run" in text
+
+    def test_alignment(self):
+        lines = [l for l in format_series_table(self._result()).splitlines() if l]
+        header_idx = next(i for i, l in enumerate(lines) if "rate" in l)
+        widths = {len(l) for l in lines[header_idx : header_idx + 4]}
+        assert len(widths) == 1  # all table rows padded to equal width
+
+    def test_comparison_line(self):
+        text = format_comparison("EB", 10.0, "FIFO", 2.0, "earning")
+        assert "5.00x" in text
+
+    def test_comparison_zero_divisor(self):
+        text = format_comparison("EB", 10.0, "RL", 0.0, "earning")
+        assert "inf" in text

@@ -1,0 +1,157 @@
+"""Cross-module integration tests: strategy ordering, failure injection,
+delivery-uniqueness, and estimated-measurement runs at small scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pruning import PruningPolicy
+from repro.core.strategies import EbStrategy
+from repro.des.rng import RngStreams
+from repro.des.simulator import Simulator
+from repro.network.measurement import MeasurementMode
+from repro.pubsub.filters import Predicate
+from repro.pubsub.subscription import Subscription
+from repro.pubsub.system import PubSubSystem, SystemConfig
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_system, run_simulation, schedule_workload
+from repro.stats.normal import Normal
+from repro.workload.scenarios import Scenario
+from tests.conftest import make_diamond_topology
+
+MATCH_ALL = Predicate("A1", "<", 1e9)
+
+#: ~4 simulated minutes at a congesting rate on the paper topology.
+CONGESTED = SimulationConfig(
+    seed=2,
+    scenario=Scenario.PSD,
+    publishing_rate_per_min=12.0,
+    duration_ms=240_000.0,
+)
+
+
+class TestStrategyOrdering:
+    """The paper's core result at small scale, same seed for all."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            s: run_simulation(CONGESTED.replace(strategy=s))
+            for s in ("eb", "pc", "fifo", "rl")
+        }
+
+    def test_eb_beats_baselines_on_delivery(self, results):
+        assert results["eb"].delivery_rate > results["fifo"].delivery_rate
+        assert results["eb"].delivery_rate > results["rl"].delivery_rate
+
+    def test_pc_beats_baselines_on_delivery(self, results):
+        assert results["pc"].delivery_rate > results["fifo"].delivery_rate
+        assert results["pc"].delivery_rate > results["rl"].delivery_rate
+
+    def test_traffic_overhead_is_modest(self, results):
+        assert results["eb"].message_number < 2 * results["fifo"].message_number
+        assert results["eb"].message_number < 2 * results["rl"].message_number
+
+    def test_probabilistic_pruning_happens(self, results):
+        assert results["eb"].pruned > 0
+
+
+class TestPruningAblation:
+    def test_disabling_pruning_increases_traffic(self):
+        with_pruning = run_simulation(CONGESTED)
+        without = run_simulation(CONGESTED.replace(pruning_override=PruningPolicy.NONE))
+        assert without.pruned == 0
+        assert without.message_number >= with_pruning.message_number
+
+    def test_epsilon_extremes(self):
+        # A huge epsilon prunes aggressively, starving deliveries relative
+        # to the paper's 5e-4.
+        aggressive = run_simulation(CONGESTED.replace(epsilon=0.9))
+        paper = run_simulation(CONGESTED)
+        assert aggressive.pruned >= paper.pruned
+        assert aggressive.deliveries_valid <= paper.deliveries_valid
+
+
+class TestEstimatedMeasurement:
+    def test_estimated_mode_runs_and_is_close_to_oracle(self):
+        oracle = run_simulation(CONGESTED)
+        estimated = run_simulation(
+            CONGESTED.replace(measurement_mode=MeasurementMode.ESTIMATED)
+        )
+        assert estimated.published == oracle.published
+        # Estimation noise costs something but not everything.
+        assert estimated.delivery_rate > 0.5 * oracle.delivery_rate
+
+
+class TestFailureInjection:
+    def test_link_outage_reroutes_traffic(self):
+        """Degrading the fast diamond branch must push routing to the slow
+        one (routing is recomputed against the new parameters)."""
+        topo = make_diamond_topology(
+            publishers={"P1": "B1"}, subscribers={"S1": "B4"}
+        )
+        # Kill the fast branch: effectively infinite per-KB time.
+        topo.set_link_rate("B1", "B2", Normal(1e6, 1.0))
+        system = PubSubSystem(
+            topology=topo,
+            strategy=EbStrategy(),
+            sim=Simulator(),
+            streams=RngStreams(0),
+        )
+        system.subscribe(Subscription("S1", MATCH_ALL))
+        assert system.routing_path("B1", "S1") == ["B1", "B3", "B4"]
+
+    def test_zero_subscribers_runs_clean(self):
+        cfg = CONGESTED.replace(duration_ms=60_000.0)
+        system = build_system(cfg)
+        # Strip all subscriptions by building a fresh system without them.
+        empty = PubSubSystem(
+            topology=system.topology,
+            strategy=EbStrategy(),
+            sim=Simulator(),
+            streams=RngStreams(5),
+        )
+        empty.publish("P1", {"A1": 1.0})
+        empty.sim.run()
+        assert empty.metrics.deliveries_valid == 0
+        assert empty.metrics.receptions == 1  # entered the source broker only
+        assert empty.total_queued() == 0
+
+    def test_expired_on_arrival_never_delivered_valid(self):
+        topo = make_diamond_topology(
+            publishers={"P1": "B1"}, subscribers={"S1": "B4"}
+        )
+        system = PubSubSystem(
+            topology=topo, strategy=EbStrategy(), sim=Simulator(), streams=RngStreams(1),
+        )
+        handle = system.subscribe(Subscription("S1", MATCH_ALL))
+        # 1 ms allowed delay: cannot possibly cross two links.
+        system.publish("P1", {"A1": 1.0}, deadline_ms=1.0)
+        system.sim.run()
+        assert handle.valid_count == 0
+        assert system.metrics.deliveries_valid == 0
+
+
+class TestDeliveryUniqueness:
+    def test_no_subscriber_sees_a_message_twice(self):
+        cfg = CONGESTED.replace(duration_ms=60_000.0, seed=11)
+        system = build_system(cfg)
+        schedule_workload(system, cfg)
+        system.sim.run(until=cfg.horizon_ms)
+        for name, handle in system.subscribers.items():
+            ids = [r.msg_id for r in handle.records]
+            assert len(ids) == len(set(ids)), f"duplicate delivery at {name}"
+
+
+class TestTraceIntegration:
+    def test_trace_captures_causal_chain(self):
+        cfg = CONGESTED.replace(duration_ms=30_000.0, enable_trace=True)
+        system = build_system(cfg)
+        schedule_workload(system, cfg)
+        system.sim.run(until=cfg.horizon_ms)
+        counts = system.trace.kind_counts()
+        assert counts["receive"] == system.metrics.receptions
+        assert counts["send"] == system.metrics.transmissions
+        assert counts.get("deliver", 0) == (
+            system.metrics.deliveries_valid + system.metrics.deliveries_late
+        )

@@ -1,0 +1,77 @@
+"""Directed link channel tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.link import DirectedLink, LinkStats
+from repro.stats.normal import Normal
+
+
+@pytest.fixture
+def link(rng) -> DirectedLink:
+    return DirectedLink("A", "B", Normal(10.0, 4.0), rng)
+
+
+class TestTransmission:
+    def test_duration_scales_with_size(self, rng):
+        link = DirectedLink("A", "B", Normal(10.0, 0.0), rng)  # deterministic
+        assert link.draw_transmission_time(5.0) == pytest.approx(50.0)
+        assert link.draw_transmission_time(1.0) == pytest.approx(10.0)
+
+    def test_durations_positive(self, link):
+        for _ in range(1000):
+            assert link.draw_transmission_time(1.0) > 0.0
+
+    def test_mean_duration_matches_rate(self, rng):
+        link = DirectedLink("A", "B", Normal(10.0, 4.0), rng)
+        xs = [link.draw_transmission_time(2.0) for _ in range(20_000)]
+        assert np.mean(xs) == pytest.approx(20.0, rel=0.02)
+
+    def test_invalid_size(self, link):
+        with pytest.raises(ValueError):
+            link.draw_transmission_time(0.0)
+
+    def test_stats_accumulate(self, rng):
+        link = DirectedLink("A", "B", Normal(10.0, 0.0), rng)
+        link.draw_transmission_time(3.0)
+        link.draw_transmission_time(2.0)
+        assert link.stats.transmissions == 2
+        assert link.stats.kilobytes == 5.0
+        assert link.stats.busy_time == pytest.approx(50.0)
+
+    def test_observer_called(self, rng):
+        link = DirectedLink("A", "B", Normal(10.0, 0.0), rng)
+        seen = []
+        link.add_observer(lambda size, dur: seen.append((size, dur)))
+        link.draw_transmission_time(4.0)
+        assert seen == [(4.0, pytest.approx(40.0))]
+
+
+class TestBusyState:
+    def test_acquire_release(self, link):
+        link.acquire()
+        assert link.busy
+        link.release()
+        assert not link.busy
+
+    def test_double_acquire_raises(self, link):
+        link.acquire()
+        with pytest.raises(RuntimeError):
+            link.acquire()
+
+    def test_release_idle_raises(self, link):
+        with pytest.raises(RuntimeError):
+            link.release()
+
+    def test_name(self, link):
+        assert link.name == "A->B"
+
+
+class TestLinkStats:
+    def test_utilisation(self):
+        stats = LinkStats(transmissions=2, kilobytes=10.0, busy_time=30.0)
+        assert stats.utilisation(60.0) == pytest.approx(0.5)
+        assert stats.utilisation(0.0) == 0.0
+        assert stats.utilisation(10.0) == 1.0  # clamped

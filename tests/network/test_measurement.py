@@ -1,0 +1,76 @@
+"""Link measurement tests: oracle vs estimated modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.link import DirectedLink
+from repro.network.measurement import DEFAULT_PRIOR, LinkMonitor, MeasurementMode
+from repro.stats.estimators import EwmaEstimator
+from repro.stats.normal import Normal
+
+TRUE = Normal(60.0, 400.0)
+
+
+def make_link(rng) -> DirectedLink:
+    return DirectedLink("A", "B", TRUE, rng)
+
+
+class TestOracleMode:
+    def test_exposes_true_distribution(self, rng):
+        monitor = LinkMonitor(make_link(rng), mode=MeasurementMode.ORACLE)
+        assert monitor.rate() is TRUE
+
+    def test_ignores_transmissions(self, rng):
+        link = make_link(rng)
+        monitor = LinkMonitor(link, mode=MeasurementMode.ORACLE)
+        link.draw_transmission_time(1.0)
+        assert monitor.samples == 0
+        assert monitor.estimation_error() == 0.0
+
+
+class TestEstimatedMode:
+    def test_prior_before_min_samples(self, rng):
+        link = make_link(rng)
+        monitor = LinkMonitor(link, mode=MeasurementMode.ESTIMATED, min_samples=3)
+        assert monitor.rate() == DEFAULT_PRIOR
+        link.draw_transmission_time(1.0)
+        link.draw_transmission_time(1.0)
+        assert monitor.rate() == DEFAULT_PRIOR  # still below threshold
+        link.draw_transmission_time(1.0)
+        assert monitor.rate() != DEFAULT_PRIOR
+
+    def test_converges_to_truth(self, rng):
+        link = make_link(rng)
+        monitor = LinkMonitor(link, mode=MeasurementMode.ESTIMATED)
+        for _ in range(5000):
+            link.draw_transmission_time(1.0)
+        est = monitor.rate()
+        # Truncation at zero slightly lifts the mean; tolerance covers it.
+        assert est.mean == pytest.approx(60.0, rel=0.05)
+        assert est.std == pytest.approx(20.0, rel=0.15)
+        assert monitor.estimation_error() < 3.0
+
+    def test_per_kb_normalisation(self, rng):
+        # Samples from variable message sizes must normalise to per-KB rate.
+        link = DirectedLink("A", "B", Normal(60.0, 0.0), rng)
+        monitor = LinkMonitor(link, mode=MeasurementMode.ESTIMATED, min_samples=1)
+        link.draw_transmission_time(10.0)  # duration 600, rate 60
+        link.draw_transmission_time(2.0)  # duration 120, rate 60
+        assert monitor.rate().mean == pytest.approx(60.0)
+
+    def test_custom_estimator_factory(self, rng):
+        link = make_link(rng)
+        monitor = LinkMonitor(
+            link,
+            mode=MeasurementMode.ESTIMATED,
+            estimator_factory=lambda: EwmaEstimator(alpha=0.5),
+            min_samples=1,
+        )
+        link.draw_transmission_time(1.0)
+        assert monitor.samples == 1
+
+    def test_invalid_min_samples(self, rng):
+        with pytest.raises(ValueError):
+            LinkMonitor(make_link(rng), min_samples=0)

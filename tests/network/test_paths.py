@@ -1,0 +1,101 @@
+"""Path algebra tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.paths import (
+    best_path_exhaustive,
+    enumerate_simple_paths,
+    path_distribution,
+    path_mean,
+    remaining_hops,
+)
+from repro.network.topology import TopologyError, build_from_edges
+from repro.stats.normal import Normal
+from tests.conftest import make_diamond_topology, make_line_topology
+
+
+class TestPathDistribution:
+    def test_line_sums_links(self):
+        topo = make_line_topology(n=4, rate=Normal(10.0, 4.0))
+        dist = path_distribution(topo, ["B1", "B2", "B3", "B4"])
+        assert dist.mean == 30.0
+        assert dist.variance == 12.0
+
+    def test_single_node_path_degenerate(self):
+        topo = make_line_topology(n=2)
+        dist = path_distribution(topo, ["B1"])
+        assert dist.mean == 0.0 and dist.variance == 0.0
+
+    def test_unlinked_consecutive_nodes_raise(self):
+        topo = make_line_topology(n=3)
+        with pytest.raises(TopologyError):
+            path_distribution(topo, ["B1", "B3"])
+
+    def test_path_mean(self):
+        topo = make_diamond_topology(fast=Normal(5.0, 1.0), slow=Normal(50.0, 4.0))
+        assert path_mean(topo, ["B1", "B2", "B4"]) == 10.0
+        assert path_mean(topo, ["B1", "B3", "B4"]) == 100.0
+
+
+class TestRemainingHops:
+    def test_values(self):
+        assert remaining_hops([]) == 0
+        assert remaining_hops(["B1"]) == 0
+        assert remaining_hops(["B1", "B2"]) == 1
+        assert remaining_hops(["B1", "B2", "B3", "B4"]) == 3
+
+
+class TestEnumeration:
+    def test_diamond_has_two_paths(self):
+        topo = make_diamond_topology()
+        paths = sorted(enumerate_simple_paths(topo, "B1", "B4"))
+        assert paths == [["B1", "B2", "B4"], ["B1", "B3", "B4"]]
+
+    def test_src_equals_dst(self):
+        topo = make_line_topology(n=2)
+        assert list(enumerate_simple_paths(topo, "B1", "B1")) == [["B1"]]
+
+    def test_unknown_node_raises(self):
+        topo = make_line_topology(n=2)
+        with pytest.raises(TopologyError):
+            list(enumerate_simple_paths(topo, "B1", "ZZ"))
+
+    def test_cutoff_limits_length(self):
+        # Square with diagonal: A-B-D and A-C-D and A-B-C-D etc.
+        topo = build_from_edges(
+            [
+                ("A", "B", Normal(1.0, 0.0)),
+                ("B", "D", Normal(1.0, 0.0)),
+                ("A", "C", Normal(1.0, 0.0)),
+                ("C", "D", Normal(1.0, 0.0)),
+                ("B", "C", Normal(1.0, 0.0)),
+            ]
+        )
+        short = list(enumerate_simple_paths(topo, "A", "D", cutoff=2))
+        assert all(len(p) <= 3 for p in short)
+
+
+class TestBestPathExhaustive:
+    def test_picks_fast_branch(self):
+        topo = make_diamond_topology()
+        assert best_path_exhaustive(topo, "B1", "B4") == ["B1", "B2", "B4"]
+
+    def test_tie_breaks_deterministic(self):
+        topo = build_from_edges(
+            [
+                ("A", "B", Normal(10.0, 0.0)),
+                ("B", "D", Normal(10.0, 0.0)),
+                ("A", "C", Normal(10.0, 0.0)),
+                ("C", "D", Normal(10.0, 0.0)),
+            ]
+        )
+        # Equal means: lexicographically smaller path wins.
+        assert best_path_exhaustive(topo, "A", "D") == ["A", "B", "D"]
+
+    def test_no_path_raises(self):
+        topo = build_from_edges([("A", "B", Normal(1.0, 0.0))])
+        topo.add_broker("Z")
+        with pytest.raises(TopologyError):
+            best_path_exhaustive(topo, "A", "Z")

@@ -1,0 +1,113 @@
+"""Routing tests: sink trees vs the exhaustive oracle, consistency, k-paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.paths import best_path_exhaustive, path_distribution, path_mean
+from repro.network.routing import compute_sink_tree, k_shortest_paths, shortest_path
+from repro.network.topology import TopologyError, build_random_mesh
+from repro.stats.normal import Normal
+from tests.conftest import make_diamond_topology, make_line_topology
+
+
+class TestSinkTree:
+    def test_line_routes_toward_sink(self):
+        topo = make_line_topology(n=4, rate=Normal(10.0, 4.0))
+        tree = compute_sink_tree(topo, "B4")
+        assert tree.entry("B4").is_sink
+        assert tree.entry("B1").next_hop == "B2"
+        assert tree.entry("B3").next_hop == "B4"
+
+    def test_remaining_path_parameters(self):
+        topo = make_line_topology(n=4, rate=Normal(10.0, 4.0))
+        tree = compute_sink_tree(topo, "B4")
+        e1 = tree.entry("B1")
+        assert e1.nn == 3
+        assert e1.rate.mean == 30.0
+        assert e1.rate.variance == 12.0
+        e4 = tree.entry("B4")
+        assert e4.nn == 0
+        assert e4.rate.mean == 0.0
+
+    def test_diamond_prefers_fast_branch(self):
+        topo = make_diamond_topology()
+        tree = compute_sink_tree(topo, "B4")
+        assert tree.path_from("B1") == ["B1", "B2", "B4"]
+
+    def test_unknown_sink_raises(self):
+        topo = make_line_topology(n=2)
+        with pytest.raises(TopologyError):
+            compute_sink_tree(topo, "nope")
+
+    def test_path_entry_consistency(self):
+        """A tree entry's (nn, rate) must equal the algebra over its path."""
+        topo = build_random_mesh(np.random.default_rng(11), broker_count=12, extra_links=8)
+        tree = compute_sink_tree(topo, topo.brokers[0])
+        for broker in tree.brokers:
+            path = tree.path_from(broker)
+            entry = tree.entry(broker)
+            assert entry.nn == len(path) - 1
+            dist = path_distribution(topo, path)
+            assert entry.rate.mean == pytest.approx(dist.mean)
+            assert entry.rate.variance == pytest.approx(dist.variance)
+
+    def test_suffix_property(self):
+        """The next hop's route is the suffix of this broker's route."""
+        topo = build_random_mesh(np.random.default_rng(5), broker_count=10, extra_links=6)
+        tree = compute_sink_tree(topo, topo.brokers[-1])
+        for broker in tree.brokers:
+            entry = tree.entry(broker)
+            if entry.next_hop is None:
+                continue
+            assert tree.path_from(broker)[1:] == tree.path_from(entry.next_hop)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_optimality_vs_exhaustive(self, seed):
+        """Dijkstra's path mean equals the brute-force optimum."""
+        rng = np.random.default_rng(seed)
+        topo = build_random_mesh(rng, broker_count=7, extra_links=4)
+        brokers = topo.brokers
+        sink = brokers[0]
+        tree = compute_sink_tree(topo, sink)
+        for src in brokers[1:4]:
+            best = best_path_exhaustive(topo, src, sink)
+            assert path_mean(topo, tree.path_from(src)) == pytest.approx(
+                path_mean(topo, best)
+            )
+
+
+class TestShortestPath:
+    def test_matches_oracle_on_diamond(self):
+        topo = make_diamond_topology()
+        assert shortest_path(topo, "B1", "B4") == ["B1", "B2", "B4"]
+
+    def test_src_is_dst(self):
+        topo = make_line_topology(n=2)
+        assert shortest_path(topo, "B1", "B1") == ["B1"]
+
+
+class TestKShortestPaths:
+    def test_diamond_both_paths_ordered(self):
+        topo = make_diamond_topology()
+        paths = k_shortest_paths(topo, "B1", "B4", k=2)
+        assert paths == [["B1", "B2", "B4"], ["B1", "B3", "B4"]]
+
+    def test_k_larger_than_available(self):
+        topo = make_diamond_topology()
+        assert len(k_shortest_paths(topo, "B1", "B4", k=10)) == 2
+
+    def test_invalid_k(self):
+        topo = make_diamond_topology()
+        with pytest.raises(ValueError):
+            k_shortest_paths(topo, "B1", "B4", k=0)
+
+    def test_disconnected_raises(self):
+        topo = make_line_topology(n=2)
+        topo.add_broker("Z")
+        with pytest.raises(TopologyError):
+            k_shortest_paths(topo, "B1", "Z", k=1)

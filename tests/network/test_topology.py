@@ -1,0 +1,188 @@
+"""Topology construction and builder tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.topology import (
+    LayeredMeshSpec,
+    Topology,
+    TopologyError,
+    build_acyclic_tree,
+    build_from_edges,
+    build_layered_mesh,
+    build_random_mesh,
+)
+from repro.stats.normal import Normal
+
+RATE = Normal(10.0, 4.0)
+
+
+class TestTopologyBasics:
+    def test_add_and_query(self):
+        t = Topology()
+        t.add_broker("A")
+        t.add_broker("B")
+        t.add_link("A", "B", RATE)
+        assert t.brokers == ["A", "B"]
+        assert t.link_count == 1
+        assert t.has_link("A", "B") and t.has_link("B", "A")
+        assert t.link_rate("B", "A") is RATE
+        assert t.neighbors("A") == ["B"]
+
+    def test_duplicate_broker_rejected(self):
+        t = Topology()
+        t.add_broker("A")
+        with pytest.raises(TopologyError):
+            t.add_broker("A")
+
+    def test_self_link_rejected(self):
+        t = Topology()
+        t.add_broker("A")
+        with pytest.raises(TopologyError):
+            t.add_link("A", "A", RATE)
+
+    def test_duplicate_link_rejected(self):
+        t = Topology()
+        t.add_broker("A")
+        t.add_broker("B")
+        t.add_link("A", "B", RATE)
+        with pytest.raises(TopologyError):
+            t.add_link("B", "A", RATE)
+
+    def test_unknown_broker_link_rejected(self):
+        t = Topology()
+        t.add_broker("A")
+        with pytest.raises(TopologyError):
+            t.add_link("A", "Z", RATE)
+
+    def test_unknown_link_rate_raises(self):
+        t = Topology()
+        t.add_broker("A")
+        t.add_broker("B")
+        with pytest.raises(TopologyError):
+            t.link_rate("A", "B")
+
+    def test_set_link_rate(self):
+        t = Topology()
+        t.add_broker("A")
+        t.add_broker("B")
+        t.add_link("A", "B", RATE)
+        t.set_link_rate("A", "B", Normal(99.0, 1.0))
+        assert t.link_rate("A", "B").mean == 99.0
+
+    def test_attachments(self):
+        t = Topology()
+        t.add_broker("A")
+        t.attach_publisher("P1", "A")
+        t.attach_subscriber("S1", "A")
+        assert t.publishers_of("A") == ["P1"]
+        assert t.subscribers_of("A") == ["S1"]
+        with pytest.raises(TopologyError):
+            t.attach_publisher("P1", "A")
+        with pytest.raises(TopologyError):
+            t.attach_subscriber("S2", "nowhere")
+
+    def test_connectivity(self):
+        t = Topology()
+        t.add_broker("A")
+        t.add_broker("B")
+        assert not t.is_connected()
+        t.add_link("A", "B", RATE)
+        assert t.is_connected()
+
+    def test_links_sorted_canonical(self):
+        t = build_from_edges([("B2", "B1", RATE), ("B3", "B1", RATE)])
+        links = t.links()
+        assert [(a, b) for a, b, _ in links] == [("B1", "B2"), ("B1", "B3")]
+
+
+class TestLayeredMesh:
+    def test_paper_spec_counts(self, rng):
+        topo = build_layered_mesh(rng)
+        assert topo.broker_count == 32
+        # Links: L2 to all 4 L1 (16) + 8 L3 x 2 (16) + 16 L4 x 2 (32) = 64.
+        assert topo.link_count == 64
+        assert len(topo.publisher_brokers) == 4
+        assert len(topo.subscriber_brokers) == 160
+        assert topo.is_connected()
+
+    def test_publishers_on_first_layer(self, rng):
+        topo = build_layered_mesh(rng)
+        assert set(topo.publisher_brokers.values()) == {"B1", "B2", "B3", "B4"}
+
+    def test_subscribers_on_last_layer_even(self, rng):
+        topo = build_layered_mesh(rng)
+        per_broker = {}
+        for sub, broker in topo.subscriber_brokers.items():
+            per_broker[broker] = per_broker.get(broker, 0) + 1
+        assert all(v == 10 for v in per_broker.values())
+        assert len(per_broker) == 16
+
+    def test_link_rates_in_range(self, rng):
+        topo = build_layered_mesh(rng)
+        for _, _, rate in topo.links():
+            assert 50.0 <= rate.mean <= 100.0
+            assert rate.std == pytest.approx(20.0)
+
+    def test_deterministic_for_seed(self):
+        a = build_layered_mesh(np.random.default_rng(3))
+        b = build_layered_mesh(np.random.default_rng(3))
+        assert [(x, y, r.mean) for x, y, r in a.links()] == [
+            (x, y, r.mean) for x, y, r in b.links()
+        ]
+
+    def test_custom_spec(self, rng):
+        spec = LayeredMeshSpec(
+            layer_sizes=(2, 2, 4),
+            uplinks_per_layer=(0, 2, 2),
+            publishers_per_edge_broker=2,
+            subscribers_per_edge_broker=3,
+        )
+        topo = build_layered_mesh(rng, spec)
+        assert topo.broker_count == 8
+        assert len(topo.publisher_brokers) == 4
+        assert len(topo.subscriber_brokers) == 12
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LayeredMeshSpec(layer_sizes=(4,), uplinks_per_layer=(0,))
+        with pytest.raises(ValueError):
+            LayeredMeshSpec(layer_sizes=(4, 0), uplinks_per_layer=(0, 2))
+        with pytest.raises(ValueError):
+            LayeredMeshSpec(rate_mean_range=(100.0, 50.0))
+
+
+class TestOtherBuilders:
+    def test_acyclic_tree_is_tree(self, rng):
+        topo = build_acyclic_tree(rng, broker_count=12, publishers=3, subscribers=9)
+        assert topo.broker_count == 12
+        assert topo.link_count == 11  # tree
+        assert topo.is_connected()
+        assert len(topo.publisher_brokers) == 3
+        assert len(topo.subscriber_brokers) == 9
+
+    def test_random_mesh_has_chords(self, rng):
+        topo = build_random_mesh(rng, broker_count=10, extra_links=5)
+        assert topo.broker_count == 10
+        assert topo.link_count == 9 + 5
+        assert topo.is_connected()
+
+    def test_random_mesh_caps_extra_links(self, rng):
+        topo = build_random_mesh(rng, broker_count=4, extra_links=100)
+        # Complete graph on 4 nodes has 6 edges.
+        assert topo.link_count == 6
+
+    def test_from_edges_with_attachments(self):
+        topo = build_from_edges(
+            [("A", "B", RATE)], publishers={"P": "A"}, subscribers={"S": "B"}
+        )
+        assert topo.publisher_brokers == {"P": "A"}
+        assert topo.subscriber_brokers == {"S": "B"}
+
+    def test_builder_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            build_acyclic_tree(rng, broker_count=0)
+        with pytest.raises(ValueError):
+            build_random_mesh(rng, broker_count=1)

@@ -1,0 +1,51 @@
+"""Client endpoint tests."""
+
+from __future__ import annotations
+
+from repro.core.strategies import FifoStrategy
+from repro.des.rng import RngStreams
+from repro.des.simulator import Simulator
+from repro.pubsub.client import DeliveryRecord, SubscriberHandle
+from repro.pubsub.filters import Predicate
+from repro.pubsub.subscription import Subscription
+from repro.pubsub.system import PubSubSystem
+from tests.conftest import make_line_topology
+
+MATCH_ALL = Predicate("A1", "<", 1e9)
+
+
+class TestSubscriberHandle:
+    def test_counts(self):
+        h = SubscriberHandle("S1")
+        h.records.append(DeliveryRecord(1, 10.0, 10.0, valid=True))
+        h.records.append(DeliveryRecord(2, 20.0, 20.0, valid=True))
+        h.records.append(DeliveryRecord(3, 30.0, 30.0, valid=False))
+        assert h.valid_count == 2
+        assert h.late_count == 1
+        assert h.received_ids() == {1, 2, 3}
+
+    def test_empty(self):
+        h = SubscriberHandle("S1")
+        assert h.valid_count == 0 and h.late_count == 0
+        assert h.received_ids() == set()
+
+
+class TestPublisherHandle:
+    def test_publish_through_system(self):
+        topo = make_line_topology(
+            n=2, publishers={"P1": "B1"}, subscribers={"S1": "B2"}
+        )
+        system = PubSubSystem(topo, FifoStrategy(), Simulator(), RngStreams(0))
+        handle_sub = system.subscribe(Subscription("S1", MATCH_ALL))
+        pub = system.publishers["P1"]
+        message = pub.publish({"A1": 2.0}, size_kb=10.0)
+        system.sim.run()
+        assert pub.published == 1
+        assert message.size_kb == 10.0
+        assert handle_sub.received_ids() == {message.msg_id}
+
+    def test_deadline_forwarded(self):
+        topo = make_line_topology(n=2, publishers={"P1": "B1"})
+        system = PubSubSystem(topo, FifoStrategy(), Simulator(), RngStreams(0))
+        message = system.publishers["P1"].publish({"A1": 1.0}, deadline_ms=5_000.0)
+        assert message.deadline_ms == 5_000.0

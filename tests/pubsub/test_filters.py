@@ -1,0 +1,154 @@
+"""Filter language tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pubsub.filters import (
+    AndFilter,
+    FilterError,
+    OrFilter,
+    Predicate,
+    conjunction_predicates,
+    parse_filter,
+)
+
+
+class TestPredicate:
+    @pytest.mark.parametrize(
+        "op,value,attr_value,expected",
+        [
+            ("<", 5.0, 4.9, True),
+            ("<", 5.0, 5.0, False),
+            ("<=", 5.0, 5.0, True),
+            (">", 5.0, 5.1, True),
+            (">", 5.0, 5.0, False),
+            (">=", 5.0, 5.0, True),
+            ("==", 5.0, 5.0, True),
+            ("==", 5.0, 5.1, False),
+            ("!=", 5.0, 5.1, True),
+            ("!=", 5.0, 5.0, False),
+        ],
+    )
+    def test_operators(self, op, value, attr_value, expected):
+        assert Predicate("A", op, value).matches({"A": attr_value}) is expected
+
+    def test_missing_attribute_never_matches(self):
+        assert not Predicate("A", "<", 5.0).matches({"B": 1.0})
+
+    def test_unknown_operator(self):
+        with pytest.raises(FilterError):
+            Predicate("A", "~", 5.0)
+
+    def test_empty_attribute(self):
+        with pytest.raises(FilterError):
+            Predicate("", "<", 5.0)
+
+    def test_str(self):
+        assert str(Predicate("A1", "<", 5.0)) == "A1<5"
+
+
+class TestCombinators:
+    def test_and(self):
+        f = Predicate("A", "<", 5.0) & Predicate("B", ">", 2.0)
+        assert isinstance(f, AndFilter)
+        assert f.matches({"A": 4.0, "B": 3.0})
+        assert not f.matches({"A": 4.0, "B": 1.0})
+
+    def test_or(self):
+        f = Predicate("A", "<", 5.0) | Predicate("B", ">", 2.0)
+        assert isinstance(f, OrFilter)
+        assert f.matches({"A": 9.0, "B": 3.0})
+        assert not f.matches({"A": 9.0, "B": 1.0})
+
+    def test_and_flattens(self):
+        f = Predicate("A", "<", 1.0) & Predicate("B", "<", 2.0) & Predicate("C", "<", 3.0)
+        assert len(f.parts) == 3
+
+    def test_empty_and_matches_everything(self):
+        assert AndFilter([]).matches({})
+
+    def test_empty_or_matches_nothing(self):
+        assert not OrFilter([]).matches({"A": 1.0})
+
+    def test_filters_hashable(self):
+        a = Predicate("A", "<", 5.0)
+        b = Predicate("A", "<", 5.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert AndFilter([a]) == AndFilter([b])
+
+
+class TestParser:
+    def test_single_predicate(self):
+        f = parse_filter("A1<5")
+        assert f == Predicate("A1", "<", 5.0)
+
+    def test_conjunction(self):
+        f = parse_filter("A1<5 & A2>=2.5")
+        assert isinstance(f, AndFilter)
+        assert f.matches({"A1": 1.0, "A2": 2.5})
+
+    def test_disjunction_precedence(self):
+        # & binds tighter: (A<1 & B<1) | C>9
+        f = parse_filter("A<1 & B<1 | C>9")
+        assert f.matches({"A": 5.0, "B": 5.0, "C": 10.0})
+        assert f.matches({"A": 0.5, "B": 0.5, "C": 0.0})
+        assert not f.matches({"A": 0.5, "B": 5.0, "C": 0.0})
+
+    def test_scientific_notation_and_negative(self):
+        f = parse_filter("A>=-1.5e2")
+        assert f == Predicate("A", ">=", -150.0)
+
+    @pytest.mark.parametrize("bad", ["", "A1", "A1<", "<5", "A1 ? 5", "A1<5 &"])
+    def test_malformed(self, bad):
+        with pytest.raises(FilterError):
+            parse_filter(bad)
+
+    def test_roundtrip_through_str(self):
+        f = parse_filter("A1<5 & A2<7")
+        assert parse_filter(str(f)) == f
+
+
+class TestConjunctionExtraction:
+    def test_predicate_is_conjunction(self):
+        p = Predicate("A", "<", 1.0)
+        assert conjunction_predicates(p) == (p,)
+
+    def test_and_of_predicates(self):
+        f = Predicate("A", "<", 1.0) & Predicate("B", "<", 2.0)
+        preds = conjunction_predicates(f)
+        assert preds is not None and len(preds) == 2
+
+    def test_or_is_not_conjunction(self):
+        f = Predicate("A", "<", 1.0) | Predicate("B", "<", 2.0)
+        assert conjunction_predicates(f) is None
+
+    def test_nested_or_inside_and_is_not_conjunction(self):
+        inner = Predicate("A", "<", 1.0) | Predicate("B", "<", 2.0)
+        f = AndFilter([inner, Predicate("C", "<", 3.0)])
+        assert conjunction_predicates(f) is None
+
+
+attr_values = st.dictionaries(
+    st.sampled_from(["A", "B", "C"]), st.floats(-10, 10), min_size=0, max_size=3
+)
+
+
+@given(
+    attr=st.sampled_from(["A", "B", "C"]),
+    op=st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+    threshold=st.floats(-10, 10),
+    values=attr_values,
+)
+@settings(max_examples=300)
+def test_predicate_matches_python_semantics(attr, op, threshold, values):
+    import operator
+
+    ops = {"<": operator.lt, "<=": operator.le, ">": operator.gt,
+           ">=": operator.ge, "==": operator.eq, "!=": operator.ne}
+    p = Predicate(attr, op, threshold)
+    expected = attr in values and ops[op](values[attr], threshold)
+    assert p.matches(values) is expected

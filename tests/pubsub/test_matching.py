@@ -1,0 +1,152 @@
+"""Matching engine tests: counting index vs brute-force oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pubsub.filters import AndFilter, OrFilter, Predicate
+from repro.pubsub.matching import BruteForceMatcher, CountingIndexMatcher
+
+
+def predicates():
+    return st.builds(
+        Predicate,
+        attribute=st.sampled_from(["A", "B", "C"]),
+        op=st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+        value=st.floats(-5, 5, allow_nan=False),
+    )
+
+
+def conjunctions():
+    return st.lists(predicates(), min_size=1, max_size=3).map(
+        lambda ps: ps[0] if len(ps) == 1 else AndFilter(ps)
+    )
+
+
+class TestBruteForce:
+    def test_basic_match(self):
+        m = BruteForceMatcher()
+        m.add("s1", Predicate("A", "<", 5.0))
+        m.add("s2", Predicate("A", ">", 5.0))
+        assert m.match({"A": 3.0}) == {"s1"}
+        assert len(m) == 2
+
+    def test_duplicate_key_rejected(self):
+        m = BruteForceMatcher()
+        m.add("s1", Predicate("A", "<", 5.0))
+        with pytest.raises(KeyError):
+            m.add("s1", Predicate("A", ">", 5.0))
+
+    def test_remove(self):
+        m = BruteForceMatcher()
+        m.add("s1", Predicate("A", "<", 5.0))
+        m.remove("s1")
+        assert m.match({"A": 3.0}) == set()
+        assert len(m) == 0
+
+
+class TestCountingIndex:
+    def test_conjunction_requires_all_predicates(self):
+        m = CountingIndexMatcher()
+        m.add("s1", AndFilter([Predicate("A", "<", 5.0), Predicate("B", "<", 5.0)]))
+        assert m.match({"A": 3.0, "B": 3.0}) == {"s1"}
+        assert m.match({"A": 3.0, "B": 7.0}) == set()
+        assert m.match({"A": 3.0}) == set()  # missing attribute
+
+    def test_shared_thresholds(self):
+        m = CountingIndexMatcher()
+        m.add("s1", Predicate("A", "<", 5.0))
+        m.add("s2", Predicate("A", "<", 5.0))
+        m.add("s3", Predicate("A", "<", 2.0))
+        assert m.match({"A": 3.0}) == {"s1", "s2"}
+        assert m.match({"A": 1.0}) == {"s1", "s2", "s3"}
+
+    def test_all_operators(self):
+        m = CountingIndexMatcher()
+        m.add("lt", Predicate("A", "<", 5.0))
+        m.add("le", Predicate("A", "<=", 5.0))
+        m.add("gt", Predicate("A", ">", 5.0))
+        m.add("ge", Predicate("A", ">=", 5.0))
+        m.add("eq", Predicate("A", "==", 5.0))
+        m.add("ne", Predicate("A", "!=", 5.0))
+        assert m.match({"A": 5.0}) == {"le", "ge", "eq"}
+        assert m.match({"A": 4.0}) == {"lt", "le", "ne"}
+        assert m.match({"A": 6.0}) == {"gt", "ge", "ne"}
+
+    def test_match_all_conjunction(self):
+        m = CountingIndexMatcher()
+        m.add("s1", AndFilter([]))
+        assert m.match({"A": 1.0}) == {"s1"}
+        assert m.match({}) == {"s1"}
+
+    def test_non_conjunctive_falls_back(self):
+        m = CountingIndexMatcher()
+        m.add("s1", OrFilter([Predicate("A", "<", 1.0), Predicate("B", ">", 9.0)]))
+        assert m.match({"A": 0.5, "B": 0.0}) == {"s1"}
+        assert m.match({"A": 5.0, "B": 9.5}) == {"s1"}
+        assert m.match({"A": 5.0, "B": 5.0}) == set()
+        assert len(m) == 1
+
+    def test_remove_indexed(self):
+        m = CountingIndexMatcher()
+        f = AndFilter([Predicate("A", "<", 5.0), Predicate("B", "<", 5.0)])
+        m.add("s1", f)
+        m.remove("s1")
+        assert m.match({"A": 1.0, "B": 1.0}) == set()
+        assert len(m) == 0
+
+    def test_remove_fallback(self):
+        m = CountingIndexMatcher()
+        m.add("s1", OrFilter([Predicate("A", "<", 1.0)]))
+        m.remove("s1")
+        assert len(m) == 0
+
+    def test_duplicate_key_rejected(self):
+        m = CountingIndexMatcher()
+        m.add("s1", Predicate("A", "<", 5.0))
+        with pytest.raises(KeyError):
+            m.add("s1", Predicate("B", "<", 5.0))
+
+    def test_duplicate_threshold_same_attr(self):
+        m = CountingIndexMatcher()
+        m.add("s1", Predicate("A", "<", 5.0))
+        m.add("s2", Predicate("A", "<", 5.0))
+        m.remove("s1")
+        assert m.match({"A": 1.0}) == {"s2"}
+
+
+@given(
+    filters=st.lists(conjunctions(), min_size=1, max_size=12),
+    attrs=st.dictionaries(
+        st.sampled_from(["A", "B", "C"]), st.floats(-5, 5, allow_nan=False), max_size=3
+    ),
+)
+@settings(max_examples=300)
+def test_counting_index_agrees_with_brute_force(filters, attrs):
+    brute = BruteForceMatcher()
+    index = CountingIndexMatcher()
+    for i, f in enumerate(filters):
+        brute.add(i, f)
+        index.add(i, f)
+    assert index.match(attrs) == brute.match(attrs)
+
+
+@given(
+    filters=st.lists(conjunctions(), min_size=2, max_size=10),
+    attrs=st.dictionaries(
+        st.sampled_from(["A", "B", "C"]), st.floats(-5, 5, allow_nan=False), max_size=3
+    ),
+    remove_idx=st.integers(0, 1),
+)
+@settings(max_examples=150)
+def test_counting_index_agrees_after_removal(filters, attrs, remove_idx):
+    brute = BruteForceMatcher()
+    index = CountingIndexMatcher()
+    for i, f in enumerate(filters):
+        brute.add(i, f)
+        index.add(i, f)
+    brute.remove(remove_idx)
+    index.remove(remove_idx)
+    assert index.match(attrs) == brute.match(attrs)

@@ -1,0 +1,111 @@
+"""Metrics collector tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pubsub.metrics import MetricsCollector
+
+
+class TestCounters:
+    def test_delivery_rate(self):
+        m = MetricsCollector()
+        m.on_publish(1, interested_subscribers=4)
+        m.on_publish(2, interested_subscribers=2)
+        m.on_delivery(1, "S1", 100.0, 1.0, valid=True)
+        m.on_delivery(1, "S2", 120.0, 1.0, valid=True)
+        m.on_delivery(2, "S1", 900.0, 1.0, valid=False)
+        assert m.total_interested == 6
+        assert m.deliveries_valid == 2
+        assert m.deliveries_late == 1
+        assert m.delivery_rate == pytest.approx(2 / 6)
+
+    def test_delivery_rate_empty(self):
+        assert MetricsCollector().delivery_rate == 0.0
+
+    def test_earning_sums_prices(self):
+        m = MetricsCollector()
+        m.on_publish(1, 2)
+        m.on_delivery(1, "S1", 10.0, 3.0, valid=True)
+        m.on_delivery(1, "S2", 10.0, 2.0, valid=True)
+        assert m.earning == 5.0
+
+    def test_late_delivery_earns_nothing(self):
+        m = MetricsCollector()
+        m.on_publish(1, 1)
+        m.on_delivery(1, "S1", 10.0, 3.0, valid=False)
+        assert m.earning == 0.0
+        assert m.per_subscriber_valid == {}
+
+    def test_mean_latency(self):
+        m = MetricsCollector()
+        m.on_publish(1, 2)
+        m.on_delivery(1, "S1", 100.0, 1.0, valid=True)
+        m.on_delivery(1, "S2", 300.0, 1.0, valid=True)
+        assert m.mean_latency_ms == 200.0
+        assert MetricsCollector().mean_latency_ms == 0.0
+
+    def test_receptions_and_pruning(self):
+        m = MetricsCollector()
+        m.on_reception()
+        m.on_reception()
+        m.on_prune(3)
+        m.on_transmission()
+        assert m.receptions == 2
+        assert m.pruned == 3
+        assert m.transmissions == 1
+
+
+class TestDuplicateSettlement:
+    """Multi-path routing can deliver the same (message, subscriber) pair
+    twice; only the first arrival may count."""
+
+    def test_second_valid_arrival_ignored(self):
+        m = MetricsCollector()
+        m.on_publish(1, 1)
+        m.on_delivery(1, "S1", 100.0, 2.0, valid=True)
+        m.on_delivery(1, "S1", 150.0, 2.0, valid=True)
+        assert m.deliveries_valid == 1
+        assert m.earning == 2.0
+        assert m.duplicate_deliveries == 1
+        m.check_invariants()
+
+    def test_late_then_late_counts_once(self):
+        m = MetricsCollector()
+        m.on_publish(1, 1)
+        m.on_delivery(1, "S1", 900.0, 1.0, valid=False)
+        m.on_delivery(1, "S1", 950.0, 1.0, valid=False)
+        assert m.deliveries_late == 1
+        assert m.duplicate_deliveries == 1
+
+    def test_distinct_subscribers_not_duplicates(self):
+        m = MetricsCollector()
+        m.on_publish(1, 2)
+        m.on_delivery(1, "S1", 100.0, 1.0, valid=True)
+        m.on_delivery(1, "S2", 100.0, 1.0, valid=True)
+        assert m.deliveries_valid == 2
+        assert m.duplicate_deliveries == 0
+
+    def test_distinct_messages_not_duplicates(self):
+        m = MetricsCollector()
+        m.on_publish(1, 1)
+        m.on_publish(2, 1)
+        m.on_delivery(1, "S1", 100.0, 1.0, valid=True)
+        m.on_delivery(2, "S1", 100.0, 1.0, valid=True)
+        assert m.deliveries_valid == 2
+
+
+class TestInvariants:
+    def test_clean_state_passes(self):
+        m = MetricsCollector()
+        m.on_publish(1, 3)
+        m.on_delivery(1, "S1", 1.0, 1.0, valid=True)
+        m.check_invariants()
+
+    def test_over_delivery_detected(self):
+        m = MetricsCollector()
+        m.on_publish(1, 1)
+        m.on_delivery(1, "S1", 1.0, 1.0, valid=True)
+        m.on_delivery(1, "S2", 1.0, 1.0, valid=True)  # more than interested
+        with pytest.raises(AssertionError):
+            m.check_invariants()

@@ -1,0 +1,135 @@
+"""Subscription table tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pubsub.filters import Predicate
+from repro.pubsub.message import Message
+from repro.pubsub.subscription import RowArrays, Subscription, SubscriptionTable, TableRow
+from repro.stats.normal import Normal
+
+
+def sub(name="S1", threshold=5.0, deadline=None, price=None) -> Subscription:
+    return Subscription(
+        subscriber=name,
+        filter=Predicate("A1", "<", threshold),
+        deadline_ms=deadline,
+        price=price,
+    )
+
+
+def row(subscription=None, next_hop="B2", nn=2, rate=Normal(20.0, 8.0), sources=("B1",)) -> TableRow:
+    return TableRow(
+        subscription=subscription or sub(),
+        next_hop=next_hop,
+        nn=nn,
+        rate=rate,
+        sources=frozenset(sources),
+    )
+
+
+def msg(attrs=None, source="B1", msg_id=1) -> Message:
+    return Message(
+        msg_id=msg_id,
+        publisher="P1",
+        source_broker=source,
+        attributes=attrs or {"A1": 3.0, "A2": 3.0},
+        size_kb=50.0,
+        publish_time=0.0,
+    )
+
+
+class TestSubscription:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sub(deadline=0.0)
+        with pytest.raises(ValueError):
+            Subscription("S", Predicate("A", "<", 1.0), price=-1.0)
+
+    def test_row_accessors(self):
+        r = row(subscription=sub(deadline=10_000.0, price=2.0))
+        assert r.subscriber == "S1"
+        assert r.deadline_ms == 10_000.0
+        assert r.price == 2.0
+        assert not r.is_local
+
+    def test_local_row(self):
+        r = row(next_hop=None, nn=0, rate=Normal(0.0, 0.0))
+        assert r.is_local
+
+
+class TestSubscriptionTable:
+    def test_install_and_match(self):
+        t = SubscriptionTable()
+        t.install(row())
+        assert len(t) == 1
+        assert "S1" in t
+        matches = t.match(msg())
+        assert [r.subscriber for r in matches] == ["S1"]
+
+    def test_filter_mismatch(self):
+        t = SubscriptionTable()
+        t.install(row())
+        assert t.match(msg(attrs={"A1": 9.0})) == []
+
+    def test_provenance_check(self):
+        t = SubscriptionTable()
+        t.install(row(sources=("B7",)))
+        # Message from B1 must not ride a row installed only for B7 traffic.
+        assert t.match(msg(source="B1")) == []
+        assert [r.subscriber for r in t.match(msg(source="B7"))] == ["S1"]
+
+    def test_duplicate_subscriber_rejected(self):
+        t = SubscriptionTable()
+        t.install(row())
+        with pytest.raises(KeyError):
+            t.install(row())
+
+    def test_uninstall(self):
+        t = SubscriptionTable()
+        t.install(row())
+        t.uninstall("S1")
+        assert len(t) == 0
+        assert t.match(msg()) == []
+
+    def test_match_grouped(self):
+        t = SubscriptionTable()
+        t.install(row(subscription=sub("S1"), next_hop=None, nn=0, rate=Normal(0, 0)))
+        t.install(row(subscription=sub("S2"), next_hop="B2"))
+        t.install(row(subscription=sub("S3"), next_hop="B2"))
+        t.install(row(subscription=sub("S4"), next_hop="B3"))
+        local, remote = t.match_grouped(msg())
+        assert [r.subscriber for r in local] == ["S1"]
+        assert sorted(remote) == ["B2", "B3"]
+        assert [r.subscriber for r in remote["B2"]] == ["S2", "S3"]
+
+    def test_rows_sorted(self):
+        t = SubscriptionTable()
+        t.install(row(subscription=sub("S2")))
+        t.install(row(subscription=sub("S1")))
+        assert [r.subscriber for r in t.rows()] == ["S1", "S2"]
+
+
+class TestRowArrays:
+    def test_from_rows(self):
+        rows = [
+            row(subscription=sub("S1", deadline=10_000.0, price=3.0), nn=2, rate=Normal(20.0, 16.0)),
+            row(subscription=sub("S2"), nn=1, rate=Normal(10.0, 4.0)),
+        ]
+        arrays = RowArrays.from_rows(rows)
+        assert len(arrays) == 2
+        assert arrays.nn.tolist() == [2.0, 1.0]
+        assert arrays.mean.tolist() == [20.0, 10.0]
+        assert arrays.std.tolist() == [4.0, 2.0]
+        assert arrays.deadline[0] == 10_000.0
+        assert math.isinf(arrays.deadline[1])  # unspecified deadline
+        assert arrays.price.tolist() == [3.0, 1.0]  # unspecified price -> 1
+
+    def test_empty(self):
+        arrays = RowArrays.from_rows([])
+        assert len(arrays) == 0
+        assert arrays.nn.shape == (0,)

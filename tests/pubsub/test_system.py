@@ -1,0 +1,178 @@
+"""System assembly tests: wiring, routing installation, publishing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import EbStrategy, FifoStrategy
+from repro.des.rng import RngStreams
+from repro.des.simulator import Simulator
+from repro.network.topology import TopologyError, build_from_edges, build_layered_mesh
+from repro.pubsub.filters import Predicate
+from repro.pubsub.subscription import Subscription
+from repro.pubsub.system import PubSubSystem, SystemConfig
+from repro.stats.normal import Normal
+from tests.conftest import make_diamond_topology, make_line_topology
+
+MATCH_ALL = Predicate("A1", "<", 1e9)
+
+
+def make_system(topology, strategy=None, config=None) -> PubSubSystem:
+    return PubSubSystem(
+        topology=topology,
+        strategy=strategy or FifoStrategy(),
+        sim=Simulator(),
+        streams=RngStreams(0),
+        config=config,
+    )
+
+
+class TestConstruction:
+    def test_brokers_and_links_built(self, line_topology):
+        system = make_system(line_topology)
+        assert sorted(system.brokers) == ["B1", "B2", "B3"]
+        # Two directions per edge.
+        assert len(system.monitors) == 4
+        assert "B2" in system.brokers["B1"].queues
+        assert "B1" in system.brokers["B2"].queues
+
+    def test_disconnected_topology_rejected(self):
+        topo = make_line_topology(n=2)
+        topo.add_broker("Z")
+        with pytest.raises(TopologyError):
+            make_system(topo)
+
+    def test_publisher_handles_created(self, line_topology):
+        system = make_system(line_topology)
+        assert list(system.publishers) == ["P1"]
+
+
+class TestSubscriptionInstallation:
+    def test_rows_installed_along_path(self, line_topology):
+        system = make_system(line_topology)
+        system.subscribe(Subscription("S1", MATCH_ALL))
+        # Path B1 -> B2 -> B3; every broker on it holds a row.
+        assert "S1" in system.brokers["B1"].table
+        assert "S1" in system.brokers["B2"].table
+        assert "S1" in system.brokers["B3"].table
+        assert system.brokers["B1"].table.row("S1").next_hop == "B2"
+        assert system.brokers["B3"].table.row("S1").is_local
+
+    def test_row_parameters_describe_remaining_path(self, line_topology):
+        system = make_system(line_topology)
+        system.subscribe(Subscription("S1", MATCH_ALL))
+        row = system.brokers["B1"].table.row("S1")
+        assert row.nn == 2
+        assert row.rate.mean == 20.0  # two links at mean 10
+        assert row.rate.variance == 8.0
+
+    def test_off_path_brokers_hold_no_row(self, diamond_topology):
+        system = make_system(diamond_topology)
+        system.subscribe(Subscription("S1", MATCH_ALL))
+        # Fast branch is B1->B2->B4; B3 is off-path.
+        assert "S1" in system.brokers["B2"].table
+        assert "S1" not in system.brokers["B3"].table
+
+    def test_unattached_subscriber_rejected(self, line_topology):
+        system = make_system(line_topology)
+        with pytest.raises(TopologyError):
+            system.subscribe(Subscription("ghost", MATCH_ALL))
+
+    def test_duplicate_subscription_rejected(self, line_topology):
+        system = make_system(line_topology)
+        system.subscribe(Subscription("S1", MATCH_ALL))
+        with pytest.raises(ValueError):
+            system.subscribe(Subscription("S1", MATCH_ALL))
+
+    def test_routing_path_diagnostic(self, diamond_topology):
+        system = make_system(diamond_topology)
+        system.subscribe(Subscription("S1", MATCH_ALL))
+        assert system.routing_path("B1", "S1") == ["B1", "B2", "B4"]
+
+
+class TestPublishing:
+    def test_end_to_end_delivery(self, line_topology):
+        system = make_system(line_topology)
+        handle = system.subscribe(Subscription("S1", MATCH_ALL))
+        system.publish("P1", {"A1": 1.0})
+        system.sim.run()
+        assert handle.valid_count == 1
+        assert system.metrics.deliveries_valid == 1
+        # Receptions: B1 (inject), B2, B3.
+        assert system.metrics.receptions == 3
+
+    def test_interested_population_counted(self, line_topology):
+        system = make_system(line_topology)
+        system.subscribe(Subscription("S1", Predicate("A1", "<", 5.0)))
+        system.publish("P1", {"A1": 1.0})  # matches
+        system.publish("P1", {"A1": 9.0})  # does not
+        assert system.metrics.interested == {0: 1, 1: 0}
+
+    def test_unknown_publisher_rejected(self, line_topology):
+        system = make_system(line_topology)
+        with pytest.raises(TopologyError):
+            system.publish("P9", {"A1": 1.0})
+
+    def test_publisher_handle(self, line_topology):
+        system = make_system(line_topology)
+        system.subscribe(Subscription("S1", MATCH_ALL))
+        system.publishers["P1"].publish({"A1": 1.0})
+        assert system.publishers["P1"].published == 1
+
+    def test_message_size_defaults_from_config(self, line_topology):
+        system = make_system(
+            line_topology, config=SystemConfig(default_size_kb=7.0)
+        )
+        m = system.publish("P1", {"A1": 1.0})
+        assert m.size_kb == 7.0
+
+
+class TestNoDuplicateDelivery:
+    def test_multi_publisher_mesh_no_duplicates(self):
+        """The provenance check must keep single-path routing duplicate-free
+        even when paths from different publishers overlap."""
+        rate = Normal(10.0, 1.0)
+        topo = build_from_edges(
+            [
+                ("B1", "B3", rate), ("B2", "B3", rate),
+                ("B1", "B4", rate), ("B2", "B4", rate),
+                ("B3", "B5", rate), ("B4", "B5", rate),
+                ("B3", "B6", rate), ("B4", "B6", rate),
+            ],
+            publishers={"P1": "B1", "P2": "B2"},
+            subscribers={"S1": "B5", "S2": "B6"},
+        )
+        system = make_system(topo)
+        h1 = system.subscribe(Subscription("S1", MATCH_ALL))
+        h2 = system.subscribe(Subscription("S2", MATCH_ALL))
+        for pub in ("P1", "P2"):
+            system.publish(pub, {"A1": 1.0})
+        system.sim.run()
+        # Each subscriber gets each of the two messages exactly once.
+        assert sorted(r.msg_id for r in h1.records) == [0, 1]
+        assert sorted(r.msg_id for r in h2.records) == [0, 1]
+
+    def test_paper_topology_no_duplicates(self):
+        topo = build_layered_mesh(np.random.default_rng(2))
+        system = make_system(topo, strategy=EbStrategy())
+        handles = [
+            system.subscribe(Subscription(s, MATCH_ALL, deadline_ms=60_000.0, price=1.0))
+            for s in sorted(topo.subscriber_brokers)
+        ]
+        for pub in sorted(topo.publisher_brokers):
+            system.publish(pub, {"A1": 1.0})
+        system.sim.run()
+        for handle in handles:
+            ids = [r.msg_id for r in handle.records]
+            assert len(ids) == len(set(ids)), f"{handle.name} got duplicates"
+            assert len(ids) == 4  # one per publisher
+
+    def test_reception_count_matches_path_lengths(self, diamond_topology):
+        system = make_system(diamond_topology)
+        system.subscribe(Subscription("S1", MATCH_ALL))
+        system.publish("P1", {"A1": 1.0})
+        system.sim.run()
+        # Path B1->B2->B4: three receptions, two transmissions.
+        assert system.metrics.receptions == 3
+        assert system.metrics.transmissions == 2

@@ -1,0 +1,58 @@
+"""SimulationConfig tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import PAPER_DURATION_MS, SimulationConfig
+from repro.workload.scenarios import Scenario
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = SimulationConfig()
+        assert cfg.duration_ms == PAPER_DURATION_MS == 7_200_000.0
+        assert cfg.message_size_kb == 50.0
+        assert cfg.processing_delay_ms == 2.0
+        assert cfg.epsilon == 5e-4
+        assert cfg.topology_spec.layer_sizes == (4, 4, 8, 16)
+
+    def test_horizon(self):
+        cfg = SimulationConfig(duration_ms=100.0, grace_ms=50.0)
+        assert cfg.horizon_ms == 150.0
+
+
+class TestReplace:
+    def test_replace_creates_new(self):
+        a = SimulationConfig()
+        b = a.replace(strategy="pc", publishing_rate_per_min=15.0)
+        assert a.strategy == "eb"
+        assert b.strategy == "pc"
+        assert b.publishing_rate_per_min == 15.0
+        assert b.duration_ms == a.duration_ms
+
+
+class TestValidation:
+    def test_negative_rate(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(publishing_rate_per_min=-1.0)
+
+    def test_zero_duration(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(duration_ms=0.0)
+
+    def test_negative_grace(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(grace_ms=-1.0)
+
+
+class TestLabels:
+    def test_plain_strategy_label(self):
+        assert SimulationConfig(strategy="fifo").strategy_label() == "fifo"
+
+    def test_ebpc_label_includes_r(self):
+        cfg = SimulationConfig(strategy="ebpc", strategy_params={"r": 0.3})
+        assert cfg.strategy_label() == "ebpc(r=0.3)"
+
+    def test_ebpc_label_default_r(self):
+        assert SimulationConfig(strategy="ebpc").strategy_label() == "ebpc(r=0.5)"

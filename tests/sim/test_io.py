@@ -1,0 +1,75 @@
+"""Result persistence round-trip tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.io import (
+    load_results_csv,
+    load_results_json,
+    result_from_dict,
+    result_to_dict,
+    save_results_csv,
+    save_results_json,
+)
+from repro.sim.results import SimulationResult
+
+
+def result(**kw) -> SimulationResult:
+    defaults = dict(
+        strategy="ebpc(r=0.5)", scenario="ssd", seed=3, publishing_rate_per_min=12.0,
+        published=100, message_number=1500, transmissions=1400,
+        deliveries_valid=80, deliveries_late=5, pruned=20,
+        total_interested=120, delivery_rate=80 / 120, earning=160.0,
+        mean_latency_ms=12345.6, residual_queued=2, executed_events=9000,
+    )
+    defaults.update(kw)
+    return SimulationResult(**defaults)
+
+
+class TestDictRoundTrip:
+    def test_roundtrip(self):
+        r = result()
+        assert result_from_dict(result_to_dict(r)) == r
+
+    def test_unknown_field_rejected(self):
+        data = result_to_dict(result())
+        data["bogus"] = 1
+        with pytest.raises(ValueError):
+            result_from_dict(data)
+
+    def test_missing_field_rejected(self):
+        data = result_to_dict(result())
+        del data["earning"]
+        with pytest.raises(ValueError):
+            result_from_dict(data)
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        rs = [result(seed=i) for i in range(3)]
+        path = tmp_path / "results.json"
+        save_results_json(rs, path)
+        assert load_results_json(path) == rs
+
+    def test_empty_list(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_results_json([], path)
+        assert load_results_json(path) == []
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        rs = [result(seed=i, strategy=f"s{i}") for i in range(3)]
+        path = tmp_path / "results.csv"
+        save_results_csv(rs, path)
+        loaded = load_results_csv(path)
+        assert loaded == rs
+
+    def test_types_preserved(self, tmp_path):
+        path = tmp_path / "typed.csv"
+        save_results_csv([result()], path)
+        (loaded,) = load_results_csv(path)
+        assert isinstance(loaded.delivery_rate, float)
+        assert isinstance(loaded.published, int)
+        assert isinstance(loaded.strategy, str)

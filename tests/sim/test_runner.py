@@ -1,0 +1,109 @@
+"""End-to-end runner tests: determinism, pairing, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_system, run_simulation, schedule_workload
+from repro.workload.scenarios import Scenario
+
+#: Small but non-trivial: ~2 simulated minutes on the paper topology.
+QUICK = SimulationConfig(
+    seed=3,
+    scenario=Scenario.PSD,
+    strategy="eb",
+    publishing_rate_per_min=10.0,
+    duration_ms=120_000.0,
+)
+
+
+class TestDeterminism:
+    def test_same_config_same_result(self):
+        assert run_simulation(QUICK) == run_simulation(QUICK)
+
+    def test_different_seed_different_result(self):
+        a = run_simulation(QUICK)
+        b = run_simulation(QUICK.replace(seed=4))
+        assert a != b
+
+    def test_workload_paired_across_strategies(self):
+        """Different strategies must see the identical publication stream."""
+        a = run_simulation(QUICK.replace(strategy="fifo"))
+        b = run_simulation(QUICK.replace(strategy="rl"))
+        assert a.published == b.published
+        assert a.total_interested == b.total_interested
+
+
+class TestAccounting:
+    def test_metrics_internally_consistent(self):
+        r = run_simulation(QUICK)
+        assert r.published > 0
+        assert r.deliveries_valid <= r.total_interested
+        assert r.message_number >= r.published  # every message enters once
+        assert 0.0 <= r.delivery_rate <= 1.0
+        assert r.executed_events > 0
+
+    def test_psd_earning_counts_unit_prices(self):
+        r = run_simulation(QUICK)
+        # PSD prices default to 1: earning == valid deliveries.
+        assert r.earning == pytest.approx(float(r.deliveries_valid))
+
+    def test_ssd_earning_at_least_deliveries(self):
+        r = run_simulation(QUICK.replace(scenario=Scenario.SSD))
+        # SSD prices are in {1,2,3}: earning between 1x and 3x deliveries.
+        assert r.deliveries_valid <= r.earning <= 3 * r.deliveries_valid
+
+    def test_hybrid_scenario_runs(self):
+        r = run_simulation(QUICK.replace(scenario=Scenario.HYBRID))
+        assert r.published > 0
+        # Hybrid bounds are min(message, subscription): never easier than SSD.
+        ssd = run_simulation(QUICK.replace(scenario=Scenario.SSD))
+        assert r.deliveries_valid <= ssd.deliveries_valid
+
+    def test_zero_rate_runs_clean(self):
+        r = run_simulation(QUICK.replace(publishing_rate_per_min=0.0))
+        assert r.published == 0
+        assert r.message_number == 0
+        assert r.delivery_rate == 0.0
+
+
+class TestBuildSystem:
+    def test_system_matches_spec(self):
+        system = build_system(QUICK)
+        assert len(system.brokers) == 32
+        assert system.subscription_count == 160
+
+    def test_schedule_workload_counts(self):
+        system = build_system(QUICK)
+        n = schedule_workload(system, QUICK)
+        # 4 publishers x 10/min x 2 min ~ 80 (Poisson noise).
+        assert 40 <= n <= 140
+        assert system.sim.pending_events == n
+
+    def test_custom_topology_override(self, line_topology):
+        cfg = QUICK.replace(seed=9)
+        system = build_system(cfg, topology=line_topology)
+        assert sorted(system.brokers) == ["B1", "B2", "B3"]
+        assert system.subscription_count == 1
+
+
+class TestStrategyEquivalences:
+    """EBPC at its endpoints makes exactly the same decisions as EB / PC."""
+
+    def test_ebpc_r1_equals_eb(self):
+        eb = run_simulation(QUICK)
+        ebpc = run_simulation(
+            QUICK.replace(strategy="ebpc", strategy_params={"r": 1.0})
+        )
+        assert ebpc.delivery_rate == eb.delivery_rate
+        assert ebpc.message_number == eb.message_number
+        assert ebpc.deliveries_valid == eb.deliveries_valid
+
+    def test_ebpc_r0_equals_pc(self):
+        pc = run_simulation(QUICK.replace(strategy="pc"))
+        ebpc = run_simulation(
+            QUICK.replace(strategy="ebpc", strategy_params={"r": 0.0})
+        )
+        assert ebpc.delivery_rate == pc.delivery_rate
+        assert ebpc.message_number == pc.message_number

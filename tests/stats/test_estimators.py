@@ -1,0 +1,141 @@
+"""Online estimator tests: correctness vs numpy, convergence properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.estimators import (
+    EwmaEstimator,
+    RateEstimator,
+    SlidingWindowEstimator,
+    WelfordEstimator,
+)
+
+finite_samples = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=200,
+)
+
+
+class TestWelford:
+    def test_matches_numpy(self, rng):
+        xs = rng.normal(10.0, 3.0, size=500)
+        est = WelfordEstimator()
+        est.observe_many(xs)
+        assert est.count == 500
+        assert est.mean == pytest.approx(xs.mean(), rel=1e-10)
+        assert est.variance == pytest.approx(xs.var(ddof=1), rel=1e-10)
+
+    def test_zero_variance_before_two_samples(self):
+        est = WelfordEstimator()
+        assert est.variance == 0.0
+        est.observe(5.0)
+        assert est.mean == 5.0
+        assert est.variance == 0.0
+
+    def test_rejects_nonfinite(self):
+        est = WelfordEstimator()
+        with pytest.raises(ValueError):
+            est.observe(float("nan"))
+        with pytest.raises(ValueError):
+            est.observe(float("inf"))
+
+    @given(xs=finite_samples)
+    @settings(max_examples=100)
+    def test_property_matches_numpy(self, xs):
+        est = WelfordEstimator()
+        est.observe_many(xs)
+        arr = np.asarray(xs)
+        assert est.mean == pytest.approx(arr.mean(), rel=1e-6, abs=1e-6)
+        assert est.variance == pytest.approx(arr.var(ddof=1), rel=1e-6, abs=1e-4)
+
+    def test_distribution_snapshot(self):
+        est = WelfordEstimator()
+        est.observe_many([1.0, 2.0, 3.0])
+        d = est.distribution()
+        assert d.mean == pytest.approx(2.0)
+        assert d.variance == pytest.approx(1.0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(WelfordEstimator(), RateEstimator)
+        assert isinstance(SlidingWindowEstimator(), RateEstimator)
+        assert isinstance(EwmaEstimator(), RateEstimator)
+
+
+class TestSlidingWindow:
+    def test_window_semantics(self):
+        est = SlidingWindowEstimator(window=3)
+        est.observe_many([1.0, 2.0, 3.0, 100.0])
+        # Window now holds [2, 3, 100].
+        assert est.count == 3
+        assert est.mean == pytest.approx(105.0 / 3)
+
+    def test_matches_numpy_on_tail(self, rng):
+        xs = rng.normal(0.0, 1.0, size=300)
+        est = SlidingWindowEstimator(window=50)
+        est.observe_many(xs)
+        tail = xs[-50:]
+        assert est.mean == pytest.approx(tail.mean(), rel=1e-8, abs=1e-8)
+        assert est.variance == pytest.approx(tail.var(ddof=1), rel=1e-6, abs=1e-8)
+
+    def test_resync_controls_drift(self, rng):
+        # Many evictions with huge magnitude cancellation.
+        est = SlidingWindowEstimator(window=4)
+        xs = list(rng.normal(1e8, 1.0, size=1000))
+        est.observe_many(xs)
+        tail = np.asarray(xs[-4:])
+        assert est.mean == pytest.approx(tail.mean(), rel=1e-9)
+        assert est.variance == pytest.approx(tail.var(ddof=1), rel=1e-3)
+
+    def test_adapts_to_shift(self):
+        est = SlidingWindowEstimator(window=10)
+        est.observe_many([0.0] * 20)
+        est.observe_many([50.0] * 10)
+        assert est.mean == pytest.approx(50.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowEstimator(window=1)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            SlidingWindowEstimator().observe(float("-inf"))
+
+
+class TestEwma:
+    def test_first_sample_initialises(self):
+        est = EwmaEstimator(alpha=0.2)
+        est.observe(42.0)
+        assert est.mean == 42.0
+        assert est.variance == 0.0
+
+    def test_converges_to_constant(self):
+        est = EwmaEstimator(alpha=0.25)
+        est.observe_many([3.0] * 100)
+        assert est.mean == pytest.approx(3.0)
+        assert est.variance == pytest.approx(0.0, abs=1e-12)
+
+    def test_tracks_mean_of_stationary_stream(self, rng):
+        est = EwmaEstimator(alpha=0.05)
+        est.observe_many(rng.normal(75.0, 20.0, size=5000))
+        assert est.mean == pytest.approx(75.0, abs=3.0)
+        assert est.variance == pytest.approx(400.0, rel=0.35)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=1.5)
+
+    @given(xs=finite_samples, alpha=st.floats(0.01, 1.0))
+    @settings(max_examples=100)
+    def test_variance_nonnegative(self, xs, alpha):
+        est = EwmaEstimator(alpha=alpha)
+        est.observe_many(xs)
+        assert est.variance >= 0.0
+        lo, hi = min(xs), max(xs)
+        assert lo - 1e-9 <= est.mean <= hi + 1e-9

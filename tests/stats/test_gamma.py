@@ -1,0 +1,90 @@
+"""Shifted-gamma delay model tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.stats.gamma import ShiftedGamma
+
+
+class TestMoments:
+    def test_mean_variance(self):
+        d = ShiftedGamma(shape=4.0, scale=2.0, shift=10.0)
+        assert d.mean == 18.0
+        assert d.variance == 16.0
+        assert d.std == 4.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ShiftedGamma(shape=0.0, scale=1.0)
+        with pytest.raises(ValueError):
+            ShiftedGamma(shape=1.0, scale=-1.0)
+
+
+class TestDistribution:
+    def test_cdf_matches_scipy(self):
+        d = ShiftedGamma(shape=3.0, scale=1.5, shift=2.0)
+        ref = sps.gamma(a=3.0, scale=1.5, loc=2.0)
+        for x in (2.1, 3.0, 5.0, 10.0, 30.0):
+            assert d.cdf(x) == pytest.approx(ref.cdf(x), abs=1e-10)
+
+    def test_pdf_matches_scipy(self):
+        d = ShiftedGamma(shape=3.0, scale=1.5, shift=2.0)
+        ref = sps.gamma(a=3.0, scale=1.5, loc=2.0)
+        for x in (2.5, 4.0, 8.0):
+            assert d.pdf(x) == pytest.approx(ref.pdf(x), rel=1e-9)
+
+    def test_below_shift_is_zero(self):
+        d = ShiftedGamma(shape=2.0, scale=1.0, shift=5.0)
+        assert d.cdf(4.9) == 0.0
+        assert d.pdf(4.9) == 0.0
+
+    def test_sf(self):
+        d = ShiftedGamma(shape=2.0, scale=1.0)
+        assert d.sf(1.0) == pytest.approx(1.0 - d.cdf(1.0))
+
+    @given(
+        shape=st.floats(0.2, 20),
+        scale=st.floats(0.1, 10),
+        shift=st.floats(0, 100),
+    )
+    @settings(max_examples=100)
+    def test_cdf_monotone_property(self, shape, scale, shift):
+        d = ShiftedGamma(shape=shape, scale=scale, shift=shift)
+        xs = [shift - 1, shift + 0.1, shift + scale, shift + 5 * scale, shift + 50 * scale]
+        cdfs = [d.cdf(x) for x in xs]
+        assert cdfs == sorted(cdfs)
+        assert all(0.0 <= c <= 1.0 for c in cdfs)
+
+
+class TestFitting:
+    def test_from_moments_roundtrip(self):
+        d = ShiftedGamma.from_moments(mean=108.2, std=3.083, shift=90.0)
+        assert d.mean == pytest.approx(108.2)
+        assert d.std == pytest.approx(3.083)
+        assert d.shift == 90.0
+
+    def test_from_moments_rejects_mean_below_shift(self):
+        with pytest.raises(ValueError):
+            ShiftedGamma.from_moments(mean=5.0, std=1.0, shift=10.0)
+
+    def test_from_moments_rejects_bad_std(self):
+        with pytest.raises(ValueError):
+            ShiftedGamma.from_moments(mean=10.0, std=0.0)
+
+    def test_transatlantic_reference(self):
+        d = ShiftedGamma.transatlantic_path()
+        assert d.mean == pytest.approx(108.2)
+        assert d.std == pytest.approx(3.083)
+
+
+class TestSampling:
+    def test_sample_moments(self, rng):
+        d = ShiftedGamma(shape=5.0, scale=2.0, shift=3.0)
+        xs = d.sample(rng, size=100_000)
+        assert xs.mean() == pytest.approx(d.mean, rel=0.02)
+        assert xs.std() == pytest.approx(d.std, rel=0.05)
+        assert xs.min() >= 3.0

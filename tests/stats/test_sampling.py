@@ -1,0 +1,83 @@
+"""Truncated sampling tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.normal import Normal
+from repro.stats.sampling import (
+    TruncatedNormalSampler,
+    sample_positive_normal,
+    truncated_normal_mean,
+)
+
+
+class TestSamplePositiveNormal:
+    def test_always_positive(self, rng):
+        for _ in range(2000):
+            assert sample_positive_normal(rng, mean=1.0, std=2.0) > 0.0
+
+    def test_degenerate_std(self, rng):
+        assert sample_positive_normal(rng, mean=5.0, std=0.0) == 5.0
+        # Non-positive degenerate mean falls back to the floor.
+        assert sample_positive_normal(rng, mean=-5.0, std=0.0, floor=1e-6) == 1e-6
+
+    def test_hopeless_distribution_hits_floor(self, rng):
+        value = sample_positive_normal(rng, mean=-1e9, std=1.0, floor=0.5, max_tries=4)
+        assert value == 0.5
+
+    def test_negative_std_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_positive_normal(rng, mean=0.0, std=-1.0)
+
+    def test_mean_matches_theory(self, rng):
+        mean, std = 2.0, 3.0  # substantial truncation mass
+        xs = np.array([sample_positive_normal(rng, mean, std) for _ in range(100_000)])
+        assert xs.mean() == pytest.approx(truncated_normal_mean(mean, std), rel=0.02)
+
+    def test_paper_parameters_barely_truncate(self, rng):
+        # mu in [50, 100], sigma = 20: truncation below zero is ~Phi(-2.5).
+        xs = np.array([sample_positive_normal(rng, 50.0, 20.0) for _ in range(50_000)])
+        assert xs.mean() == pytest.approx(truncated_normal_mean(50.0, 20.0), rel=0.02)
+        assert abs(xs.mean() - 50.0) < 1.0  # distortion well under 2 %
+
+
+class TestTruncatedNormalSampler:
+    def test_tracks_rejections(self, rng):
+        sampler = TruncatedNormalSampler(Normal(0.0, 1.0))  # half the mass below 0
+        for _ in range(2000):
+            assert sampler.sample(rng) > 0.0
+        assert sampler.draws == 2000
+        assert 0.3 < sampler.rejection_rate < 0.7
+
+    def test_truncation_mass_analytic(self):
+        sampler = TruncatedNormalSampler(Normal(50.0, 400.0))
+        assert sampler.truncation_mass() == pytest.approx(0.00621, abs=1e-4)
+
+    def test_degenerate_distribution(self, rng):
+        sampler = TruncatedNormalSampler(Normal(3.0, 0.0))
+        assert sampler.sample(rng) == 3.0
+
+
+class TestTruncatedMeanFormula:
+    def test_no_truncation_limit(self):
+        # Far from zero the truncated mean equals the plain mean.
+        assert truncated_normal_mean(100.0, 1.0) == pytest.approx(100.0, abs=1e-9)
+
+    def test_degenerate(self):
+        assert truncated_normal_mean(5.0, 0.0) == 5.0
+        assert truncated_normal_mean(-5.0, 0.0) == 0.0
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            truncated_normal_mean(0.0, -1.0)
+
+    @given(mean=st.floats(-10, 10), std=st.floats(0.01, 10))
+    @settings(max_examples=200)
+    def test_truncated_mean_exceeds_mean(self, mean, std):
+        # Conditioning on X > 0 can only pull the mean up.
+        assert truncated_normal_mean(mean, std) >= mean - 1e-9
+        assert truncated_normal_mean(mean, std) >= 0.0 or std == 0.0

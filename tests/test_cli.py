@@ -1,0 +1,55 @@
+"""CLI tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_subcommands_exist(self):
+        parser = build_parser()
+        for fig in ("fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b"):
+            args = parser.parse_args([fig, "--scale", "0.02", "--seed", "3"])
+            assert args.command == fig
+            assert args.scale == 0.02
+            assert args.seed == 3
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "psd"
+        assert args.strategy == "eb"
+        assert args.rate == 10.0
+
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "xyz"])
+
+
+class TestExecution:
+    def test_tab1(self, capsys):
+        assert main(["tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "DiffServ" in out
+
+    def test_run_custom_point(self, capsys):
+        assert main(["run", "--minutes", "1", "--rate", "5", "--strategy", "fifo"]) == 0
+        out = capsys.readouterr().out
+        assert "delivery rate" in out
+        assert "fifo" in out
+
+    def test_run_ebpc_uses_r(self, capsys):
+        assert main(["run", "--minutes", "1", "--strategy", "ebpc", "--r", "0.7"]) == 0
+        assert "ebpc(r=0.7)" in capsys.readouterr().out
+
+    def test_figure_tiny_scale(self, capsys):
+        assert main(["fig4b", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4(b)" in out
+        assert "ebpc" in out

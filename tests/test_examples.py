@@ -1,0 +1,58 @@
+"""Smoke tests: the fast examples must run clean end to end.
+
+The slower examples (tiered pricing, capacity planning) are exercised
+manually / by CI at longer budgets; here we run the two quick ones and
+verify their stdout carries the expected conclusions.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestQuickstart:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("quickstart.py")
+
+    def test_reports_both_strategies(self, output):
+        assert "EB" in output and "FIFO" in output
+        assert "delivery rate" in output
+
+    def test_headline_conclusion(self, output):
+        # EB must beat FIFO on the quickstart seed.
+        assert "EB delivers" in output
+        factor = float(output.split("EB delivers ")[1].split("x")[0])
+        assert factor > 1.0
+
+
+class TestTrafficExample:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("traffic_info_dissemination.py")
+
+    def test_all_strategies_reported(self, output):
+        for name in ("eb", "pc", "ebpc", "fifo", "rl"):
+            assert name in output
+
+    def test_per_subscriber_breakdown(self, output):
+        assert "per-subscriber" in output
+        for sub in ("commuter-n1", "taxi-s1"):
+            assert sub in output

@@ -1,0 +1,79 @@
+"""Publication schedule tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.generator import ArrivalProcess, generate_publications
+from repro.workload.scenarios import Scenario
+
+
+class TestSchedule:
+    def test_time_sorted_within_horizon(self, rng):
+        pubs = generate_publications(
+            rng, ["P1", "P2"], rate_per_minute=10.0, duration_ms=600_000.0,
+            scenario=Scenario.PSD,
+        )
+        times = [p.time_ms for p in pubs]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 600_000.0 for t in times)
+
+    def test_rate_respected_poisson(self, rng):
+        # 10/min over 60 min for 2 publishers: expect ~1200 +- noise.
+        pubs = generate_publications(
+            rng, ["P1", "P2"], rate_per_minute=10.0, duration_ms=3_600_000.0,
+            scenario=Scenario.SSD,
+        )
+        assert len(pubs) == pytest.approx(1200, rel=0.1)
+
+    def test_fixed_arrival_exact_count(self, rng):
+        pubs = generate_publications(
+            rng, ["P1"], rate_per_minute=6.0, duration_ms=600_000.0,
+            scenario=Scenario.SSD, arrival=ArrivalProcess.FIXED,
+        )
+        # Period 10 s over 600 s with a random phase: exactly 60 messages.
+        assert len(pubs) == 60
+        gaps = np.diff([p.time_ms for p in pubs])
+        assert np.allclose(gaps, 10_000.0)
+
+    def test_uniform_arrival_rate(self, rng):
+        pubs = generate_publications(
+            rng, ["P1"], rate_per_minute=30.0, duration_ms=1_200_000.0,
+            scenario=Scenario.SSD, arrival=ArrivalProcess.UNIFORM,
+        )
+        assert len(pubs) == pytest.approx(600, rel=0.1)
+
+    def test_zero_rate_empty(self, rng):
+        assert generate_publications(
+            rng, ["P1"], 0.0, 60_000.0, Scenario.PSD
+        ) == []
+
+    def test_psd_messages_carry_deadlines(self, rng):
+        pubs = generate_publications(
+            rng, ["P1"], 10.0, 600_000.0, Scenario.PSD,
+        )
+        assert all(p.deadline_ms is not None and 10_000 <= p.deadline_ms <= 30_000 for p in pubs)
+
+    def test_ssd_messages_carry_none(self, rng):
+        pubs = generate_publications(rng, ["P1"], 10.0, 600_000.0, Scenario.SSD)
+        assert all(p.deadline_ms is None for p in pubs)
+
+    def test_attributes_randomised(self, rng):
+        pubs = generate_publications(rng, ["P1"], 30.0, 600_000.0, Scenario.SSD)
+        values = {p.attributes["A1"] for p in pubs}
+        assert len(values) > 100  # essentially all distinct
+
+    def test_size_propagates(self, rng):
+        pubs = generate_publications(
+            rng, ["P1"], 10.0, 60_000.0, Scenario.SSD, size_kb=7.5
+        )
+        assert all(p.size_kb == 7.5 for p in pubs)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_publications(rng, ["P1"], -1.0, 60_000.0, Scenario.PSD)
+        with pytest.raises(ValueError):
+            generate_publications(rng, ["P1"], 1.0, 0.0, Scenario.PSD)
+        with pytest.raises(ValueError):
+            generate_publications(rng, ["P1"], 1.0, 60_000.0, Scenario.PSD, size_kb=0.0)

@@ -1,0 +1,88 @@
+"""Scenario builder tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.scenarios import (
+    SSD_PRICE_BY_DEADLINE_MS,
+    Scenario,
+    build_subscriptions,
+    draw_message_deadline_ms,
+)
+from tests.conftest import make_line_topology
+
+
+@pytest.fixture
+def topo():
+    return make_line_topology(
+        n=2,
+        publishers={"P1": "B1"},
+        subscribers={f"S{i}": "B2" for i in range(1, 41)},
+    )
+
+
+class TestScenarioFlags:
+    def test_psd(self):
+        assert Scenario.PSD.messages_carry_deadlines
+        assert not Scenario.PSD.subscriptions_carry_deadlines
+
+    def test_ssd(self):
+        assert not Scenario.SSD.messages_carry_deadlines
+        assert Scenario.SSD.subscriptions_carry_deadlines
+
+    def test_hybrid(self):
+        assert Scenario.HYBRID.messages_carry_deadlines
+        assert Scenario.HYBRID.subscriptions_carry_deadlines
+
+
+class TestMessageDeadlines:
+    def test_psd_in_range(self, rng):
+        for _ in range(200):
+            dl = draw_message_deadline_ms(Scenario.PSD, rng)
+            assert 10_000.0 <= dl <= 30_000.0
+
+    def test_ssd_is_none(self, rng):
+        assert draw_message_deadline_ms(Scenario.SSD, rng) is None
+
+    def test_bad_range(self, rng):
+        with pytest.raises(ValueError):
+            draw_message_deadline_ms(Scenario.PSD, rng, deadline_range_ms=(5.0, 1.0))
+
+
+class TestBuildSubscriptions:
+    def test_one_per_subscriber(self, rng, topo):
+        subs = build_subscriptions(Scenario.PSD, rng, topo)
+        assert len(subs) == 40
+        assert sorted(s.subscriber for s in subs) == sorted(topo.subscriber_brokers)
+
+    def test_psd_subscriptions_unbounded(self, rng, topo):
+        subs = build_subscriptions(Scenario.PSD, rng, topo)
+        assert all(s.deadline_ms is None and s.price is None for s in subs)
+
+    def test_ssd_deadline_price_pairs(self, rng, topo):
+        subs = build_subscriptions(Scenario.SSD, rng, topo)
+        for s in subs:
+            assert s.deadline_ms in SSD_PRICE_BY_DEADLINE_MS
+            assert s.price == SSD_PRICE_BY_DEADLINE_MS[s.deadline_ms]
+
+    def test_ssd_uses_all_tiers(self, rng, topo):
+        subs = build_subscriptions(Scenario.SSD, rng, topo)
+        assert {s.deadline_ms for s in subs} == set(SSD_PRICE_BY_DEADLINE_MS)
+
+    def test_custom_price_table(self, rng, topo):
+        table = {5_000.0: 10.0}
+        subs = build_subscriptions(Scenario.SSD, rng, topo, price_table=table)
+        assert all(s.deadline_ms == 5_000.0 and s.price == 10.0 for s in subs)
+
+    def test_empty_price_table_rejected(self, rng, topo):
+        with pytest.raises(ValueError):
+            build_subscriptions(Scenario.SSD, rng, topo, price_table={})
+
+    def test_deterministic_per_rng_state(self, topo):
+        a = build_subscriptions(Scenario.SSD, np.random.default_rng(1), topo)
+        b = build_subscriptions(Scenario.SSD, np.random.default_rng(1), topo)
+        assert [(s.subscriber, s.deadline_ms, str(s.filter)) for s in a] == [
+            (s.subscriber, s.deadline_ms, str(s.filter)) for s in b
+        ]

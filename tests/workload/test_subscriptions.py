@@ -1,0 +1,55 @@
+"""Random filter/attribute generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pubsub.filters import AndFilter, Predicate
+from repro.workload.subscriptions import random_attributes, random_conjunctive_filter
+
+
+class TestRandomFilter:
+    def test_structure(self, rng):
+        f = random_conjunctive_filter(rng)
+        assert isinstance(f, AndFilter)
+        assert len(f.parts) == 2
+        assert all(isinstance(p, Predicate) and p.op == "<" for p in f.parts)
+
+    def test_single_attribute_returns_predicate(self, rng):
+        f = random_conjunctive_filter(rng, attributes=("X",))
+        assert isinstance(f, Predicate)
+
+    def test_thresholds_in_range(self, rng):
+        for _ in range(100):
+            f = random_conjunctive_filter(rng)
+            for p in f.parts:
+                assert 0.0 <= p.value <= 10.0
+
+    def test_selectivity_is_quarter(self, rng):
+        """The paper's 25 % average selectivity for 2-attribute filters."""
+        filters = [random_conjunctive_filter(rng) for _ in range(300)]
+        hits = total = 0
+        for _ in range(300):
+            attrs = random_attributes(rng)
+            for f in filters:
+                hits += f.matches(attrs)
+                total += 1
+        assert hits / total == pytest.approx(0.25, abs=0.025)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_conjunctive_filter(rng, value_range=(5.0, 5.0))
+        with pytest.raises(ValueError):
+            random_conjunctive_filter(rng, attributes=())
+
+
+class TestRandomAttributes:
+    def test_keys_and_range(self, rng):
+        attrs = random_attributes(rng)
+        assert set(attrs) == {"A1", "A2"}
+        assert all(0.0 <= v <= 10.0 for v in attrs.values())
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_attributes(rng, value_range=(3.0, 1.0))
