@@ -11,6 +11,9 @@ import numpy as np
 import pytest
 
 from repro.core.metrics import expected_benefit, expected_benefit_vec
+from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy
+from repro.core.queueing import ScheduledQueue
+from repro.core.registry import STRATEGY_NAMES, make_strategy
 from repro.core.strategies import EbStrategy, QueueEntry
 from repro.des.simulator import Simulator
 from repro.network.routing import compute_sink_tree
@@ -23,6 +26,7 @@ from repro.workload.subscriptions import random_attributes, random_conjunctive_f
 from tests.core.helpers import make_ctx, make_message, make_row
 
 N_SUBSCRIPTIONS = 1000
+DRAIN_QUEUE_DEPTH = 500
 
 
 def _build_matchers():
@@ -50,6 +54,31 @@ def test_match_brute_force_1k_subs(benchmark, matchers):
 def test_match_counting_index_1k_subs(benchmark, matchers):
     _, index, messages = matchers
     benchmark(lambda: [index.match(m) for m in messages])
+
+
+@pytest.fixture(scope="module")
+def index_filters():
+    rng = np.random.default_rng(1)
+    return [(f"s{i}", random_conjunctive_filter(rng)) for i in range(N_SUBSCRIPTIONS)]
+
+
+def test_counting_index_build_incremental(benchmark, index_filters):
+    def build():
+        index = CountingIndexMatcher()
+        for key, f in index_filters:
+            index.add(key, f)
+        return index
+
+    benchmark(build)
+
+
+def test_counting_index_build_bulk(benchmark, index_filters):
+    def build():
+        index = CountingIndexMatcher()
+        index.add_many(index_filters)
+        return index
+
+    benchmark(build)
 
 
 @pytest.fixture(scope="module")
@@ -87,6 +116,81 @@ def test_strategy_select_50_entry_queue(benchmark, entry_rows):
     ctx = make_ctx(now=1_000.0)
     strategy = EbStrategy()
     benchmark(lambda: strategy.select(entries, ctx))
+
+
+# ---------------------------------------------------------------------- #
+# Queue drain: the broker's service loop over one deep output queue.
+# The scan backend is the legacy O(n²) full rescan; "auto" picks the
+# incremental ScheduledQueue backend for the strategy (exact keyed heap
+# for fifo/rl, amortised bound heap for eb/pc/ebpc).  Same entries, same
+# decisions — only the servicing structure differs.
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def drain_entries():
+    rng = np.random.default_rng(7)
+    entries = []
+    for i in range(DRAIN_QUEUE_DEPTH):
+        rows = [
+            make_row(
+                f"S{i}_{j}",
+                deadline_ms=float(rng.uniform(20_000.0, 120_000.0)),
+                nn=1 + int(rng.integers(0, 3)),
+                mean=float(rng.uniform(20.0, 120.0)),
+                variance=float(rng.uniform(100.0, 900.0)),
+            )
+            for j in range(1 + int(rng.integers(0, 7)))
+        ]
+        message = make_message(msg_id=i, publish_time=float(-rng.uniform(0.0, 5_000.0)))
+        entries.append(QueueEntry(message, rows, enqueue_time=0.0, seq=i))
+    return entries
+
+
+def _drain_queue(entries, strategy_name: str, backend: str) -> int:
+    strategy = make_strategy(strategy_name)
+    queue = ScheduledQueue(
+        strategy,
+        PruningPolicy.for_strategy(strategy.probabilistic_pruning),
+        DEFAULT_EPSILON,
+        planning_delay_ms=2.0,
+        backend=backend,
+    )
+    for entry in entries:
+        queue.push(entry)
+    now, sent = 0.0, 0
+    while queue:
+        now += 40.0  # one transmission slot per service
+        queue.prune(now)
+        if not queue:
+            break
+        queue.pop_best(make_ctx(now=now))
+        sent += 1
+    return sent
+
+
+@pytest.mark.parametrize("name", STRATEGY_NAMES)
+def test_queue_drain_500_incremental(benchmark, name, drain_entries):
+    sent = benchmark.pedantic(
+        lambda: _drain_queue(drain_entries, name, "auto"), rounds=3, iterations=1
+    )
+    benchmark.extra_info["sent"] = sent
+    assert 0 < sent <= DRAIN_QUEUE_DEPTH
+
+
+@pytest.mark.parametrize("name", STRATEGY_NAMES)
+def test_queue_drain_500_scan(benchmark, name, drain_entries):
+    sent = benchmark.pedantic(
+        lambda: _drain_queue(drain_entries, name, "scan"), rounds=3, iterations=1
+    )
+    benchmark.extra_info["sent"] = sent
+    assert 0 < sent <= DRAIN_QUEUE_DEPTH
+
+
+def test_queue_drain_decisions_match(drain_entries):
+    """Both servicing structures drain the same number of entries."""
+    for name in STRATEGY_NAMES:
+        assert _drain_queue(drain_entries, name, "auto") == _drain_queue(
+            drain_entries, name, "scan"
+        )
 
 
 def test_simulator_event_throughput(benchmark):

@@ -3,6 +3,7 @@
 Examples::
 
     python -m repro fig6a --scale 0.1
+    python -m repro fig5a --scale 0.1 --jobs 4
     python -m repro fig4a --scale 0.05 --seed 3
     python -m repro tab1
     python -m repro claims --scale 0.1
@@ -33,6 +34,13 @@ _FIGURES = {
 }
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", type=float, default=0.1,
@@ -52,6 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(fig_id, help=f"regenerate {fig_id}")
         _add_scale_args(p)
         p.add_argument("--plot", action="store_true", help="also render an ASCII chart")
+        p.add_argument(
+            "--jobs", type=_positive_int, default=1, metavar="N",
+            help="run the sweep's independent simulation points over N worker "
+                 "processes (results are byte-identical to a sequential run)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="cache finished points as JSON keyed by config hash; repeated "
+                 "sweeps at the same scale skip them",
+        )
 
     sub.add_parser("tab1", help="render Table 1 (related-work taxonomy)")
 
@@ -89,7 +107,10 @@ def main(argv: list[str] | None = None) -> int:
     start = time.perf_counter()
 
     if args.command in _FIGURES:
-        result = _FIGURES[args.command](ScaleSpec(scale=args.scale, seed=args.seed))
+        result = _FIGURES[args.command](
+            ScaleSpec(scale=args.scale, seed=args.seed),
+            jobs=args.jobs, cache_dir=args.cache_dir,
+        )
         print(format_series_table(result))
         if args.plot:
             from repro.experiments.asciiplot import render_ascii_chart

@@ -91,6 +91,23 @@ def expected_benefit_vec(
     return float(np.dot(probs, arrays.price))
 
 
+def eb_pair_vec(
+    arrays: RowArrays,
+    message: Message,
+    now: float,
+    processing_delay_ms: float,
+    ft_ms: float,
+) -> tuple[float, float]:
+    """``(EB, EB′)`` — the base and postponed expected benefits (Eqs. 3, 8).
+
+    The single place the pair is computed: PC is their difference and the
+    scheduling strategies reuse the base EB as the future-score bound.
+    """
+    eb = expected_benefit_vec(arrays, message, now, processing_delay_ms)
+    eb_postponed = expected_benefit_vec(arrays, message, now, processing_delay_ms, ft_ms)
+    return eb, eb_postponed
+
+
 def postponing_cost_vec(
     arrays: RowArrays,
     message: Message,
@@ -98,8 +115,7 @@ def postponing_cost_vec(
     processing_delay_ms: float,
     ft_ms: float,
 ) -> float:
-    eb = expected_benefit_vec(arrays, message, now, processing_delay_ms)
-    eb_postponed = expected_benefit_vec(arrays, message, now, processing_delay_ms, ft_ms)
+    eb, eb_postponed = eb_pair_vec(arrays, message, now, processing_delay_ms, ft_ms)
     return eb - eb_postponed
 
 

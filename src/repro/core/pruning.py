@@ -16,6 +16,7 @@ import math
 from repro.core.metrics import max_success_vec
 from repro.core.strategies import QueueEntry
 from repro.core.success import effective_deadline
+from repro.stats.normal import Normal
 
 #: The paper's ε (0.05 %).
 DEFAULT_EPSILON = 5e-4
@@ -71,3 +72,70 @@ def should_prune(
     if policy is PruningPolicy.EXPIRED:
         return entry_is_expired(entry, now)
     return entry_is_hopeless(entry, now, processing_delay_ms, epsilon)
+
+
+# ---------------------------------------------------------------------- #
+# Prune horizons: when could an entry *first* become prunable?
+#
+# Both rules are per-row thresholds on the message age: a pair expires
+# when ``hdl > adl`` and turns hopeless when its success probability drops
+# below ε, i.e. when ``hdl > adl − NN·PD − size·(μ + σ·Φ⁻¹(ε))``.  An
+# entry is prunable only once *every* row has crossed its threshold, so
+# the entry-level horizon is the max over rows.  The scheduled queue keeps
+# an expiry-ordered side index on these horizons and only re-evaluates the
+# exact predicate for entries whose horizon has been reached — the
+# analytic inversion is used as a conservative filter, never as the final
+# decision, so a float-level disagreement with the forward predicate
+# cannot change behaviour.
+# ---------------------------------------------------------------------- #
+
+_STD_NORMAL = Normal(0.0, 1.0)
+_z_cache: dict[float, float] = {}
+
+
+def _std_normal_quantile(q: float) -> float:
+    z = _z_cache.get(q)
+    if z is None:
+        z = _z_cache[q] = _STD_NORMAL.quantile(q)
+    return z
+
+
+def prune_horizon(
+    entry: QueueEntry,
+    processing_delay_ms: float,
+    policy: PruningPolicy,
+    epsilon: float = DEFAULT_EPSILON,
+) -> float:
+    """Earliest simulated time at which ``entry`` could satisfy
+    :func:`should_prune` (``inf`` = never, e.g. an unbounded pair).
+
+    The value is a lower bound up to float rounding; callers must confirm
+    with :func:`should_prune` before deleting.
+    """
+    if policy is PruningPolicy.NONE:
+        return math.inf
+    publish = entry.message.publish_time
+    horizon = -math.inf
+    if policy is PruningPolicy.EXPIRED:
+        for row in entry.rows:
+            adl = effective_deadline(row, entry.message)
+            if math.isinf(adl):
+                return math.inf
+            horizon = max(horizon, publish + adl)
+        return horizon
+    if epsilon <= 0.0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if epsilon >= 1.0:
+        return -math.inf  # every probability is < ε: prunable from the start
+    z = _std_normal_quantile(epsilon)
+    size = entry.message.size_kb
+    for row in entry.rows:
+        adl = effective_deadline(row, entry.message)
+        if math.isinf(adl):
+            return math.inf
+        std = row.rate.std
+        # success < ε  ⟺  hdl > adl − NN·PD − size·(μ + σ·z); a degenerate
+        # path (σ = 0) steps from 1 to 0 at the mean itself.
+        ramp = row.rate.mean if std == 0.0 else row.rate.mean + std * z
+        horizon = max(horizon, publish + adl - row.nn * processing_delay_ms - size * ramp)
+    return horizon

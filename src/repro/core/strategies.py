@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.core.context import SchedulingContext
 from repro.core.metrics import (
+    eb_pair_vec,
     ebpc_value,
     expected_benefit_vec,
     postponing_cost_vec,
@@ -56,9 +57,46 @@ class Strategy(ABC):
     #: and RL baselines delete only already-expired messages).
     probabilistic_pruning: bool = True
 
+    #: How this strategy's scores move with time, which decides the
+    #: :mod:`repro.core.queueing` backend:
+    #:
+    #: * ``"static"`` — scores never change (FIFO): an exact heap suffices.
+    #: * ``"age_monotone"`` — every entry's score shifts by the same
+    #:   time-dependent amount (RL: all lifetimes decay at 1 ms/ms), so the
+    #:   *ordering* is time-invariant and :meth:`static_key` ranks exactly.
+    #: * ``"dynamic"`` — scores move at entry-dependent speeds (EB/PC/EBPC);
+    #:   the queue uses the bound from :meth:`score_and_bound` when the
+    #:   strategy provides one, and falls back to a full rescan otherwise.
+    score_kind: str = "dynamic"
+
     @abstractmethod
     def score(self, entry: QueueEntry, ctx: SchedulingContext) -> float:
         """Higher is sent first."""
+
+    def static_key(self, entry: QueueEntry) -> float:
+        """Time-invariant ranking key (``static``/``age_monotone`` only).
+
+        Contract: for any two entries and any scheduling context,
+        ``static_key(a) > static_key(b)`` implies ``score(a, ctx) >=
+        score(b, ctx)`` up to float summation rounding.  The keyed heap
+        re-scores candidates whose keys sit within a small slack window of
+        the top key, so sub-ulp disagreements between key order and score
+        order cannot change the selection.
+        """
+        raise NotImplementedError(f"{self.name}: score_kind={self.score_kind!r} has no static key")
+
+    def score_and_bound(
+        self, entry: QueueEntry, ctx: SchedulingContext
+    ) -> tuple[float, float]:
+        """Current score plus an upper bound on all *future* scores.
+
+        The bound must satisfy ``score(entry, ctx') <= bound`` for every
+        later context ``ctx'`` (``ctx'.now >= ctx.now``, same queue).  The
+        default advertises no bound (``inf``), which makes the scheduled
+        queue re-examine the entry at every selection — the full-rescan
+        fallback.
+        """
+        return self.score(entry, ctx), math.inf
 
     def select(self, entries: list[QueueEntry], ctx: SchedulingContext) -> int:
         """Index of the entry to send: max score, FIFO tie-break."""
@@ -82,8 +120,12 @@ class FifoStrategy(Strategy):
 
     name = "fifo"
     probabilistic_pruning = False
+    score_kind = "static"
 
     def score(self, entry: QueueEntry, ctx: SchedulingContext) -> float:
+        return -float(entry.seq)
+
+    def static_key(self, entry: QueueEntry) -> float:
         return -float(entry.seq)
 
 
@@ -100,6 +142,7 @@ class RemainingLifetimeStrategy(Strategy):
 
     name = "rl"
     probabilistic_pruning = False
+    score_kind = "age_monotone"
 
     def __init__(self, aggregation: str = "average") -> None:
         if aggregation not in ("average", "min"):
@@ -126,9 +169,38 @@ class RemainingLifetimeStrategy(Strategy):
             return -smallest
         return -(total / bounded)  # smallest average lifetime => highest score
 
+    def static_key(self, entry: QueueEntry) -> float:
+        # Every bounded pair's remaining lifetime decays at exactly 1 ms
+        # per ms, so scores of two entries keep their relative order at all
+        # times; ranking by the (negated) absolute expiry instant
+        # ``publish_time + adl`` is equivalent to ranking by score.
+        total = 0.0
+        smallest = math.inf
+        bounded = 0
+        for row in entry.rows:
+            adl = effective_deadline(row, entry.message)
+            if math.isinf(adl):
+                continue
+            expiry = entry.message.publish_time + adl
+            total += expiry
+            smallest = min(smallest, expiry)
+            bounded += 1
+        if bounded == 0:
+            return -math.inf
+        if self.aggregation == "min":
+            return -smallest
+        return -(total / bounded)
+
 
 class EbStrategy(Strategy):
-    """Maximum Expected Benefit first (Section 5.1)."""
+    """Maximum Expected Benefit first (Section 5.1).
+
+    EB shrinks as a message ages (``hdl`` grows, success probabilities
+    fall), so the EB evaluated *now* upper-bounds every future score —
+    which is what lets the scheduled queue skip rescoring entries whose
+    last-known EB cannot beat the current best (see
+    :meth:`Strategy.score_and_bound`).
+    """
 
     name = "eb"
 
@@ -137,9 +209,21 @@ class EbStrategy(Strategy):
             entry.arrays, entry.message, ctx.now, ctx.processing_delay_ms
         )
 
+    def score_and_bound(
+        self, entry: QueueEntry, ctx: SchedulingContext
+    ) -> tuple[float, float]:
+        eb = self.score(entry, ctx)
+        return eb, eb
+
 
 class PcStrategy(Strategy):
-    """Maximum Postponing Cost first (Section 5.2)."""
+    """Maximum Postponing Cost first (Section 5.2).
+
+    PC itself is not monotone in time (it rises while an entry approaches
+    its decision ramp, then collapses), but ``PC = EB − EB′ ≤ EB`` because
+    the postponed benefit ``EB′`` is non-negative — so the current EB still
+    bounds every future PC score.
+    """
 
     name = "pc"
 
@@ -148,9 +232,22 @@ class PcStrategy(Strategy):
             entry.arrays, entry.message, ctx.now, ctx.processing_delay_ms, ctx.ft_ms
         )
 
+    def score_and_bound(
+        self, entry: QueueEntry, ctx: SchedulingContext
+    ) -> tuple[float, float]:
+        eb, eb_postponed = eb_pair_vec(
+            entry.arrays, entry.message, ctx.now, ctx.processing_delay_ms, ctx.ft_ms
+        )
+        return eb - eb_postponed, eb
+
 
 class EbpcStrategy(Strategy):
-    """Maximum ``r·EB + (1−r)·PC`` first (Section 5.3)."""
+    """Maximum ``r·EB + (1−r)·PC`` first (Section 5.3).
+
+    A convex combination of EB and PC, both of which are bounded by the
+    current EB (see :class:`EbStrategy`/:class:`PcStrategy`), so the
+    combination is too.
+    """
 
     name = "ebpc"
 
@@ -161,10 +258,15 @@ class EbpcStrategy(Strategy):
         self.name = f"ebpc(r={r:g})"
 
     def score(self, entry: QueueEntry, ctx: SchedulingContext) -> float:
-        eb = expected_benefit_vec(
-            entry.arrays, entry.message, ctx.now, ctx.processing_delay_ms
-        )
-        eb_postponed = expected_benefit_vec(
+        eb, eb_postponed = eb_pair_vec(
             entry.arrays, entry.message, ctx.now, ctx.processing_delay_ms, ctx.ft_ms
         )
         return ebpc_value(eb, eb - eb_postponed, self.r)
+
+    def score_and_bound(
+        self, entry: QueueEntry, ctx: SchedulingContext
+    ) -> tuple[float, float]:
+        eb, eb_postponed = eb_pair_vec(
+            entry.arrays, entry.message, ctx.now, ctx.processing_delay_ms, ctx.ft_ms
+        )
+        return ebpc_value(eb, eb - eb_postponed, self.r), eb

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import FIGURE4_R_VALUES, FigureResult, ScaleSpec, paper_base_config
+from repro.sim.parallel import make_point_runner
 from repro.sim.sweep import sweep_r_weight
 from repro.workload.scenarios import Scenario
 
@@ -21,10 +22,15 @@ def run_panel_a(
     scale: ScaleSpec | None = None,
     r_values: Sequence[float] = FIGURE4_R_VALUES,
     seeds: Sequence[int] | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> FigureResult:
     """Fig. 4(a): SSD total earning vs r."""
     scale = scale or ScaleSpec()
-    sweep = sweep_r_weight(paper_base_config(Scenario.SSD, scale), r_values, seeds=seeds)
+    sweep = sweep_r_weight(
+        paper_base_config(Scenario.SSD, scale), r_values, seeds=seeds,
+        point_runner=make_point_runner(jobs, cache_dir),
+    )
     return FigureResult(
         figure_id="fig4a",
         title="Fig 4(a) — SSD: total earning vs EB weight (publishing rate 10)",
@@ -40,10 +46,15 @@ def run_panel_b(
     scale: ScaleSpec | None = None,
     r_values: Sequence[float] = FIGURE4_R_VALUES,
     seeds: Sequence[int] | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> FigureResult:
     """Fig. 4(b): PSD delivery rate vs r."""
     scale = scale or ScaleSpec()
-    sweep = sweep_r_weight(paper_base_config(Scenario.PSD, scale), r_values, seeds=seeds)
+    sweep = sweep_r_weight(
+        paper_base_config(Scenario.PSD, scale), r_values, seeds=seeds,
+        point_runner=make_point_runner(jobs, cache_dir),
+    )
     return FigureResult(
         figure_id="fig4b",
         title="Fig 4(b) — PSD: delivery rate vs EB weight (publishing rate 10)",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import FIGURE56_RATES, FigureResult, ScaleSpec, paper_base_config
+from repro.sim.parallel import make_point_runner
 from repro.sim.sweep import sweep_publishing_rate
 from repro.workload.scenarios import Scenario
 
@@ -23,11 +24,14 @@ def run_both_panels(
     scale: ScaleSpec | None = None,
     rates: Sequence[float] = FIGURE56_RATES,
     seeds: Sequence[int] | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> tuple[FigureResult, FigureResult]:
     """Run the PSD rate sweep once; derive both panels from it."""
     scale = scale or ScaleSpec()
     sweep = sweep_publishing_rate(
-        paper_base_config(Scenario.PSD, scale), rates, STRATEGIES, seeds=seeds
+        paper_base_config(Scenario.PSD, scale), rates, STRATEGIES, seeds=seeds,
+        point_runner=make_point_runner(jobs, cache_dir),
     )
     note = f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"
     panel_a = FigureResult(

@@ -5,9 +5,11 @@ message forwarding.  Incoming messages incur a fixed processing delay
 ``PD``; processed messages are matched against the subscription table and
 either delivered locally or placed, one copy per downstream neighbour, in
 that neighbour's **output queue**.  Each output queue is drained over a
-serialised link; when the link frees, the configured
-:class:`~repro.core.strategies.Strategy` picks the next entry after the
-queue's pruning policy has deleted invalid messages (Section 5.4).
+serialised link; when the link frees, the queue's
+:class:`~repro.core.queueing.ScheduledQueue` deletes invalid messages
+(Section 5.4) and picks the next entry under the configured
+:class:`~repro.core.strategies.Strategy` — incrementally, not by
+rescanning (the broker itself is just wiring).
 
 Input-queue waiting is ignored, as in the paper (processing is never the
 bottleneck), so processing completes exactly ``PD`` after reception.
@@ -15,11 +17,12 @@ bottleneck), so processing completes exactly ``PD`` after reception.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.context import SchedulingContext
-from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy, should_prune
+from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy
+from repro.core.queueing import ScheduledQueue
 from repro.core.strategies import QueueEntry, Strategy
 from repro.core.success import effective_deadline
 from repro.des.simulator import Simulator
@@ -33,16 +36,25 @@ from repro.pubsub.subscription import SubscriptionTable, TableRow
 
 @dataclass
 class OutputQueue:
-    """Waiting entries for one downstream neighbour."""
+    """The outbound channel to one downstream neighbour.
+
+    ``sched`` owns the waiting entries, their pruning and the
+    next-to-send selection; this record just ties it to the link.
+    """
 
     neighbor: str
     link: DirectedLink
     monitor: LinkMonitor
     deliver: Callable[[Message], None]
-    entries: list[QueueEntry] = field(default_factory=list)
+    sched: ScheduledQueue
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return len(self.sched)
+
+    @property
+    def entries(self) -> list[QueueEntry]:
+        """Snapshot of the waiting entries (queue order), for inspection."""
+        return self.sched.entries()
 
 
 DeliveryCallback = Callable[[str, Message, float, bool], None]
@@ -63,6 +75,8 @@ class Broker:
         default_size_kb: float = 50.0,
         scheduling_slack_per_hop_ms: float = 0.0,
         trace: TraceRecorder | None = None,
+        queue_backend: str = "auto",
+        queue_validate: bool = False,
     ) -> None:
         if processing_delay_ms < 0.0:
             raise ValueError("processing_delay_ms must be non-negative")
@@ -84,6 +98,8 @@ class Broker:
             if pruning_override is not None
             else PruningPolicy.for_strategy(strategy.probabilistic_pruning)
         )
+        self.queue_backend = queue_backend
+        self.queue_validate = queue_validate
         self.table = SubscriptionTable()
         self.queues: dict[str, OutputQueue] = {}
         self.trace = trace
@@ -111,7 +127,15 @@ class Broker:
         """
         if neighbor in self.queues:
             raise ValueError(f"{self.name}: neighbor {neighbor!r} already wired")
-        self.queues[neighbor] = OutputQueue(neighbor, link, monitor, deliver)
+        sched = ScheduledQueue(
+            strategy=self.strategy,
+            pruning=self.pruning,
+            epsilon=self.epsilon,
+            planning_delay_ms=self.planning_delay_ms,
+            backend=self.queue_backend,
+            validate=self.queue_validate,
+        )
+        self.queues[neighbor] = OutputQueue(neighbor, link, monitor, deliver, sched)
 
     def install(self, row: TableRow) -> None:
         if row.next_hop is not None and row.next_hop not in self.queues:
@@ -155,7 +179,7 @@ class Broker:
         for neighbor in sorted(remote):
             entry = QueueEntry(message, remote[neighbor], enqueue_time=now, seq=self._seq)
             self._seq += 1
-            self.queues[neighbor].entries.append(entry)
+            self.queues[neighbor].sched.push(entry)
             if self.trace is not None:
                 self.trace.record(
                     now, "enqueue", self.name,
@@ -182,33 +206,25 @@ class Broker:
         )
 
     def _prune(self, queue: OutputQueue) -> None:
-        now = self.sim.now
-        kept: list[QueueEntry] = []
-        pruned = 0
-        for entry in queue.entries:
-            if should_prune(entry, now, self.planning_delay_ms, self.pruning, self.epsilon):
-                pruned += 1
-                if self.trace is not None:
+        pruned = queue.sched.prune(self.sim.now)
+        if pruned:
+            if self.trace is not None:
+                for entry in pruned:
                     self.trace.record(
-                        now, "prune", self.name,
+                        self.sim.now, "prune", self.name,
                         msg=entry.message.msg_id, neighbor=queue.neighbor,
                     )
-            else:
-                kept.append(entry)
-        if pruned:
-            queue.entries = kept
-            self.metrics.on_prune(pruned)
+            self.metrics.on_prune(len(pruned))
 
     def _try_send(self, neighbor: str) -> None:
         queue = self.queues[neighbor]
         if queue.link.busy:
             return
         self._prune(queue)
-        if not queue.entries:
+        if not queue.sched:
             return
         ctx = self._context_for(queue)
-        idx = self.strategy.select(queue.entries, ctx)
-        entry = queue.entries.pop(idx)
+        entry = queue.sched.pop_best(ctx)
         duration = queue.link.draw_transmission_time(entry.message.size_kb)
         queue.link.acquire()
         self.metrics.on_transmission()

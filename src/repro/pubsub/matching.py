@@ -54,6 +54,9 @@ class BruteForceMatcher(Generic[K]):
     def match(self, attributes: Mapping[str, float]) -> set[K]:
         return {k for k, f in self._filters.items() if f.matches(attributes)}
 
+    def __contains__(self, key: K) -> bool:
+        return key in self._filters
+
     def __len__(self) -> int:
         return len(self._filters)
 
@@ -80,6 +83,34 @@ class _AttrOpIndex:
         else:
             self._thresholds.insert(i, value)
             self._keys.insert(i, [key])
+
+    def add_many(self, pairs: Iterable[tuple[float, object]]) -> None:
+        """Bulk insert: one sort + linear merge instead of per-add
+        ``list.insert`` (O((n+m)·log m) versus O(n·m) for m adds into an
+        n-threshold index).  Equivalent to calling :meth:`add` per pair in
+        iteration order — keys sharing a threshold keep that order.
+        """
+        incoming = sorted(pairs, key=lambda p: p[0])  # stable: preserves add order
+        if not incoming:
+            return
+        merged_t: list[float] = []
+        merged_k: list[list] = []
+        i = j = 0
+        t, ks = self._thresholds, self._keys
+        while i < len(t) or j < len(incoming):
+            if j >= len(incoming) or (i < len(t) and t[i] <= incoming[j][0]):
+                merged_t.append(t[i])
+                merged_k.append(ks[i])
+                i += 1
+            else:
+                value, key = incoming[j]
+                if merged_t and merged_t[-1] == value:
+                    merged_k[-1].append(key)
+                else:
+                    merged_t.append(value)
+                    merged_k.append([key])
+                j += 1
+        self._thresholds, self._keys = merged_t, merged_k
 
     def remove(self, value: float, key) -> None:
         i = bisect.bisect_left(self._thresholds, value)
@@ -129,7 +160,7 @@ class CountingIndexMatcher(Generic[K]):
         self._fallback = BruteForceMatcher[K]()
 
     def add(self, key: K, filter_: Filter) -> None:
-        if key in self._predicate_count:
+        if key in self._predicate_count or key in self._fallback:
             raise KeyError(f"duplicate key {key!r}")
         preds = conjunction_predicates(filter_)
         if preds is None:
@@ -142,6 +173,33 @@ class CountingIndexMatcher(Generic[K]):
             if idx is None:
                 idx = self._indexes[(p.attribute, p.op)] = _AttrOpIndex(p.op)
             idx.add(p.value, key)
+
+    def add_many(self, items: Iterable[tuple[K, Filter]]) -> None:
+        """Bulk registration: predicates are grouped per (attribute, op)
+        index and inserted with one sorted merge each.  Matching behaviour
+        is identical to adding the items one at a time, in order.
+        """
+        items = list(items)
+        seen: set[K] = set()
+        for key, _ in items:
+            if key in self._predicate_count or key in seen or key in self._fallback:
+                raise KeyError(f"duplicate key {key!r}")
+            seen.add(key)
+        batches: dict[tuple[str, str], list[tuple[float, K]]] = defaultdict(list)
+        for key, filter_ in items:
+            preds = conjunction_predicates(filter_)
+            if preds is None:
+                self._fallback.add(key, filter_)
+                continue
+            self._predicate_count[key] = len(preds)
+            self._predicates[key] = preds
+            for p in preds:
+                batches[(p.attribute, p.op)].append((p.value, key))
+        for (attr, op), pairs in batches.items():
+            idx = self._indexes.get((attr, op))
+            if idx is None:
+                idx = self._indexes[(attr, op)] = _AttrOpIndex(op)
+            idx.add_many(pairs)
 
     def remove(self, key: K) -> None:
         preds = self._predicates.pop(key, None)

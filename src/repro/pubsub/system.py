@@ -95,6 +95,13 @@ class SystemConfig:
     scheduling_slack_per_hop_ms: float = 0.0
     routing: RoutingMode = RoutingMode.single_path()
     enable_trace: bool = False
+    #: Output-queue servicing structure: "auto" picks the incremental heap
+    #: matching the strategy's score_kind, "scan" forces the legacy
+    #: full-rescan oracle (see :mod:`repro.core.queueing`).
+    queue_backend: str = "auto"
+    #: Cross-check every queue decision against the full-scan oracle and
+    #: raise on divergence (slow; differential tests only).
+    queue_validate: bool = False
 
     def __post_init__(self) -> None:
         if self.processing_delay_ms < 0.0:
@@ -159,6 +166,8 @@ class PubSubSystem:
                 default_size_kb=self.config.default_size_kb,
                 scheduling_slack_per_hop_ms=self.config.scheduling_slack_per_hop_ms,
                 trace=self.trace if self.config.enable_trace else None,
+                queue_backend=self.config.queue_backend,
+                queue_validate=self.config.queue_validate,
             )
             broker.delivery_callbacks.append(self._on_local_delivery)
             self.brokers[name] = broker

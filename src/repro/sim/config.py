@@ -44,6 +44,8 @@ class SimulationConfig:
     routing_paths: int = 1  # 1 = the paper's single-path; >1 = multi-path
     psd_deadline_range_ms: tuple[float, float] = (10_000.0, 30_000.0)
     enable_trace: bool = False
+    queue_backend: str = "auto"  # "scan" forces the legacy full-rescan oracle
+    queue_validate: bool = False  # cross-check every queue decision (slow)
 
     def __post_init__(self) -> None:
         if self.publishing_rate_per_min < 0.0:

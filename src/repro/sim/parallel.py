@@ -1,0 +1,195 @@
+"""Parallel sweep execution: independent points over a process pool.
+
+Every sweep decomposes into independent ``(strategy, x, seed)`` points
+(see :mod:`repro.sim.sweep`); each point is a pure function of its
+:class:`~repro.sim.config.SimulationConfig`, so the grid parallelises
+with no coordination beyond deterministic reassembly — results come back
+in submission order regardless of which worker finished first, making
+``--jobs N`` output byte-identical to a sequential run.
+
+An optional on-disk **point cache** keyed by a config fingerprint lets
+repeated sweeps (re-rendered figures, claim checks, benches at the same
+scale) skip finished points entirely; cached results are exact because
+:func:`~repro.sim.runner.run_simulation` is deterministic per config.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Sequence
+
+from repro.sim.config import SimulationConfig
+from repro.sim.io import result_from_dict, result_to_dict
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_simulation
+from repro.sim.sweep import PointRunner, run_points_serial
+
+#: Bump when result semantics change so stale cache entries cannot leak
+#: into new runs.
+_CACHE_SCHEMA = 1
+
+
+def _jsonable(value):
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def config_fingerprint(config: SimulationConfig) -> str:
+    """Stable hash of everything that determines a point's result."""
+    payload = {"schema": _CACHE_SCHEMA, "config": _jsonable(config)}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class PointCache:
+    """One JSON file per finished simulation point, keyed by fingerprint."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise NotADirectoryError(
+                f"point cache path {self.root} exists and is not a directory"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, config: SimulationConfig) -> Path:
+        return self.root / f"{config_fingerprint(config)}.json"
+
+    def get(self, config: SimulationConfig) -> SimulationResult | None:
+        path = self._path(config)
+        if not path.exists():
+            return None
+        try:
+            return result_from_dict(json.loads(path.read_text()))
+        except (ValueError, TypeError):
+            # Corrupt or stale-format entry (bad JSON, non-object payload,
+            # wrong fields): recompute the point.  JSONDecodeError is a
+            # ValueError; TypeError covers valid-JSON non-dict payloads.
+            return None
+
+    def put(self, config: SimulationConfig, result: SimulationResult) -> None:
+        # Writer-unique tmp name + atomic replace: a concurrent reader (or a
+        # second sweep sharing the cache) never sees a torn file.
+        tmp = self._path(config).with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(result_to_dict(result), sort_keys=True))
+        tmp.replace(self._path(config))
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.json")))
+
+
+def _run_point(config: SimulationConfig) -> SimulationResult:
+    # Module-level so it pickles for the process pool.
+    return run_simulation(config)
+
+
+class ParallelPointRunner:
+    """Run independent points over a :class:`ProcessPoolExecutor`.
+
+    ``jobs=1`` (or a single pending point) degrades to the serial path;
+    a pool that cannot start (restricted sandboxes) falls back to serial
+    with a warning rather than failing the sweep.  Results are always
+    returned in submission order.
+    """
+
+    def __init__(self, jobs: int, cache: PointCache | None = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+
+    def __call__(self, configs: Sequence[SimulationConfig]) -> list[SimulationResult]:
+        results: list[SimulationResult | None] = [None] * len(configs)
+        pending: list[int] = []
+        for i, config in enumerate(configs):
+            cached = self.cache.get(config) if self.cache is not None else None
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.append(i)
+        if pending:
+            self._execute(configs, pending, results)
+        return results  # type: ignore[return-value]
+
+    def _store(self, i: int, config: SimulationConfig, result, results: list) -> None:
+        results[i] = result
+        if self.cache is not None:
+            self.cache.put(config, result)
+
+    def _execute(
+        self,
+        configs: Sequence[SimulationConfig],
+        pending: list[int],
+        results: list,
+    ) -> None:
+        # Every finished point is cached the moment it completes — an
+        # exception (or interrupt) partway through a long sweep keeps the
+        # finished points' cache entries; only reassembly is deferred.
+        if self.jobs == 1 or len(pending) == 1:
+            for i in pending:
+                self._store(i, configs[i], _run_point(configs[i]), results)
+            return
+        # Only pool failures fall back to serial execution: OSError here
+        # covers pool *creation* (restricted sandboxes), BrokenProcessPool
+        # covers workers dying mid-run.  An error from the point itself
+        # (bad config) or from a cache write (full disk) propagates.
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        except OSError as exc:
+            self._fallback_serial(configs, pending, results, exc)
+            return
+        try:
+            with pool:
+                futures = {pool.submit(_run_point, configs[i]): i for i in pending}
+                for future in as_completed(futures):
+                    i = futures[future]
+                    self._store(i, configs[i], future.result(), results)
+        except BrokenProcessPool as exc:
+            self._fallback_serial(configs, pending, results, exc)
+
+    def _fallback_serial(
+        self,
+        configs: Sequence[SimulationConfig],
+        pending: list[int],
+        results: list,
+        exc: BaseException,
+    ) -> None:
+        warnings.warn(
+            f"process pool unavailable ({exc}); running remaining points serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        for i in pending:
+            if results[i] is None:
+                self._store(i, configs[i], _run_point(configs[i]), results)
+
+
+def make_point_runner(
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> PointRunner:
+    """Build the point runner for a sweep.
+
+    ``jobs=None``/``1`` without a cache returns the plain serial runner;
+    otherwise a :class:`ParallelPointRunner` (which itself degrades to
+    serial execution when the pool is pointless or unavailable).
+    """
+    if (jobs is None or jobs <= 1) and cache_dir is None:
+        return run_points_serial
+    cache = PointCache(cache_dir) if cache_dir is not None else None
+    return ParallelPointRunner(jobs=max(1, jobs or 1), cache=cache)

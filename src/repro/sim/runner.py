@@ -47,6 +47,8 @@ def build_system(
             scheduling_slack_per_hop_ms=config.scheduling_slack_per_hop_ms,
             routing=RoutingMode(k=config.routing_paths),
             enable_trace=config.enable_trace,
+            queue_backend=config.queue_backend,
+            queue_validate=config.queue_validate,
         ),
     )
     system.subscribe_all(

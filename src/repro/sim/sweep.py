@@ -4,6 +4,14 @@ A *sweep* runs a grid of (strategy, parameter) points over paired
 workloads.  Results come back as ``{series_label: [value per x]}`` plus
 the x axis — exactly what the figure harnesses print and what the benches
 time.
+
+Every sweep decomposes into independent ``(strategy, x, seed)``
+simulation points; the grid is built first and then executed by a *point
+runner* — a callable mapping a list of configs to the list of results in
+the same order.  The default runs sequentially in-process;
+:func:`repro.sim.parallel.make_point_runner` supplies a process-pool
+runner with an on-disk point cache, and either produces identical
+results because :func:`run_simulation` is deterministic per config.
 """
 
 from __future__ import annotations
@@ -14,6 +22,14 @@ from typing import Any, Callable, Sequence
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimulationResult, aggregate_results
 from repro.sim.runner import run_simulation
+
+#: Executes a batch of independent simulation points, preserving order.
+PointRunner = Callable[[Sequence[SimulationConfig]], list[SimulationResult]]
+
+
+def run_points_serial(configs: Sequence[SimulationConfig]) -> list[SimulationResult]:
+    """The default point runner: one point after another, in-process."""
+    return [run_simulation(config) for config in configs]
 
 
 @dataclass
@@ -46,37 +62,47 @@ def _label(name: str, params: dict[str, Any]) -> str:
     return name
 
 
+def _collapse(per_seed: list[SimulationResult]) -> SimulationResult:
+    return per_seed[0] if len(per_seed) == 1 else _mean_result(per_seed)
+
+
 def sweep_publishing_rate(
     base: SimulationConfig,
     rates: Sequence[float],
     strategies: Sequence[str | tuple[str, dict[str, Any]]],
     seeds: Sequence[int] | None = None,
+    point_runner: PointRunner | None = None,
 ) -> SweepResult:
     """Figures 5/6: strategies × publishing rates.
 
     With multiple ``seeds``, each point is re-run per seed and the stored
-    result is the seed-0 run; use :func:`sweep_publishing_rate_aggregated`
-    for means.  Single-seed (the paper's protocol) is the default.
+    result is the per-seed mean (:func:`_mean_result` — rounded means for
+    count-like fields, identification from the first replica).
+    Single-seed (the paper's protocol) is the default and stores the run
+    itself.  ``point_runner`` overrides how the independent points are
+    executed (see :mod:`repro.sim.parallel`).
     """
+    runner = point_runner or run_points_serial
     seeds = list(seeds) if seeds is not None else [base.seed]
+    points = list(_strategy_points(strategies))
+    configs = [
+        base.replace(
+            strategy=name, strategy_params=params,
+            publishing_rate_per_min=rate, seed=seed,
+        )
+        for name, params in points
+        for rate in rates
+        for seed in seeds
+    ]
+    results = runner(configs)
     out = SweepResult(x_label="publishing rate (msgs/min/publisher)", x_values=list(rates))
-    for name, params in _strategy_points(strategies):
-        label = _label(name, params)
+    i = 0
+    for name, params in points:
         runs: list[SimulationResult] = []
-        for rate in rates:
-            per_seed = [
-                run_simulation(
-                    base.replace(
-                        strategy=name,
-                        strategy_params=params,
-                        publishing_rate_per_min=rate,
-                        seed=seed,
-                    )
-                )
-                for seed in seeds
-            ]
-            runs.append(per_seed[0] if len(per_seed) == 1 else _mean_result(per_seed))
-        out.series[label] = runs
+        for _rate in rates:
+            runs.append(_collapse(results[i : i + len(seeds)]))
+            i += len(seeds)
+        out.series[_label(name, params)] = runs
     return out
 
 
@@ -84,27 +110,31 @@ def sweep_r_weight(
     base: SimulationConfig,
     r_values: Sequence[float],
     seeds: Sequence[int] | None = None,
+    point_runner: PointRunner | None = None,
 ) -> SweepResult:
     """Figure 4: EBPC across the EB weight ``r``, plus EB and PC baselines.
 
     EB and PC do not depend on ``r``; they are run once and replicated
     across the x axis as flat reference lines (as in the paper's plot).
     """
+    runner = point_runner or run_points_serial
     seeds = list(seeds) if seeds is not None else [base.seed]
+    points: list[tuple[str, dict[str, Any]]] = [("ebpc", {"r": r}) for r in r_values]
+    points += [("eb", {}), ("pc", {})]
+    configs = [
+        base.replace(strategy=name, strategy_params=params, seed=seed)
+        for name, params in points
+        for seed in seeds
+    ]
+    results = runner(configs)
+    collapsed = [
+        _collapse(results[i : i + len(seeds)])
+        for i in range(0, len(results), len(seeds))
+    ]
     out = SweepResult(x_label="weight of EB, r", x_values=list(r_values))
-
-    def run_point(name: str, params: dict[str, Any]) -> SimulationResult:
-        per_seed = [
-            run_simulation(base.replace(strategy=name, strategy_params=params, seed=seed))
-            for seed in seeds
-        ]
-        return per_seed[0] if len(per_seed) == 1 else _mean_result(per_seed)
-
-    out.series["ebpc"] = [run_point("ebpc", {"r": r}) for r in r_values]
-    eb = run_point("eb", {})
-    pc = run_point("pc", {})
-    out.series["eb"] = [eb] * len(r_values)
-    out.series["pc"] = [pc] * len(r_values)
+    out.series["ebpc"] = collapsed[: len(r_values)]
+    out.series["eb"] = [collapsed[len(r_values)]] * len(r_values)
+    out.series["pc"] = [collapsed[len(r_values) + 1]] * len(r_values)
     return out
 
 

@@ -109,6 +109,12 @@ class TestCountingIndex:
         with pytest.raises(KeyError):
             m.add("s1", Predicate("B", "<", 5.0))
 
+    def test_duplicate_key_in_fallback_rejected(self):
+        m = CountingIndexMatcher()
+        m.add("s1", OrFilter([Predicate("A", "<", 1.0), Predicate("B", ">", 9.0)]))
+        with pytest.raises(KeyError):
+            m.add("s1", Predicate("B", "<", 5.0))
+
     def test_duplicate_threshold_same_attr(self):
         m = CountingIndexMatcher()
         m.add("s1", Predicate("A", "<", 5.0))
@@ -150,3 +156,72 @@ def test_counting_index_agrees_after_removal(filters, attrs, remove_idx):
     brute.remove(remove_idx)
     index.remove(remove_idx)
     assert index.match(attrs) == brute.match(attrs)
+
+
+class TestAddMany:
+    def test_bulk_equals_incremental(self):
+        filters = [
+            ("s1", Predicate("A", "<", 5.0)),
+            ("s2", AndFilter([Predicate("A", "<", 5.0), Predicate("B", ">", 1.0)])),
+            ("s3", Predicate("A", "<", 5.0)),  # shared threshold
+            ("s4", OrFilter([Predicate("C", ">", 0.0)])),  # fallback
+            ("s5", AndFilter([])),  # match-all
+        ]
+        incremental = CountingIndexMatcher()
+        for key, f in filters:
+            incremental.add(key, f)
+        bulk = CountingIndexMatcher()
+        bulk.add_many(filters)
+        for attrs in ({"A": 3.0, "B": 2.0}, {"A": 6.0}, {"C": 1.0}, {}):
+            assert bulk.match(attrs) == incremental.match(attrs)
+        assert len(bulk) == len(incremental)
+
+    def test_bulk_into_populated_index(self):
+        m = CountingIndexMatcher()
+        m.add("s1", Predicate("A", "<", 5.0))
+        m.add_many([("s2", Predicate("A", "<", 3.0)), ("s3", Predicate("A", "<", 5.0))])
+        assert m.match({"A": 1.0}) == {"s1", "s2", "s3"}
+        assert m.match({"A": 4.0}) == {"s1", "s3"}
+
+    def test_bulk_then_remove(self):
+        m = CountingIndexMatcher()
+        m.add_many([("s1", Predicate("A", "<", 5.0)), ("s2", Predicate("A", "<", 5.0))])
+        m.remove("s1")
+        assert m.match({"A": 1.0}) == {"s2"}
+
+    def test_duplicate_within_batch_rejected(self):
+        m = CountingIndexMatcher()
+        with pytest.raises(KeyError):
+            m.add_many([("s1", Predicate("A", "<", 5.0)), ("s1", Predicate("B", "<", 5.0))])
+
+    def test_duplicate_against_existing_rejected(self):
+        m = CountingIndexMatcher()
+        m.add("s1", Predicate("A", "<", 5.0))
+        with pytest.raises(KeyError):
+            m.add_many([("s1", Predicate("B", "<", 5.0))])
+        m2 = CountingIndexMatcher()
+        m2.add("f1", OrFilter([Predicate("A", "<", 1.0)]))
+        with pytest.raises(KeyError):
+            m2.add_many([("f1", Predicate("B", "<", 5.0))])
+
+
+@given(
+    first=st.lists(conjunctions(), min_size=0, max_size=6),
+    second=st.lists(conjunctions(), min_size=0, max_size=6),
+    attrs=st.dictionaries(
+        st.sampled_from(["A", "B", "C"]), st.floats(-5, 5, allow_nan=False), max_size=3
+    ),
+)
+@settings(max_examples=200)
+def test_add_many_agrees_with_incremental_adds(first, second, attrs):
+    """Bulk-build over a (possibly non-empty) index == sequential adds."""
+    incremental = CountingIndexMatcher()
+    bulk = CountingIndexMatcher()
+    for i, f in enumerate(first):
+        incremental.add(("a", i), f)
+        bulk.add(("a", i), f)
+    for i, f in enumerate(second):
+        incremental.add(("b", i), f)
+    bulk.add_many([(("b", i), f) for i, f in enumerate(second)])
+    assert bulk.match(attrs) == incremental.match(attrs)
+    assert len(bulk) == len(incremental)

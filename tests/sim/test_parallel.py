@@ -1,0 +1,172 @@
+"""Parallel sweep executor: determinism, caching, fingerprints."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.sim.parallel as parallel
+from repro.sim.config import SimulationConfig
+from repro.sim.parallel import (
+    ParallelPointRunner,
+    PointCache,
+    config_fingerprint,
+    make_point_runner,
+)
+from repro.sim.runner import run_simulation
+from repro.sim.sweep import run_points_serial, sweep_publishing_rate, sweep_r_weight
+from repro.workload.scenarios import Scenario
+
+TINY = SimulationConfig(
+    seed=0, scenario=Scenario.SSD, publishing_rate_per_min=6.0, duration_ms=5_000.0
+)
+
+
+class TestFingerprint:
+    def test_stable_across_equal_configs(self):
+        assert config_fingerprint(TINY) == config_fingerprint(TINY.replace())
+
+    def test_sensitive_to_every_relevant_knob(self):
+        base = config_fingerprint(TINY)
+        for changed in (
+            TINY.replace(seed=1),
+            TINY.replace(strategy="pc"),
+            TINY.replace(strategy_params={"r": 0.7}),
+            TINY.replace(publishing_rate_per_min=9.0),
+            TINY.replace(scenario=Scenario.PSD),
+            TINY.replace(duration_ms=6_000.0),
+            TINY.replace(queue_backend="scan"),
+        ):
+            assert config_fingerprint(changed) != base
+
+    def test_fingerprint_is_hex_sha256(self):
+        fp = config_fingerprint(TINY)
+        assert len(fp) == 64
+        int(fp, 16)
+
+
+class TestPointCache:
+    def test_round_trip(self, tmp_path):
+        cache = PointCache(tmp_path / "points")
+        assert cache.get(TINY) is None
+        result = run_simulation(TINY)
+        cache.put(TINY, result)
+        assert cache.get(TINY) == result
+        assert len(cache) == 1
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        cache = PointCache(tmp_path)
+        (tmp_path / f"{config_fingerprint(TINY)}.json").write_text("{not json")
+        assert cache.get(TINY) is None
+
+    def test_valid_json_non_object_entry_recomputed(self, tmp_path):
+        cache = PointCache(tmp_path)
+        (tmp_path / f"{config_fingerprint(TINY)}.json").write_text("5")
+        assert cache.get(TINY) is None
+
+    def test_stale_schema_entry_recomputed(self, tmp_path):
+        cache = PointCache(tmp_path)
+        (tmp_path / f"{config_fingerprint(TINY)}.json").write_text(
+            json.dumps({"strategy": "eb"})  # missing every other field
+        )
+        assert cache.get(TINY) is None
+
+
+class TestParallelRunner:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            ParallelPointRunner(jobs=0)
+
+    def test_parallel_results_identical_to_serial(self):
+        configs = [TINY.replace(seed=s) for s in range(3)]
+        assert ParallelPointRunner(jobs=2)(configs) == run_points_serial(configs)
+
+    def test_cache_skips_finished_points(self, tmp_path, monkeypatch):
+        runner = ParallelPointRunner(jobs=1, cache=PointCache(tmp_path))
+        configs = [TINY.replace(seed=s) for s in range(2)]
+        first = runner(configs)
+        calls = []
+
+        def boom(config):
+            calls.append(config)
+            raise AssertionError("cache miss on a cached point")
+
+        monkeypatch.setattr(parallel, "_run_point", boom)
+        assert runner(configs) == first
+        assert calls == []
+
+    def test_failed_batch_still_caches_finished_points(self, tmp_path, monkeypatch):
+        """A point that raises mid-batch must not discard finished points."""
+        cache = PointCache(tmp_path)
+        runner = ParallelPointRunner(jobs=1, cache=cache)
+        good, bad = TINY.replace(seed=0), TINY.replace(seed=1)
+
+        def sometimes(config):
+            if config.seed == 1:
+                raise RuntimeError("simulated worker crash")
+            return run_simulation(config)
+
+        monkeypatch.setattr(parallel, "_run_point", sometimes)
+        with pytest.raises(RuntimeError):
+            runner([good, bad])
+        assert cache.get(good) is not None  # finished point survived
+        assert cache.get(bad) is None
+
+    def test_cache_dir_must_not_be_a_file(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("hello")
+        with pytest.raises(NotADirectoryError):
+            PointCache(target)
+
+    def test_make_point_runner_serial_default(self, tmp_path):
+        assert make_point_runner(None, None) is run_points_serial
+        assert make_point_runner(1, None) is run_points_serial
+        assert isinstance(make_point_runner(2, None), ParallelPointRunner)
+        assert isinstance(make_point_runner(None, tmp_path / "a"), ParallelPointRunner)
+        assert isinstance(make_point_runner(1, tmp_path / "b"), ParallelPointRunner)
+
+
+class TestSweepIntegration:
+    def test_rate_sweep_parallel_matches_serial(self):
+        serial = sweep_publishing_rate(TINY, [3.0, 6.0], ["fifo", "eb"])
+        parallel_ = sweep_publishing_rate(
+            TINY, [3.0, 6.0], ["fifo", "eb"], point_runner=ParallelPointRunner(jobs=2)
+        )
+        assert serial.series == parallel_.series
+        assert serial.x_values == parallel_.x_values
+
+    def test_r_sweep_parallel_matches_serial(self):
+        serial = sweep_r_weight(TINY, [0.0, 0.5, 1.0])
+        parallel_ = sweep_r_weight(
+            TINY, [0.0, 0.5, 1.0], point_runner=ParallelPointRunner(jobs=2)
+        )
+        assert serial.series == parallel_.series
+
+    def test_multi_seed_mean_stored(self):
+        sweep = sweep_publishing_rate(TINY, [6.0], ["fifo"], seeds=[0, 1])
+        single = sweep_publishing_rate(TINY, [6.0], ["fifo"], seeds=[0])
+        collapsed = sweep.series["fifo"][0]
+        lone = single.series["fifo"][0]
+        # The docstring promises the per-seed mean, not the seed-0 run.
+        per_seed = [
+            run_simulation(TINY.replace(strategy="fifo", publishing_rate_per_min=6.0, seed=s))
+            for s in (0, 1)
+        ]
+        if per_seed[0].earning != per_seed[1].earning:
+            assert collapsed.earning != lone.earning
+        assert collapsed.earning == pytest.approx(
+            sum(r.earning for r in per_seed) / 2
+        )
+
+
+class TestCliJobs:
+    def test_jobs_flag_parsed(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["fig5a", "--scale", "0.02", "--jobs", "4"])
+        assert args.jobs == 4
+        assert args.cache_dir is None
+        args = build_parser().parse_args(["fig6b", "--cache-dir", "/tmp/pts"])
+        assert args.jobs == 1
+        assert args.cache_dir == "/tmp/pts"

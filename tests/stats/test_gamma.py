@@ -56,7 +56,11 @@ class TestDistribution:
         d = ShiftedGamma(shape=shape, scale=scale, shift=shift)
         xs = [shift - 1, shift + 0.1, shift + scale, shift + 5 * scale, shift + 50 * scale]
         cdfs = [d.cdf(x) for x in xs]
-        assert cdfs == sorted(cdfs)
+        # scipy's gammainc wiggles by ~1 ulp at its internal series /
+        # continued-fraction joins (e.g. shape 0.25 around y/scale = 1), so
+        # monotonicity only holds up to that float-level noise.
+        for lo, hi in zip(cdfs, cdfs[1:]):
+            assert hi >= lo - 1e-12
         assert all(0.0 <= c <= 1.0 for c in cdfs)
 
 
