@@ -1,0 +1,172 @@
+"""End-to-end ingest benchmark: publish→deliver throughput.
+
+Builds the paper's layered mesh scaled to ~1k / 5k / 20k subscriptions,
+schedules a fixed publication workload, runs the simulation to completion
+and reports wall-clock throughput per (strategy, subscription count) for
+the vectorised ingest path — plus a vector-vs-oracle matcher comparison
+that also asserts the two backends reach identical delivery decisions.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_e2e.py            # full matrix
+    PYTHONPATH=src python benchmarks/bench_e2e.py --smoke    # CI-sized
+
+Writes ``BENCH_e2e.json`` (override with ``--out``): one record per
+measured point and a summary of the oracle comparison, seeding the
+repo's end-to-end perf trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.registry import STRATEGY_NAMES
+from repro.network.topology import LayeredMeshSpec
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_system, schedule_workload
+from repro.workload.scenarios import Scenario
+
+#: Edge brokers in the paper topology (layer sizes 4/4/8/16) — the
+#: subscription count is 16 × subscribers_per_edge_broker.
+EDGE_BROKERS = 16
+
+#: Target subscription populations and the per-edge-broker count hitting
+#: them on the paper topology.
+SUB_TARGETS: dict[int, int] = {1008: 63, 5008: 313, 20000: 1250}
+
+
+def _point_config(
+    subs_per_edge: int, strategy: str, matcher_backend: str,
+    rate: float, minutes: float, seed: int,
+) -> SimulationConfig:
+    return SimulationConfig(
+        seed=seed,
+        scenario=Scenario.SSD,
+        strategy=strategy,
+        publishing_rate_per_min=rate,
+        duration_ms=minutes * 60_000.0,
+        grace_ms=30_000.0,
+        topology_spec=LayeredMeshSpec(subscribers_per_edge_broker=subs_per_edge),
+        matcher_backend=matcher_backend,
+    )
+
+
+def run_point(config: SimulationConfig) -> dict:
+    """Build, run and time one simulation; the workload build is excluded
+    from the timed window (ingest throughput, not setup cost)."""
+    system = build_system(config)
+    published_planned = schedule_workload(system, config)
+    start = time.perf_counter()
+    system.sim.run(until=config.horizon_ms)
+    wall_s = time.perf_counter() - start
+    m = system.metrics
+    deliveries = m.deliveries_valid + m.deliveries_late
+    return {
+        "strategy": config.strategy,
+        "subscriptions": EDGE_BROKERS * config.topology_spec.subscribers_per_edge_broker,
+        "matcher_backend": config.matcher_backend,
+        "seed": config.seed,
+        "published": m.published,
+        "published_planned": published_planned,
+        "deliveries": deliveries,
+        "deliveries_valid": m.deliveries_valid,
+        "receptions": m.receptions,
+        "earning": m.earning,
+        "wall_s": round(wall_s, 4),
+        "publish_throughput_per_s": round(m.published / wall_s, 2) if wall_s else None,
+        "delivery_throughput_per_s": round(deliveries / wall_s, 2) if wall_s else None,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: 1k subscriptions, two strategies")
+    parser.add_argument("--out", default="BENCH_e2e.json", help="output JSON path")
+    parser.add_argument("--rate", type=float, default=20.0,
+                        help="publications per minute per publisher")
+    parser.add_argument("--minutes", type=float, default=None,
+                        help="simulated publication window (default 1.0, smoke 0.5)")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    minutes = args.minutes if args.minutes is not None else (0.5 if args.smoke else 1.0)
+    if args.smoke:
+        strategies: tuple[str, ...] = ("eb", "fifo")
+        sizes = [1008]
+        compare_at = 1008
+    else:
+        strategies = STRATEGY_NAMES
+        sizes = sorted(SUB_TARGETS)
+        compare_at = 5008
+
+    points: list[dict] = []
+    vector_at: dict[tuple[str, int], dict] = {}
+    for subs in sizes:
+        per_edge = SUB_TARGETS[subs]
+        for strategy in strategies:
+            record = run_point(_point_config(
+                per_edge, strategy, "vector", args.rate, minutes, args.seed))
+            points.append(record)
+            vector_at[(strategy, subs)] = record
+            print(f"vector  {strategy:5s} {subs:>6d} subs: "
+                  f"{record['wall_s']:7.2f}s wall, "
+                  f"{record['delivery_throughput_per_s']:>10.0f} deliveries/s")
+
+    comparison: list[dict] = []
+    for strategy in strategies:
+        per_edge = SUB_TARGETS[compare_at]
+        # The matrix above already measured this exact vector config —
+        # reuse its record rather than re-simulating the expensive point.
+        vector = vector_at[(strategy, compare_at)]
+        oracle = run_point(_point_config(
+            per_edge, strategy, "oracle", args.rate, minutes, args.seed))
+        for field in ("published", "deliveries", "deliveries_valid", "receptions", "earning"):
+            if vector[field] != oracle[field]:
+                raise AssertionError(
+                    f"{strategy}@{compare_at}: matcher backends diverged on "
+                    f"{field}: vector={vector[field]} oracle={oracle[field]}"
+                )
+        speedup = oracle["wall_s"] / vector["wall_s"] if vector["wall_s"] else None
+        comparison.append({
+            "strategy": strategy,
+            "subscriptions": compare_at,
+            "vector_wall_s": vector["wall_s"],
+            "oracle_wall_s": oracle["wall_s"],
+            "speedup": round(speedup, 3) if speedup else None,
+            "decisions_identical": True,
+        })
+        points.append(oracle)
+        print(f"compare {strategy:5s} {compare_at:>6d} subs: "
+              f"vector {vector['wall_s']:6.2f}s vs oracle {oracle['wall_s']:6.2f}s "
+              f"-> {speedup:.2f}x, decisions identical")
+
+    result = {
+        "meta": {
+            "bench": "bench_e2e",
+            "mode": "smoke" if args.smoke else "full",
+            "scenario": "ssd",
+            "rate_per_min_per_publisher": args.rate,
+            "minutes": minutes,
+            "seed": args.seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "points": points,
+        "oracle_comparison": comparison,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {out}")
+    best = max((c["speedup"] or 0.0) for c in comparison)
+    print(f"best vector-vs-oracle speedup at {compare_at} subscriptions: {best:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ from repro.experiments import figure4, figure5, figure6, table1
 from repro.experiments.claims import format_report, run_all
 from repro.experiments.common import ScaleSpec
 from repro.experiments.report import format_series_table
+from repro.pubsub.matching import MATCHER_BACKENDS
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import run_simulation
 from repro.workload.scenarios import Scenario
@@ -99,6 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=10.0, help="msgs/min/publisher")
     p.add_argument("--minutes", type=float, default=10.0, help="simulated test period")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--matcher", choices=list(MATCHER_BACKENDS), default="vector",
+        help="matching engine: numpy fast path, dict oracle, or brute force",
+    )
     return parser
 
 
@@ -164,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
                 strategy_params=params,
                 publishing_rate_per_min=args.rate,
                 duration_ms=args.minutes * 60_000.0,
+                matcher_backend=args.matcher,
             )
         )
         print(f"strategy          : {result.strategy}")

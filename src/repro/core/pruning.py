@@ -13,13 +13,24 @@ from __future__ import annotations
 import enum
 import math
 
+import numpy as np
+
 from repro.core.metrics import max_success_vec
 from repro.core.strategies import QueueEntry
-from repro.core.success import effective_deadline
 from repro.stats.normal import Normal
 
 #: The paper's ε (0.05 %).
 DEFAULT_EPSILON = 5e-4
+
+
+def _effective_deadline_vec(entry: QueueEntry) -> np.ndarray:
+    """Per-row ``adl`` (Eq. 5's allowed delay): the row/message minimum,
+    with unspecified deadlines already ``inf`` in the column arrays."""
+    msg_dl = entry.message.deadline_ms
+    deadline = entry.arrays.deadline
+    if msg_dl is None:
+        return deadline
+    return np.minimum(deadline, msg_dl)
 
 
 class PruningPolicy(enum.Enum):
@@ -40,11 +51,7 @@ class PruningPolicy(enum.Enum):
 
 def entry_is_expired(entry: QueueEntry, now: float) -> bool:
     """True iff every (subscription, message) pair's deadline has passed."""
-    for row in entry.rows:
-        adl = effective_deadline(row, entry.message)
-        if entry.message.hdl(now) <= adl:
-            return False
-    return True
+    return not bool(np.any(entry.message.hdl(now) <= _effective_deadline_vec(entry)))
 
 
 def entry_is_hopeless(
@@ -115,27 +122,23 @@ def prune_horizon(
     if policy is PruningPolicy.NONE:
         return math.inf
     publish = entry.message.publish_time
-    horizon = -math.inf
+    adl = _effective_deadline_vec(entry)
     if policy is PruningPolicy.EXPIRED:
-        for row in entry.rows:
-            adl = effective_deadline(row, entry.message)
-            if math.isinf(adl):
-                return math.inf
-            horizon = max(horizon, publish + adl)
-        return horizon
+        if np.any(np.isinf(adl)):
+            return math.inf  # an unbounded pair never expires
+        return float(np.max(publish + adl))
     if epsilon <= 0.0:
         raise ValueError(f"epsilon must be positive, got {epsilon}")
     if epsilon >= 1.0:
         return -math.inf  # every probability is < ε: prunable from the start
+    if np.any(np.isinf(adl)):
+        return math.inf  # an unbounded pair always succeeds: never prunable
     z = _std_normal_quantile(epsilon)
     size = entry.message.size_kb
-    for row in entry.rows:
-        adl = effective_deadline(row, entry.message)
-        if math.isinf(adl):
-            return math.inf
-        std = row.rate.std
-        # success < ε  ⟺  hdl > adl − NN·PD − size·(μ + σ·z); a degenerate
-        # path (σ = 0) steps from 1 to 0 at the mean itself.
-        ramp = row.rate.mean if std == 0.0 else row.rate.mean + std * z
-        horizon = max(horizon, publish + adl - row.nn * processing_delay_ms - size * ramp)
-    return horizon
+    arrays = entry.arrays
+    # success < ε  ⟺  hdl > adl − NN·PD − size·(μ + σ·z); a degenerate
+    # path (σ = 0) steps from 1 to 0 at the mean itself.  The expression
+    # keeps the scalar loop's operation order per element, so horizons
+    # are bit-identical to the row-by-row computation.
+    ramp = np.where(arrays.std == 0.0, arrays.mean, arrays.mean + arrays.std * z)
+    return float(np.max(publish + adl - arrays.nn * processing_delay_ms - size * ramp))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.context import SchedulingContext
 from repro.core.metrics import (
@@ -31,19 +31,26 @@ class QueueEntry:
     ``rows`` are the subscriptions reachable through this queue's neighbour
     that the message satisfies (fixed at enqueue time; the evaluation uses
     a static subscription population, as in the paper).  ``arrays`` is the
-    vectorised view used by the metric kernels.
+    vectorised view used by the metric kernels; the broker supplies it
+    pre-gathered from the subscription table's column arrays, and it is
+    built row by row only when a caller omits it.
     """
 
     message: Message
     rows: list[TableRow]
     enqueue_time: float
     seq: int
-    arrays: RowArrays = field(init=False)
+    arrays: RowArrays | None = None
 
     def __post_init__(self) -> None:
         if not self.rows:
             raise ValueError("a queue entry must target at least one subscription")
-        self.arrays = RowArrays.from_rows(self.rows)
+        if self.arrays is None:
+            self.arrays = RowArrays.from_rows(self.rows)
+        elif len(self.arrays) != len(self.rows):
+            raise ValueError(
+                f"arrays/rows mismatch: {len(self.arrays)} != {len(self.rows)}"
+            )
 
 
 class Strategy(ABC):

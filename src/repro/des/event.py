@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -14,27 +12,64 @@ class Event:
     then lower ``priority`` value, then insertion order — which makes event
     execution fully deterministic for a fixed schedule, a prerequisite for
     seed-reproducible experiments.
+
+    A ``__slots__`` record compared as a plain tuple: the kernel allocates
+    one per scheduled callback and the heap compares them constantly, so
+    dataclass machinery (generated ``__init__`` with defaults-processing,
+    per-field comparison methods, an instance ``__dict__``) is measurable
+    overhead at paper-scale event counts.
     """
 
-    time: float
-    priority: int
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "action", "label", "cancelled", "done")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        action: Callable[[], None],
+        label: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = cancelled
+        self.done = False  # set by the kernel once the action has run
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.priority, self.seq) == (other.time, other.priority, other.seq)
+
+    __hash__ = None  # mutable record ordered by key; keep it unhashable
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} p={self.priority} #{self.seq}{flag} {self.label!r}>"
 
 
 class EventHandle:
     """Opaque handle returned by :meth:`Simulator.schedule`.
 
     Cancellation is lazy: the event stays in the heap but is skipped when
-    popped, so cancel is O(1) and the heap never needs re-sifting.
+    popped, so cancel is O(1) and the heap never needs re-sifting.  The
+    optional ``on_cancel`` callback lets the owning simulator keep its
+    live-event counter exact without scanning the heap.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_on_cancel")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(
+        self, event: Event, on_cancel: Callable[[Event], None] | None = None
+    ) -> None:
         self._event = event
+        self._on_cancel = on_cancel
 
     @property
     def time(self) -> float:
@@ -53,4 +88,6 @@ class EventHandle:
         if self._event.cancelled:
             return False
         self._event.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel(self._event)
         return True

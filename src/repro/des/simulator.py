@@ -26,6 +26,10 @@ class Simulator:
         self._seq = 0
         self._executed = 0
         self._running = False
+        #: Non-cancelled events still in the heap.  Maintained at schedule /
+        #: cancel / execute time so the drained-early check in :meth:`run`
+        #: is O(1) instead of a rescan of the heap per return.
+        self._live = 0
 
     # ------------------------------------------------------------------ #
     # Clock.
@@ -44,6 +48,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Events still in the heap, including lazily cancelled ones."""
         return len(self._heap)
+
+    @property
+    def live_events(self) -> int:
+        """Events still in the heap that have not been cancelled."""
+        return self._live
 
     # ------------------------------------------------------------------ #
     # Scheduling.
@@ -74,10 +83,20 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(time=float(time), priority=priority, seq=self._seq, action=action, label=label)
+        event = Event(float(time), priority, self._seq, action, label)
         self._seq += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self._note_cancelled)
+
+    def _note_cancelled(self, event: Event) -> None:
+        """Handle-cancel hook: keep the live counter exact.
+
+        Cancelling an event that already ran leaves the counter alone —
+        its live slot was consumed at execution time.
+        """
+        if not event.done:
+            self._live -= 1
 
     # ------------------------------------------------------------------ #
     # Execution.
@@ -90,6 +109,8 @@ class Simulator:
                 continue
             self._now = event.time
             self._executed += 1
+            self._live -= 1
+            event.done = True
             event.action()
             return True
         return False
@@ -119,10 +140,10 @@ class Simulator:
                 self._now = head.time
                 self._executed += 1
                 executed += 1
+                self._live -= 1
+                head.done = True
                 head.action()
-            if until is not None and self._now < until and (
-                not self._heap or all(e.cancelled for e in self._heap)
-            ):
+            if until is not None and self._now < until and self._live == 0:
                 # Drained early: advance the clock to the horizon so that
                 # time-based metrics (rates per period) stay well-defined.
                 self._now = until

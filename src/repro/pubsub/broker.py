@@ -77,6 +77,7 @@ class Broker:
         trace: TraceRecorder | None = None,
         queue_backend: str = "auto",
         queue_validate: bool = False,
+        matcher_backend: str = "vector",
     ) -> None:
         if processing_delay_ms < 0.0:
             raise ValueError("processing_delay_ms must be non-negative")
@@ -100,7 +101,7 @@ class Broker:
         )
         self.queue_backend = queue_backend
         self.queue_validate = queue_validate
-        self.table = SubscriptionTable()
+        self.table = SubscriptionTable(matcher_backend=matcher_backend)
         self.queues: dict[str, OutputQueue] = {}
         self.trace = trace
         self._seq = 0
@@ -156,7 +157,10 @@ class Broker:
         self.sim.schedule(
             self.processing_delay_ms,
             lambda: self._process(message),
-            label=f"{self.name}:process:{message.msg_id}",
+            # Label construction is skipped when tracing is off: labels
+            # exist for trace/debug inspection only, and the f-string per
+            # event is measurable at ingest rates.
+            label=f"{self.name}:process:{message.msg_id}" if self.trace is not None else "",
         )
 
     def _process(self, message: Message) -> None:
@@ -177,13 +181,17 @@ class Broker:
                     msg=message.msg_id, subscriber=row.subscriber, valid=valid,
                 )
         for neighbor in sorted(remote):
-            entry = QueueEntry(message, remote[neighbor], enqueue_time=now, seq=self._seq)
+            group = remote[neighbor]
+            entry = QueueEntry(
+                message, group.rows, enqueue_time=now, seq=self._seq,
+                arrays=group.arrays,
+            )
             self._seq += 1
             self.queues[neighbor].sched.push(entry)
             if self.trace is not None:
                 self.trace.record(
                     now, "enqueue", self.name,
-                    msg=message.msg_id, neighbor=neighbor, fanout=len(remote[neighbor]),
+                    msg=message.msg_id, neighbor=neighbor, fanout=len(group),
                 )
             self._try_send(neighbor)
 
@@ -236,7 +244,7 @@ class Broker:
         self.sim.schedule(
             duration,
             lambda: self._complete_send(neighbor, entry),
-            label=f"{self.name}->{neighbor}:{entry.message.msg_id}",
+            label=f"{self.name}->{neighbor}:{entry.message.msg_id}" if self.trace is not None else "",
         )
 
     def _complete_send(self, neighbor: str, entry: QueueEntry) -> None:

@@ -1,6 +1,6 @@
 """Matching engines: which subscriptions does a message satisfy?
 
-Two implementations behind one protocol:
+Three implementations behind one protocol:
 
 * :class:`BruteForceMatcher` — evaluate every filter; the correctness
   oracle and the right choice for small tables.
@@ -9,9 +9,21 @@ Two implementations behind one protocol:
   sorted threshold indexes produce, per message, the count of satisfied
   predicates per subscription; a subscription matches when its count equals
   its predicate total.  Non-conjunctive filters degrade to brute force.
+* :class:`VectorCountingMatcher` — the same counting algorithm on dense
+  integer ids and numpy: every key is interned to a contiguous id, each
+  (attribute, op) index stores its thresholds as one sorted array with
+  CSR-style id spans, and a match is ``np.searchsorted`` (per index) +
+  slice-concatenate + one ``np.bincount`` compared against the per-id
+  predicate totals.  Decision-identical to :class:`CountingIndexMatcher`
+  (the differential tests assert it); mutation recompiles the touched
+  indexes lazily, so install-then-match workloads pay one build.
 
 Engines are generic over an opaque ``key`` so both the global population
 (for the delivery-rate denominator) and per-broker tables reuse them.
+:func:`make_matcher` builds one by backend name (the ``matcher_backend``
+config knob): ``"vector"`` is the fast path, ``"oracle"`` the dict-based
+counting matcher kept as the differential oracle, ``"brute"`` the filter
+scan.
 """
 
 from __future__ import annotations
@@ -19,6 +31,8 @@ from __future__ import annotations
 import bisect
 from collections import defaultdict
 from typing import Generic, Hashable, Iterable, Mapping, Protocol, TypeVar
+
+import numpy as np
 
 from repro.pubsub.filters import Filter, Predicate, conjunction_predicates
 
@@ -158,6 +172,10 @@ class CountingIndexMatcher(Generic[K]):
         self._predicate_count: dict[K, int] = {}
         self._predicates: dict[K, tuple[Predicate, ...]] = {}
         self._fallback = BruteForceMatcher[K]()
+        #: Keys with zero predicates (empty conjunctions) match every
+        #: message but never appear in any index; cached here so ``match``
+        #: does not rescan ``_predicate_count`` on every call.
+        self._match_all: set[K] = set()
 
     def add(self, key: K, filter_: Filter) -> None:
         if key in self._predicate_count or key in self._fallback:
@@ -168,6 +186,8 @@ class CountingIndexMatcher(Generic[K]):
             return
         self._predicate_count[key] = len(preds)
         self._predicates[key] = preds
+        if not preds:
+            self._match_all.add(key)
         for p in preds:
             idx = self._indexes.get((p.attribute, p.op))
             if idx is None:
@@ -193,6 +213,8 @@ class CountingIndexMatcher(Generic[K]):
                 continue
             self._predicate_count[key] = len(preds)
             self._predicates[key] = preds
+            if not preds:
+                self._match_all.add(key)
             for p in preds:
                 batches[(p.attribute, p.op)].append((p.value, key))
         for (attr, op), pairs in batches.items():
@@ -207,6 +229,7 @@ class CountingIndexMatcher(Generic[K]):
             self._fallback.remove(key)
             return
         del self._predicate_count[key]
+        self._match_all.discard(key)
         for p in preds:
             self._indexes[(p.attribute, p.op)].remove(p.value, key)
 
@@ -219,10 +242,274 @@ class CountingIndexMatcher(Generic[K]):
             for key in idx.satisfied_keys(v):
                 counts[key] += 1
         result = {k for k, c in counts.items() if c == self._predicate_count[k]}
-        # Empty conjunctions (match-all) never appear in any index.
-        result.update(k for k, n in self._predicate_count.items() if n == 0)
+        result.update(self._match_all)
         result.update(self._fallback.match(attributes))
         return result
 
     def __len__(self) -> int:
         return len(self._predicate_count) + len(self._fallback)
+
+
+class _VecAttrOpIndex:
+    """One (attribute, op) index over interned ids, compiled to numpy.
+
+    Raw ``(threshold, id)`` pairs accumulate in a list; :meth:`compile`
+    sorts them once into a sorted unique ``thresholds`` array plus a
+    CSR-style layout (``ids`` concatenated per threshold, ``starts`` as
+    the indptr).  Every comparison op then reduces to one
+    ``np.searchsorted`` and a contiguous slice (prefix for ``>``/``>=``,
+    suffix for ``<``/``<=``, a single span for ``==``, its complement for
+    ``!=``) — the satisfied-id set comes out as array views, no per-key
+    Python iteration.
+    """
+
+    __slots__ = ("op", "entries", "dirty", "_thresholds", "_starts", "_ids")
+
+    def __init__(self, op: str) -> None:
+        self.op = op
+        self.entries: list[tuple[float, int]] = []
+        self.dirty = True
+        self._thresholds = np.empty(0)
+        self._starts = np.zeros(1, dtype=np.int64)
+        self._ids = np.empty(0, dtype=np.int64)
+
+    def add(self, value: float, id_: int) -> None:
+        self.entries.append((value, id_))
+        self.dirty = True
+
+    def compile(self) -> None:
+        if not self.dirty:
+            return
+        if self.entries:
+            values = np.array([v for v, _ in self.entries])
+            ids = np.array([i for _, i in self.entries], dtype=np.int64)
+            order = np.argsort(values, kind="stable")
+            values, ids = values[order], ids[order]
+            thresholds, first = np.unique(values, return_index=True)
+            self._thresholds = thresholds
+            self._starts = np.append(first, len(values))
+            self._ids = ids
+        else:
+            self._thresholds = np.empty(0)
+            self._starts = np.zeros(1, dtype=np.int64)
+            self._ids = np.empty(0, dtype=np.int64)
+        self.dirty = False
+
+    def collect(self, v: float, out: list[np.ndarray]) -> None:
+        """Append the satisfied-id array views for message value ``v``."""
+        t, starts, ids = self._thresholds, self._starts, self._ids
+        op = self.op
+        if op == "<":  # v < threshold => the suffix strictly above v
+            out.append(ids[starts[np.searchsorted(t, v, side="right")]:])
+        elif op == "<=":
+            out.append(ids[starts[np.searchsorted(t, v, side="left")]:])
+        elif op == ">":  # v > threshold => the prefix strictly below v
+            out.append(ids[: starts[np.searchsorted(t, v, side="left")]])
+        elif op == ">=":
+            out.append(ids[: starts[np.searchsorted(t, v, side="right")]])
+        elif op == "==":
+            i = np.searchsorted(t, v, side="left")
+            if i < len(t) and t[i] == v:
+                out.append(ids[starts[i]: starts[i + 1]])
+        else:  # "!=": everything except the equal span
+            i = np.searchsorted(t, v, side="left")
+            if i < len(t) and t[i] == v:
+                out.append(ids[: starts[i]])
+                out.append(ids[starts[i + 1]:])
+            else:
+                out.append(ids)
+
+
+#: Sentinel predicate total for ids that must never win the count test:
+#: removed keys and match-all keys (handled by their own cached set).
+_NEVER = -1
+
+
+class VectorCountingMatcher(Generic[K]):
+    """Counting-algorithm matcher on dense ids and numpy arrays.
+
+    Keys are interned to contiguous integer ids; a match concatenates the
+    per-index satisfied-id slices and compares one ``np.bincount`` against
+    the per-id predicate totals.  Ids are append-only (removals leave a
+    ``_NEVER`` total behind), so compiled indexes stay valid across
+    removals and only the touched (attribute, op) indexes recompile.
+
+    Non-conjunctive filters degrade to brute force and empty conjunctions
+    live in a cached match-all set, exactly as in
+    :class:`CountingIndexMatcher`.
+    """
+
+    def __init__(self) -> None:
+        self._indexes: dict[tuple[str, str], _VecAttrOpIndex] = {}
+        self._keys: list[K] = []  # id -> key
+        self._id_of: dict[K, int] = {}
+        self._required: list[int] = []  # id -> predicate total (or _NEVER)
+        self._predicates: dict[K, tuple[Predicate, ...]] = {}
+        self._match_all: set[K] = set()
+        self._fallback = BruteForceMatcher[K]()
+        self._live = 0
+        self._required_arr = np.empty(0, dtype=np.int64)
+        self._key_arr = np.empty(0, dtype=np.int64)  # id -> key, int keys only
+        self._required_dirty = True
+        # Removal is tombstone-based: a removed id's predicate total goes to
+        # _NEVER, so its (still-indexed) entries can inflate bincount inputs
+        # but can never win the count test.  Once the tombstones outnumber
+        # the live entries (or live ids), :meth:`_purge_dead` compacts the
+        # whole id space — dead entries leave the indexes and surviving ids
+        # are remapped to stay dense — so remove is O(1) amortised and
+        # per-match bincount width tracks live keys, not cumulative adds.
+        self._dead_ids: set[int] = set()
+        self._dead_entries = 0
+        self._total_entries = 0
+
+    # -------------------------------------------------------------- #
+    # Mutation.
+    # -------------------------------------------------------------- #
+    def _intern(self, key: K, n_predicates: int) -> int:
+        id_ = len(self._keys)
+        self._keys.append(key)
+        self._id_of[key] = id_
+        self._required.append(n_predicates if n_predicates > 0 else _NEVER)
+        self._required_dirty = True
+        return id_
+
+    def add(self, key: K, filter_: Filter) -> None:
+        if key in self._predicates or key in self._fallback:
+            raise KeyError(f"duplicate key {key!r}")
+        preds = conjunction_predicates(filter_)
+        if preds is None:
+            self._fallback.add(key, filter_)
+            return
+        id_ = self._intern(key, len(preds))
+        self._predicates[key] = preds
+        self._live += 1
+        self._total_entries += len(preds)
+        if not preds:
+            self._match_all.add(key)
+        for p in preds:
+            idx = self._indexes.get((p.attribute, p.op))
+            if idx is None:
+                idx = self._indexes[(p.attribute, p.op)] = _VecAttrOpIndex(p.op)
+            idx.add(p.value, id_)
+
+    def add_many(self, items: Iterable[tuple[K, Filter]]) -> None:
+        items = list(items)
+        seen: set[K] = set()
+        for key, _ in items:
+            if key in self._predicates or key in seen or key in self._fallback:
+                raise KeyError(f"duplicate key {key!r}")
+            seen.add(key)
+        for key, filter_ in items:
+            self.add(key, filter_)
+
+    def remove(self, key: K) -> None:
+        preds = self._predicates.pop(key, None)
+        if preds is None:
+            self._fallback.remove(key)
+            return
+        id_ = self._id_of.pop(key)
+        self._required[id_] = _NEVER
+        self._required_dirty = True
+        self._match_all.discard(key)
+        self._live -= 1
+        self._dead_ids.add(id_)
+        self._dead_entries += len(preds)
+        if (self._dead_entries * 2 > self._total_entries
+                or len(self._dead_ids) * 2 > len(self._keys)):
+            self._purge_dead()
+
+    def _purge_dead(self) -> None:
+        """Compact the id space (amortised): drop tombstoned entries from
+        every index and remap surviving ids to be dense again, so neither
+        match cost nor id-table memory grows with cumulative churn."""
+        live = sorted(self._id_of.items(), key=lambda kv: kv[1])  # by old id
+        remap = {old: new for new, (_, old) in enumerate(live)}
+        self._keys = [key for key, _ in live]
+        self._required = [self._required[old] for _, old in live]
+        self._id_of = {key: new for new, (key, _) in enumerate(live)}
+        dead = self._dead_ids
+        total = 0
+        for idx in self._indexes.values():
+            idx.entries = [(v, remap[i]) for v, i in idx.entries if i not in dead]
+            idx.dirty = True
+            total += len(idx.entries)
+        self._total_entries = total
+        self._dead_entries = 0
+        dead.clear()
+        self._required_dirty = True
+        self._key_arr = np.empty(0, dtype=np.int64)
+
+    # -------------------------------------------------------------- #
+    # Matching.
+    # -------------------------------------------------------------- #
+    def _indexed_hits(self, attributes: Mapping[str, float]) -> np.ndarray:
+        """Ids whose predicate count equals their total (sorted ascending)."""
+        if self._required_dirty:
+            self._required_arr = np.asarray(self._required, dtype=np.int64)
+            self._required_dirty = False
+        chunks: list[np.ndarray] = []
+        for (attr, _op), idx in self._indexes.items():
+            v = attributes.get(attr)
+            if v is None:
+                continue
+            if idx.dirty:
+                idx.compile()
+            idx.collect(v, chunks)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        satisfied = np.concatenate(chunks)
+        if satisfied.size == 0:
+            return satisfied
+        counts = np.bincount(satisfied, minlength=len(self._required_arr))
+        return np.flatnonzero(counts == self._required_arr)
+
+    def match(self, attributes: Mapping[str, float]) -> set[K]:
+        keys = self._keys
+        result = {keys[i] for i in self._indexed_hits(attributes)}
+        result.update(self._match_all)
+        result.update(self._fallback.match(attributes))
+        return result
+
+    def match_array(self, attributes: Mapping[str, float]) -> np.ndarray:
+        """Matched keys as one int64 array — the zero-set fast path.
+
+        Only valid when every key is a Python int (the subscription table
+        interns rows to dense ids and uses those as keys).  Order is
+        unspecified; callers that need a canonical order sort the result.
+        """
+        hits = self._indexed_hits(attributes)
+        if len(self._key_arr) != len(self._keys):
+            self._key_arr = np.asarray(self._keys, dtype=np.int64)
+        parts = [self._key_arr[hits]] if hits.size else []
+        if self._match_all:
+            parts.append(np.fromiter(self._match_all, dtype=np.int64, count=len(self._match_all)))
+        if len(self._fallback):
+            extra = self._fallback.match(attributes)
+            if extra:
+                parts.append(np.fromiter(extra, dtype=np.int64, count=len(extra)))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    def __len__(self) -> int:
+        return self._live + len(self._fallback)
+
+
+#: Recognised ``matcher_backend`` selectors for :func:`make_matcher`.
+MATCHER_BACKENDS = ("vector", "oracle", "brute")
+
+
+def make_matcher(backend: str = "vector") -> MatchingEngine:
+    """Build a matching engine by ``matcher_backend`` name.
+
+    ``"vector"`` is the numpy fast path, ``"oracle"`` the dict-based
+    counting matcher retained as the differential oracle, ``"brute"`` the
+    plain filter scan.
+    """
+    if backend == "vector":
+        return VectorCountingMatcher()
+    if backend == "oracle":
+        return CountingIndexMatcher()
+    if backend == "brute":
+        return BruteForceMatcher()
+    raise ValueError(f"matcher_backend must be one of {MATCHER_BACKENDS}, got {backend!r}")

@@ -5,17 +5,23 @@ The paper's table row is ``(subscriber, filter, dl, pr, nb, NN_p, μ_p,
 (publisher-hosting) brokers for which this broker lies on the routing path —
 the provenance check that makes single-path routing duplicate-free on a
 mesh (see :mod:`repro.pubsub.system`).
+
+The table is column-oriented on the hot path: every installed row gets a
+dense integer row id, its scheduling attributes (nn/mean/std/deadline/
+price) land in table-level column arrays, and matching produces row-id
+arrays — provenance filtering, duplicate settlement and per-hop grouping
+are numpy operations, and a :class:`RowGroup`'s :class:`RowArrays` is a
+fancy-index gather instead of a per-enqueue Python loop.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.pubsub.filters import Filter
-from repro.pubsub.matching import CountingIndexMatcher
+from repro.pubsub.matching import make_matcher
 from repro.pubsub.message import Message
 from repro.stats.normal import Normal
 
@@ -80,75 +86,261 @@ class TableRow:
         return self.subscription.price
 
 
+class RowGroup:
+    """A matched set of rows of one table, addressed by row-id array.
+
+    ``rows`` materialises the :class:`TableRow` objects (needed for local
+    delivery and the per-row scoring paths); ``arrays`` gathers the
+    table's column arrays by fancy index — no per-row attribute access.
+    Groups are snapshots taken at match time: the column references are
+    captured immediately, so a later table recompilation cannot skew a
+    group already handed out.
+    """
+
+    __slots__ = ("row_ids", "rows", "_cols", "_arrays")
+
+    def __init__(self, table: "SubscriptionTable", row_ids: np.ndarray) -> None:
+        self.row_ids = row_ids
+        self.rows: list[TableRow] = [table._rows_by_id[i] for i in row_ids]
+        self._cols = (table._c_nn, table._c_mean, table._c_std,
+                      table._c_deadline, table._c_price)
+        self._arrays: RowArrays | None = None
+
+    @property
+    def arrays(self) -> "RowArrays":
+        if self._arrays is None:
+            nn, mean, std, deadline, price = self._cols
+            ids = self.row_ids
+            self._arrays = RowArrays(
+                nn=nn[ids], mean=mean[ids], std=std[ids],
+                deadline=deadline[ids], price=price[ids],
+            )
+        return self._arrays
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __getitem__(self, i: int) -> TableRow:
+        return self.rows[i]
+
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
 class SubscriptionTable:
     """All rows installed at one broker, with an index for matching.
 
     Rows are keyed by ``(subscriber, path_id)``: single-path routing keeps
     one row per subscriber (path 0), the multi-path extension several.
+    Internally each row is interned to a dense integer id; the matcher is
+    keyed by those ids and the scheduling attributes live in table-level
+    column arrays (compiled lazily after mutations), so the match path
+    works on int arrays end to end.  ``matcher_backend`` selects the
+    matching engine (:func:`repro.pubsub.matching.make_matcher`).
     """
 
-    def __init__(self) -> None:
-        self._rows: dict[tuple[str, int], TableRow] = {}
-        self._matcher: CountingIndexMatcher[tuple[str, int]] = CountingIndexMatcher()
+    def __init__(self, matcher_backend: str = "vector") -> None:
+        self.matcher_backend = matcher_backend
+        self._matcher = make_matcher(matcher_backend)  # keyed by row id
+        self._rows_by_id: list[TableRow | None] = []
+        self._id_of_key: dict[tuple[str, int], int] = {}
+        #: subscriber -> row ids, so uninstall/__contains__ are O(own rows)
+        #: instead of a scan over the whole table.
+        self._ids_of_subscriber: dict[str, list[int]] = {}
+        #: Row ids freed by uninstall, reused by the next install so the
+        #: column arrays scale with peak live rows, not cumulative churn.
+        self._free_ids: list[int] = []
+        # Raw columns, one slot per row id (dead rows keep stale values;
+        # the matcher never returns their ids).
+        self._nn: list[float] = []
+        self._mean: list[float] = []
+        self._std: list[float] = []
+        self._deadline: list[float] = []
+        self._price: list[float] = []
+        self._hop_id: list[int] = []  # -1 = local
+        self._sub_id: list[int] = []
+        self._sources: list[frozenset[str]] = []
+        self._hop_names: list[str] = []
+        self._hop_id_of: dict[str, int] = {}
+        self._sub_names: list[str] = []
+        self._sub_id_of: dict[str, int] = {}
+        # Compiled views (rebuilt lazily after install/uninstall).
+        self._dirty = True
+        self._c_nn = self._c_mean = self._c_std = np.empty(0)
+        self._c_deadline = self._c_price = np.empty(0)
+        self._c_hop = self._c_sub = self._c_rank = _EMPTY_IDS
+        self._c_source_masks: dict[str, np.ndarray] = {}
 
+    # ------------------------------------------------------------------ #
+    # Mutation.
+    # ------------------------------------------------------------------ #
     def install(self, row: TableRow) -> None:
         key = (row.subscriber, row.path_id)
-        if key in self._rows:
+        if key in self._id_of_key:
             raise KeyError(f"row {key!r} already installed")
-        self._rows[key] = row
-        self._matcher.add(key, row.subscription.filter)
+        if row.next_hop is None:
+            hop = -1
+        else:
+            hop = self._hop_id_of.get(row.next_hop)
+            if hop is None:
+                hop = self._hop_id_of[row.next_hop] = len(self._hop_names)
+                self._hop_names.append(row.next_hop)
+        sub = self._sub_id_of.get(row.subscriber)
+        if sub is None:
+            sub = self._sub_id_of[row.subscriber] = len(self._sub_names)
+            self._sub_names.append(row.subscriber)
+        deadline = row.deadline_ms if row.deadline_ms is not None else np.inf
+        price = row.price if row.price is not None else 1.0
+        if self._free_ids:
+            row_id = self._free_ids.pop()
+            self._rows_by_id[row_id] = row
+            self._nn[row_id] = float(row.nn)
+            self._mean[row_id] = row.rate.mean
+            self._std[row_id] = row.rate.std
+            self._deadline[row_id] = deadline
+            self._price[row_id] = price
+            self._hop_id[row_id] = hop
+            self._sub_id[row_id] = sub
+            self._sources[row_id] = row.sources
+        else:
+            row_id = len(self._rows_by_id)
+            self._rows_by_id.append(row)
+            self._nn.append(float(row.nn))
+            self._mean.append(row.rate.mean)
+            self._std.append(row.rate.std)
+            self._deadline.append(deadline)
+            self._price.append(price)
+            self._hop_id.append(hop)
+            self._sub_id.append(sub)
+            self._sources.append(row.sources)
+        self._id_of_key[key] = row_id
+        self._ids_of_subscriber.setdefault(row.subscriber, []).append(row_id)
+        self._matcher.add(row_id, row.subscription.filter)
+        self._dirty = True
 
     def uninstall(self, subscriber: str) -> None:
         """Remove every row (any path) of a subscriber."""
-        keys = [k for k in self._rows if k[0] == subscriber]
-        if not keys:
+        ids = self._ids_of_subscriber.pop(subscriber, None)
+        if ids is None:
             raise KeyError(subscriber)
-        for key in keys:
-            del self._rows[key]
-            self._matcher.remove(key)
+        for row_id in ids:
+            row = self._rows_by_id[row_id]
+            self._rows_by_id[row_id] = None
+            del self._id_of_key[(subscriber, row.path_id)]
+            self._matcher.remove(row_id)
+            self._free_ids.append(row_id)
+        self._dirty = True
 
+    # ------------------------------------------------------------------ #
+    # Lookup.
+    # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._id_of_key)
 
     def __contains__(self, subscriber: str) -> bool:
-        return any(k[0] == subscriber for k in self._rows)
+        return subscriber in self._ids_of_subscriber
 
     def row(self, subscriber: str, path_id: int = 0) -> TableRow:
-        return self._rows[(subscriber, path_id)]
+        return self._rows_by_id[self._id_of_key[(subscriber, path_id)]]
 
     def rows(self) -> list[TableRow]:
-        return [self._rows[k] for k in sorted(self._rows)]
+        return [self._rows_by_id[self._id_of_key[k]] for k in sorted(self._id_of_key)]
+
+    # ------------------------------------------------------------------ #
+    # Matching.
+    # ------------------------------------------------------------------ #
+    def _compile(self) -> None:
+        if not self._dirty:
+            return
+        self._c_nn = np.asarray(self._nn)
+        self._c_mean = np.asarray(self._mean)
+        self._c_std = np.asarray(self._std)
+        self._c_deadline = np.asarray(self._deadline)
+        self._c_price = np.asarray(self._price)
+        self._c_hop = np.asarray(self._hop_id, dtype=np.int64)
+        self._c_sub = np.asarray(self._sub_id, dtype=np.int64)
+        # Rank = position in sorted (subscriber, path_id) order, the
+        # canonical match order (dead ids keep a stale rank; the matcher
+        # never returns them).
+        rank = np.zeros(len(self._rows_by_id), dtype=np.int64)
+        for r, key in enumerate(sorted(self._id_of_key)):
+            rank[self._id_of_key[key]] = r
+        self._c_rank = rank
+        self._c_source_masks = {}
+        self._dirty = False
+
+    def _source_mask(self, source_broker: str) -> np.ndarray:
+        mask = self._c_source_masks.get(source_broker)
+        if mask is None:
+            n = len(self._sources)
+            mask = np.fromiter(
+                (source_broker in s for s in self._sources), dtype=bool, count=n
+            ) if n else np.empty(0, dtype=bool)
+            self._c_source_masks[source_broker] = mask
+        return mask
+
+    def _matched_ids(self, message: Message) -> np.ndarray:
+        """Row ids matching filter + provenance, in (subscriber, path_id)
+        order — exactly the legacy ``sorted(keys)`` order."""
+        self._compile()
+        matcher = self._matcher
+        if hasattr(matcher, "match_array"):
+            ids = matcher.match_array(message.attributes)
+        else:
+            keys = matcher.match(message.attributes)
+            ids = np.fromiter(keys, dtype=np.int64, count=len(keys))
+        if ids.size == 0:
+            return ids
+        ids = ids[self._source_mask(message.source_broker)[ids]]
+        if ids.size:
+            ids = ids[np.argsort(self._c_rank[ids], kind="stable")]
+        return ids
 
     def match(self, message: Message) -> list[TableRow]:
         """Rows whose filter matches *and* whose sources include the
         message's origin broker (provenance check)."""
-        keys = self._matcher.match(message.attributes)
-        out = [
-            self._rows[k]
-            for k in sorted(keys)
-            if message.source_broker in self._rows[k].sources
-        ]
-        return out
+        return [self._rows_by_id[i] for i in self._matched_ids(message)]
 
-    def match_grouped(self, message: Message) -> tuple[list[TableRow], dict[str, list[TableRow]]]:
+    def match_grouped(self, message: Message) -> tuple[RowGroup, dict[str, RowGroup]]:
         """Split matches into (local rows, remote rows grouped by next hop).
 
         Within each group, rows are deduplicated by subscriber (multi-path
         can route the same subscriber through one broker via several paths
         sharing a next hop — the queue copy must count the subscriber's
         benefit once).  Local rows are likewise unique per subscriber.
+        Groups come back as :class:`RowGroup` views whose ``arrays`` are
+        column gathers.
         """
-        local: dict[str, TableRow] = {}
-        remote: dict[str, dict[str, TableRow]] = defaultdict(dict)
-        for row in self.match(message):
-            if row.is_local:
-                local.setdefault(row.subscriber, row)
+        ids = self._matched_ids(message)
+        if ids.size == 0:
+            return RowGroup(self, _EMPTY_IDS), {}
+        hop = self._c_hop[ids]
+        # Deduplicate (next hop, subscriber) keeping the first row in
+        # match order — the legacy setdefault semantics.
+        combo = (hop + 1) * len(self._sub_names) + self._c_sub[ids]
+        _, first = np.unique(combo, return_index=True)
+        if len(first) != len(ids):
+            first.sort()
+            ids, hop = ids[first], hop[first]
+        # Group by hop: stable sort keeps match order inside each group.
+        order = np.argsort(hop, kind="stable")
+        ids, hop = ids[order], hop[order]
+        boundaries = np.flatnonzero(hop[1:] != hop[:-1]) + 1
+        local = RowGroup(self, _EMPTY_IDS)
+        remote: dict[str, RowGroup] = {}
+        start = 0
+        for stop in list(boundaries) + [len(ids)]:
+            group = RowGroup(self, ids[start:stop])
+            h = int(hop[start])
+            if h < 0:
+                local = group
             else:
-                remote[row.next_hop].setdefault(row.subscriber, row)
-        return (
-            list(local.values()),
-            {hop: list(rows.values()) for hop, rows in remote.items()},
-        )
+                remote[self._hop_names[h]] = group
+            start = stop
+        return local, remote
 
 
 @dataclass(frozen=True)

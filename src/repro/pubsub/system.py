@@ -38,7 +38,7 @@ from repro.network.routing import SinkTree, compute_sink_tree, k_shortest_paths
 from repro.network.topology import Topology, TopologyError
 from repro.pubsub.broker import Broker
 from repro.pubsub.client import PublisherHandle, SubscriberHandle
-from repro.pubsub.matching import CountingIndexMatcher
+from repro.pubsub.matching import MATCHER_BACKENDS, MatchingEngine, make_matcher
 from repro.pubsub.message import Message
 from repro.pubsub.metrics import MetricsCollector
 from repro.pubsub.subscription import Subscription, TableRow
@@ -102,6 +102,10 @@ class SystemConfig:
     #: Cross-check every queue decision against the full-scan oracle and
     #: raise on divergence (slow; differential tests only).
     queue_validate: bool = False
+    #: Matching engine for subscription tables and the interested-population
+    #: index: "vector" (numpy counting index, the fast path), "oracle" (the
+    #: dict-based counting matcher, the differential oracle) or "brute".
+    matcher_backend: str = "vector"
 
     def __post_init__(self) -> None:
         if self.processing_delay_ms < 0.0:
@@ -112,6 +116,11 @@ class SystemConfig:
             raise ValueError("epsilon must be positive")
         if self.default_size_kb <= 0.0:
             raise ValueError("default_size_kb must be positive")
+        if self.matcher_backend not in MATCHER_BACKENDS:
+            raise ValueError(
+                f"matcher_backend must be one of {MATCHER_BACKENDS}, "
+                f"got {self.matcher_backend!r}"
+            )
 
 
 class PubSubSystem:
@@ -141,7 +150,7 @@ class PubSubSystem:
         self.subscribers: dict[str, SubscriberHandle] = {}
         self.publishers: dict[str, PublisherHandle] = {}
         self._subscriptions: dict[str, Subscription] = {}
-        self._population: CountingIndexMatcher[str] = CountingIndexMatcher()
+        self._population: MatchingEngine[str] = make_matcher(self.config.matcher_backend)
         self._sink_trees: dict[str, SinkTree] = {}
         self._next_msg_id = 0
 
@@ -168,6 +177,7 @@ class PubSubSystem:
                 trace=self.trace if self.config.enable_trace else None,
                 queue_backend=self.config.queue_backend,
                 queue_validate=self.config.queue_validate,
+                matcher_backend=self.config.matcher_backend,
             )
             broker.delivery_callbacks.append(self._on_local_delivery)
             self.brokers[name] = broker

@@ -49,6 +49,7 @@ def build_system(
             enable_trace=config.enable_trace,
             queue_backend=config.queue_backend,
             queue_validate=config.queue_validate,
+            matcher_backend=config.matcher_backend,
         ),
     )
     system.subscribe_all(
@@ -70,6 +71,7 @@ def schedule_workload(system: PubSubSystem, config: SimulationConfig) -> int:
         arrival=config.arrival,
         deadline_range_ms=config.psd_deadline_range_ms,
     )
+    trace_on = config.enable_trace
     for pub in publications:
         system.sim.schedule_at(
             pub.time_ms,
@@ -77,7 +79,7 @@ def schedule_workload(system: PubSubSystem, config: SimulationConfig) -> int:
             lambda p=pub: system.publish(
                 p.publisher, p.attributes, size_kb=p.size_kb, deadline_ms=p.deadline_ms
             ),
-            label=f"publish:{pub.publisher}",
+            label=f"publish:{pub.publisher}" if trace_on else "",
         )
     return len(publications)
 

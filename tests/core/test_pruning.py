@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.core.pruning import (
@@ -9,6 +11,7 @@ from repro.core.pruning import (
     PruningPolicy,
     entry_is_expired,
     entry_is_hopeless,
+    prune_horizon,
     should_prune,
 )
 from tests.core.helpers import make_entry, make_message, make_row
@@ -87,3 +90,25 @@ class TestPolicies:
 
     def test_default_epsilon_is_papers(self):
         assert DEFAULT_EPSILON == 5e-4
+
+
+class TestPruneHorizon:
+    def test_unbounded_row_never_reaches_horizon(self):
+        entry = make_entry(rows=[make_row(deadline_ms=None)])
+        assert prune_horizon(entry, 2.0, PruningPolicy.PROBABILISTIC) == math.inf
+        assert prune_horizon(entry, 2.0, PruningPolicy.EXPIRED) == math.inf
+
+    def test_epsilon_at_least_one_prunable_from_start(self):
+        # ε ≥ 1 means every probability is < ε; the guard must win even
+        # when a row is unbounded (success exactly 1 is still < 1.5).
+        entry = make_entry(rows=[make_row(deadline_ms=None)])
+        assert prune_horizon(entry, 2.0, PruningPolicy.PROBABILISTIC, epsilon=1.5) == -math.inf
+        assert should_prune(entry, 0.0, 2.0, PruningPolicy.PROBABILISTIC, 1.5)
+
+    def test_invalid_epsilon_rejected_before_row_inspection(self):
+        entry = make_entry(rows=[make_row(deadline_ms=None)])
+        with pytest.raises(ValueError):
+            prune_horizon(entry, 2.0, PruningPolicy.PROBABILISTIC, epsilon=0.0)
+
+    def test_none_policy_is_never(self):
+        assert prune_horizon(make_entry(), 2.0, PruningPolicy.NONE) == math.inf

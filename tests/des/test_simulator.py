@@ -147,6 +147,27 @@ class TestRunSemantics:
         with pytest.raises(SimulationError):
             sim.run()
 
+    def test_until_advances_clock_when_only_cancelled_remain(self, sim):
+        h = sim.schedule(50.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        h.cancel()
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_live_events_counter(self, sim):
+        h1 = sim.schedule(1.0, lambda: None)
+        h2 = sim.schedule(2.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        assert sim.live_events == 3
+        h1.cancel()
+        assert sim.live_events == 2
+        sim.step()  # runs the h2 event, skipping the cancelled h1
+        assert sim.live_events == 1
+        h2.cancel()  # already executed: must not decrement again
+        assert sim.live_events == 1
+        sim.run()
+        assert sim.live_events == 0
+
     @given(delays=st.lists(st.floats(0, 1000), min_size=1, max_size=100))
     @settings(max_examples=100)
     def test_property_execution_order_sorted(self, delays):

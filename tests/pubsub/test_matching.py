@@ -1,13 +1,20 @@
-"""Matching engine tests: counting index vs brute-force oracle."""
+"""Matching engine tests: counting index and vector matcher vs oracles."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.pubsub.filters import AndFilter, OrFilter, Predicate
-from repro.pubsub.matching import BruteForceMatcher, CountingIndexMatcher
+from repro.pubsub.matching import (
+    MATCHER_BACKENDS,
+    BruteForceMatcher,
+    CountingIndexMatcher,
+    VectorCountingMatcher,
+    make_matcher,
+)
 
 
 def predicates():
@@ -22,6 +29,22 @@ def predicates():
 def conjunctions():
     return st.lists(predicates(), min_size=1, max_size=3).map(
         lambda ps: ps[0] if len(ps) == 1 else AndFilter(ps)
+    )
+
+
+def any_filters():
+    """Conjunctions plus the vector matcher's special cases: match-all
+    (empty conjunction) and non-conjunctive fallback (disjunctions)."""
+    return st.one_of(
+        conjunctions(),
+        st.just(AndFilter([])),
+        st.lists(predicates(), min_size=1, max_size=2).map(OrFilter),
+    )
+
+
+def attributes():
+    return st.dictionaries(
+        st.sampled_from(["A", "B", "C"]), st.floats(-5, 5, allow_nan=False), max_size=3
     )
 
 
@@ -223,5 +246,155 @@ def test_add_many_agrees_with_incremental_adds(first, second, attrs):
     for i, f in enumerate(second):
         incremental.add(("b", i), f)
     bulk.add_many([(("b", i), f) for i, f in enumerate(second)])
+    assert bulk.match(attrs) == incremental.match(attrs)
+    assert len(bulk) == len(incremental)
+
+
+# ---------------------------------------------------------------------- #
+# VectorCountingMatcher: unit behaviour + three-way differential suite.
+# ---------------------------------------------------------------------- #
+class TestVectorCountingMatcher:
+    def test_all_operators(self):
+        m = VectorCountingMatcher()
+        m.add("lt", Predicate("A", "<", 5.0))
+        m.add("le", Predicate("A", "<=", 5.0))
+        m.add("gt", Predicate("A", ">", 5.0))
+        m.add("ge", Predicate("A", ">=", 5.0))
+        m.add("eq", Predicate("A", "==", 5.0))
+        m.add("ne", Predicate("A", "!=", 5.0))
+        assert m.match({"A": 5.0}) == {"le", "ge", "eq"}
+        assert m.match({"A": 4.0}) == {"lt", "le", "ne"}
+        assert m.match({"A": 6.0}) == {"gt", "ge", "ne"}
+
+    def test_conjunction_requires_all_predicates(self):
+        m = VectorCountingMatcher()
+        m.add("s1", AndFilter([Predicate("A", "<", 5.0), Predicate("B", "<", 5.0)]))
+        assert m.match({"A": 3.0, "B": 3.0}) == {"s1"}
+        assert m.match({"A": 3.0, "B": 7.0}) == set()
+        assert m.match({"A": 3.0}) == set()  # missing attribute
+
+    def test_repeated_attribute_in_one_conjunction(self):
+        m = VectorCountingMatcher()
+        m.add("s1", AndFilter([Predicate("A", "<", 5.0), Predicate("A", "<", 3.0)]))
+        assert m.match({"A": 2.0}) == {"s1"}
+        assert m.match({"A": 4.0}) == set()
+
+    def test_match_all_and_fallback(self):
+        m = VectorCountingMatcher()
+        m.add("all", AndFilter([]))
+        m.add("or", OrFilter([Predicate("A", "<", 1.0), Predicate("B", ">", 9.0)]))
+        assert m.match({}) == {"all"}
+        assert m.match({"A": 0.0, "B": 0.0}) == {"all", "or"}
+        assert len(m) == 2
+
+    def test_remove_and_readd(self):
+        m = VectorCountingMatcher()
+        m.add("s1", Predicate("A", "<", 5.0))
+        m.add("s2", Predicate("A", "<", 5.0))
+        m.remove("s1")
+        assert m.match({"A": 1.0}) == {"s2"}
+        m.add("s1", Predicate("A", ">", 0.0))
+        assert m.match({"A": 1.0}) == {"s1", "s2"}
+        assert len(m) == 2
+
+    def test_mass_removal_triggers_compaction(self):
+        """Tombstoned ids are purged once they outnumber live entries,
+        and matching stays correct before, across and after the purge."""
+        m = VectorCountingMatcher()
+        for i in range(40):
+            m.add(i, AndFilter([Predicate("A", "<", float(i)), Predicate("B", ">", -1.0)]))
+        for i in range(35):
+            assert m.match({"A": -1.0, "B": 0.0}) == set(range(i, 40))
+            m.remove(i)
+        assert m.match({"A": -1.0, "B": 0.0}) == {35, 36, 37, 38, 39}
+        assert m._dead_entries * 2 <= m._total_entries  # compaction ran
+        assert len(m) == 5
+        # The id space is compacted too: it tracks live keys, not the 40
+        # cumulative installs.
+        assert len(m._keys) <= 2 * len(m)
+
+    def test_duplicate_key_rejected(self):
+        m = VectorCountingMatcher()
+        m.add("s1", Predicate("A", "<", 5.0))
+        with pytest.raises(KeyError):
+            m.add("s1", Predicate("B", "<", 5.0))
+        m.add("f1", OrFilter([Predicate("A", "<", 1.0)]))
+        with pytest.raises(KeyError):
+            m.add("f1", Predicate("B", "<", 5.0))
+        with pytest.raises(KeyError):
+            m.add_many([("s2", Predicate("A", "<", 1.0)), ("s2", Predicate("A", ">", 1.0))])
+
+    def test_match_array_with_int_keys(self):
+        m = VectorCountingMatcher()
+        m.add(0, Predicate("A", "<", 5.0))
+        m.add(1, AndFilter([]))
+        m.add(2, OrFilter([Predicate("A", ">", 9.0), Predicate("B", "<", 0.0)]))
+        got = m.match_array({"A": 3.0})
+        assert isinstance(got, np.ndarray)
+        assert set(got.tolist()) == {0, 1} == m.match({"A": 3.0})
+
+    def test_make_matcher_backends(self):
+        assert isinstance(make_matcher("vector"), VectorCountingMatcher)
+        assert isinstance(make_matcher("oracle"), CountingIndexMatcher)
+        assert isinstance(make_matcher("brute"), BruteForceMatcher)
+        with pytest.raises(ValueError):
+            make_matcher("nope")
+        assert set(MATCHER_BACKENDS) == {"vector", "oracle", "brute"}
+
+
+@given(filters=st.lists(any_filters(), min_size=1, max_size=14), attrs=attributes())
+@settings(max_examples=300)
+def test_vector_matcher_three_way_differential(filters, attrs):
+    """vector ≡ oracle counting index ≡ brute force on random tables."""
+    brute = BruteForceMatcher()
+    index = CountingIndexMatcher()
+    vector = VectorCountingMatcher()
+    for i, f in enumerate(filters):
+        brute.add(i, f)
+        index.add(i, f)
+        vector.add(i, f)
+    expected = brute.match(attrs)
+    assert index.match(attrs) == expected
+    assert vector.match(attrs) == expected
+    assert set(vector.match_array(attrs).tolist()) == expected
+
+
+@given(
+    filters=st.lists(any_filters(), min_size=2, max_size=12),
+    attrs=attributes(),
+    removals=st.sets(st.integers(0, 11), max_size=6),
+    readd=st.booleans(),
+)
+@settings(max_examples=200)
+def test_vector_matcher_differential_under_churn(filters, attrs, removals, readd):
+    """Add/remove churn (including re-adds) keeps all three engines equal."""
+    brute = BruteForceMatcher()
+    index = CountingIndexMatcher()
+    vector = VectorCountingMatcher()
+    engines = (brute, index, vector)
+    for i, f in enumerate(filters):
+        for e in engines:
+            e.add(i, f)
+    removed = [i for i in sorted(removals) if i < len(filters)]
+    for i in removed:
+        for e in engines:
+            e.remove(i)
+    if readd and removed:
+        for e in engines:
+            e.add(removed[0], filters[removed[0]])
+    expected = brute.match(attrs)
+    assert index.match(attrs) == expected
+    assert vector.match(attrs) == expected
+    assert len(vector) == len(index) == len(brute)
+
+
+@given(filters=st.lists(any_filters(), min_size=0, max_size=10), attrs=attributes())
+@settings(max_examples=150)
+def test_vector_add_many_agrees_with_incremental(filters, attrs):
+    incremental = VectorCountingMatcher()
+    bulk = VectorCountingMatcher()
+    for i, f in enumerate(filters):
+        incremental.add(i, f)
+    bulk.add_many(list(enumerate(filters)))
     assert bulk.match(attrs) == incremental.match(attrs)
     assert len(bulk) == len(incremental)

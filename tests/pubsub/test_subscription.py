@@ -114,6 +114,99 @@ class TestSubscriptionTable:
         assert [r.subscriber for r in t.rows()] == ["S1", "S2"]
 
 
+class TestColumnArrays:
+    """The table-level column arrays behind RowGroup gathers."""
+
+    def test_group_arrays_equal_from_rows(self):
+        t = SubscriptionTable()
+        r1 = row(subscription=sub("S1", deadline=10_000.0, price=3.0), nn=3,
+                 rate=Normal(20.0, 16.0))
+        r2 = row(subscription=sub("S2"), nn=1, rate=Normal(10.0, 4.0))
+        t.install(r1)
+        t.install(r2)
+        _, remote = t.match_grouped(msg())
+        group = remote["B2"]
+        expected = RowArrays.from_rows(group.rows)
+        for field in ("nn", "mean", "std", "deadline", "price"):
+            assert getattr(group.arrays, field).tolist() == getattr(expected, field).tolist()
+
+    def test_group_rows_and_len(self):
+        t = SubscriptionTable()
+        t.install(row(subscription=sub("S1")))
+        t.install(row(subscription=sub("S2")))
+        _, remote = t.match_grouped(msg())
+        group = remote["B2"]
+        assert len(group) == 2
+        assert group[0].subscriber == "S1"
+        assert [r.subscriber for r in group] == ["S1", "S2"]
+
+    def test_multipath_dedup_keeps_lowest_path(self):
+        t = SubscriptionTable()
+        s = sub("S1")
+        t.install(TableRow(subscription=s, next_hop="B2", nn=2,
+                           rate=Normal(20.0, 8.0), sources=frozenset({"B1"}), path_id=0))
+        t.install(TableRow(subscription=s, next_hop="B2", nn=4,
+                           rate=Normal(30.0, 8.0), sources=frozenset({"B1"}), path_id=1))
+        _, remote = t.match_grouped(msg())
+        group = remote["B2"]
+        assert len(group) == 1
+        assert group[0].path_id == 0  # first in (subscriber, path_id) order
+
+    def test_install_after_match_recompiles(self):
+        t = SubscriptionTable()
+        t.install(row(subscription=sub("S1")))
+        assert [r.subscriber for r in t.match(msg())] == ["S1"]
+        t.install(row(subscription=sub("S2")))
+        assert [r.subscriber for r in t.match(msg())] == ["S1", "S2"]
+
+    def test_matcher_backend_knob(self):
+        for backend in ("vector", "oracle", "brute"):
+            t = SubscriptionTable(matcher_backend=backend)
+            t.install(row())
+            assert [r.subscriber for r in t.match(msg())] == ["S1"]
+
+
+class TestUninstallSideIndex:
+    def test_uninstall_removes_all_paths(self):
+        t = SubscriptionTable()
+        s = sub("S1")
+        for path_id in (0, 1):
+            t.install(TableRow(subscription=s, next_hop="B2", nn=2,
+                               rate=Normal(20.0, 8.0), sources=frozenset({"B1"}),
+                               path_id=path_id))
+        t.install(row(subscription=sub("S2")))
+        assert "S1" in t and len(t) == 3
+        t.uninstall("S1")
+        assert "S1" not in t and "S2" in t
+        assert len(t) == 1
+        assert [r.subscriber for r in t.match(msg())] == ["S2"]
+
+    def test_uninstall_unknown_raises(self):
+        t = SubscriptionTable()
+        with pytest.raises(KeyError):
+            t.uninstall("missing")
+
+    def test_reinstall_after_uninstall(self):
+        t = SubscriptionTable()
+        t.install(row())
+        t.uninstall("S1")
+        t.install(row(subscription=sub("S1", threshold=1.0)))
+        assert t.match(msg(attrs={"A1": 3.0})) == []
+        assert [r.subscriber for r in t.match(msg(attrs={"A1": 0.5}))] == ["S1"]
+
+    def test_churn_does_not_grow_row_storage(self):
+        """Install/uninstall cycles reuse freed row ids, so the column
+        arrays scale with peak live rows rather than cumulative churn."""
+        t = SubscriptionTable()
+        t.install(row(subscription=sub("KEEP")))
+        for i in range(50):
+            t.install(row(subscription=sub(f"S{i}")))
+            assert sorted(r.subscriber for r in t.match(msg())) == ["KEEP", f"S{i}"]
+            t.uninstall(f"S{i}")
+        assert len(t._rows_by_id) <= 2
+        assert len(t) == 1
+
+
 class TestRowArrays:
     def test_from_rows(self):
         rows = [
