@@ -1,10 +1,15 @@
-"""End-to-end ingest benchmark: publish→deliver throughput.
+"""End-to-end ingest + delivery benchmark: publish→deliver throughput.
 
 Builds the paper's layered mesh scaled to ~1k / 5k / 20k subscriptions,
 schedules a fixed publication workload, runs the simulation to completion
 and reports wall-clock throughput per (strategy, subscription count) for
-the vectorised ingest path — plus a vector-vs-oracle matcher comparison
-that also asserts the two backends reach identical delivery decisions.
+the vectorised ingest path — plus two differential comparisons that also
+assert identical delivery decisions:
+
+* vector vs oracle **matcher** backends (the PR-2 ingest spine), and
+* ledger vs scalar **metrics** backends on a delivery-heavy high-fanout
+  scenario (wide match-all filters, so every message fans out to every
+  subscriber and the batched columnar delivery spine dominates).
 
 Usage (from the repo root)::
 
@@ -12,8 +17,9 @@ Usage (from the repo root)::
     PYTHONPATH=src python benchmarks/bench_e2e.py --smoke    # CI-sized
 
 Writes ``BENCH_e2e.json`` (override with ``--out``): one record per
-measured point and a summary of the oracle comparison, seeding the
-repo's end-to-end perf trajectory.
+measured point and the comparison summaries, seeding the repo's
+end-to-end perf trajectory.  ``benchmarks/check_bench_regression.py``
+guards the smoke points against the committed baseline in CI.
 """
 
 from __future__ import annotations
@@ -25,11 +31,16 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core.registry import STRATEGY_NAMES
-from repro.network.topology import LayeredMeshSpec
+from repro.core.registry import STRATEGY_NAMES, make_strategy
+from repro.des.rng import RngStreams
+from repro.des.simulator import Simulator
+from repro.network.topology import LayeredMeshSpec, build_layered_mesh
+from repro.pubsub.filters import Predicate
+from repro.pubsub.subscription import Subscription
+from repro.pubsub.system import PubSubSystem, SystemConfig
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import build_system, schedule_workload
-from repro.workload.scenarios import Scenario
+from repro.workload.scenarios import SSD_PRICE_BY_DEADLINE_MS, Scenario
 
 #: Edge brokers in the paper topology (layer sizes 4/4/8/16) — the
 #: subscription count is 16 × subscribers_per_edge_broker.
@@ -56,11 +67,26 @@ def _point_config(
     )
 
 
-def run_point(config: SimulationConfig) -> dict:
-    """Build, run and time one simulation; the workload build is excluded
-    from the timed window (ingest throughput, not setup cost)."""
-    system = build_system(config)
-    published_planned = schedule_workload(system, config)
+def _fanout_config(
+    subs_per_edge: int, strategy: str, metrics_backend: str,
+    rate: float, minutes: float, seed: int,
+) -> SimulationConfig:
+    # Small messages keep links fast, so most of the population is
+    # reachable in time and the delivery count stays huge.
+    return SimulationConfig(
+        seed=seed,
+        scenario=Scenario.SSD,
+        strategy=strategy,
+        publishing_rate_per_min=rate,
+        duration_ms=minutes * 60_000.0,
+        grace_ms=30_000.0,
+        message_size_kb=5.0,
+        topology_spec=LayeredMeshSpec(subscribers_per_edge_broker=subs_per_edge),
+        metrics_backend=metrics_backend,
+    )
+
+
+def _timed_run(system: PubSubSystem, config: SimulationConfig, published_planned: int) -> dict:
     start = time.perf_counter()
     system.sim.run(until=config.horizon_ms)
     wall_s = time.perf_counter() - start
@@ -70,6 +96,7 @@ def run_point(config: SimulationConfig) -> dict:
         "strategy": config.strategy,
         "subscriptions": EDGE_BROKERS * config.topology_spec.subscribers_per_edge_broker,
         "matcher_backend": config.matcher_backend,
+        "metrics_backend": config.metrics_backend,
         "seed": config.seed,
         "published": m.published,
         "published_planned": published_planned,
@@ -81,6 +108,50 @@ def run_point(config: SimulationConfig) -> dict:
         "publish_throughput_per_s": round(m.published / wall_s, 2) if wall_s else None,
         "delivery_throughput_per_s": round(deliveries / wall_s, 2) if wall_s else None,
     }
+
+
+def run_point(config: SimulationConfig) -> dict:
+    """Build, run and time one simulation; the workload build is excluded
+    from the timed window (ingest throughput, not setup cost)."""
+    system = build_system(config)
+    published_planned = schedule_workload(system, config)
+    return _timed_run(system, config, published_planned)
+
+
+#: Matches every message — the wide-match filter of the fanout scenario.
+MATCH_ALL = Predicate("A1", "<", 1e9)
+
+
+def run_fanout_point(config: SimulationConfig) -> dict:
+    """Delivery-heavy scenario: every subscription is match-all, so each
+    message fans out to the whole population and local delivery dominates
+    the profile (the columnar delivery spine's home turf).  Deadlines and
+    prices still follow the paper's SSD table so scheduling stays real."""
+    streams = RngStreams(config.seed)
+    topology = build_layered_mesh(streams.get("topology"), config.topology_spec)
+    system = PubSubSystem(
+        topology=topology,
+        strategy=make_strategy(config.strategy),
+        sim=Simulator(),
+        streams=streams,
+        config=SystemConfig(
+            default_size_kb=config.message_size_kb,
+            matcher_backend=config.matcher_backend,
+            metrics_backend=config.metrics_backend,
+        ),
+    )
+    rng = streams.get("subscriptions")
+    deadlines = sorted(SSD_PRICE_BY_DEADLINE_MS)
+    for name in sorted(topology.subscriber_brokers):
+        dl = deadlines[int(rng.integers(0, len(deadlines)))]
+        system.subscribe(
+            Subscription(name, MATCH_ALL, deadline_ms=dl,
+                         price=SSD_PRICE_BY_DEADLINE_MS[dl])
+        )
+    published_planned = schedule_workload(system, config)
+    record = _timed_run(system, config, published_planned)
+    record["scenario"] = "fanout"
+    return record
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -146,6 +217,52 @@ def main(argv: list[str] | None = None) -> int:
               f"vector {vector['wall_s']:6.2f}s vs oracle {oracle['wall_s']:6.2f}s "
               f"-> {speedup:.2f}x, decisions identical")
 
+    # Delivery-heavy high-fanout scenario: ledger vs scalar accounting.
+    fanout_rate = 10.0
+    if args.smoke:
+        fanout_sizes = [1008]
+        fanout_strategies: tuple[str, ...] = ("eb",)
+    else:
+        fanout_sizes = [20000]
+        fanout_strategies = ("eb", "fifo")
+    metrics_comparison: list[dict] = []
+    for subs in fanout_sizes:
+        per_edge = SUB_TARGETS[subs]
+        for strategy in fanout_strategies:
+            recs: dict[str, dict] = {}
+            for backend in ("ledger", "scalar"):
+                record = run_fanout_point(_fanout_config(
+                    per_edge, strategy, backend, fanout_rate, minutes, args.seed))
+                recs[backend] = record
+                points.append(record)
+                print(f"fanout  {strategy:5s} {subs:>6d} subs [{backend:6s}]: "
+                      f"{record['wall_s']:7.2f}s wall, "
+                      f"{record['delivery_throughput_per_s']:>10.0f} deliveries/s")
+            for field in ("published", "deliveries", "deliveries_valid",
+                          "receptions", "earning"):
+                if recs["ledger"][field] != recs["scalar"][field]:
+                    raise AssertionError(
+                        f"fanout {strategy}@{subs}: metrics backends diverged "
+                        f"on {field}: ledger={recs['ledger'][field]} "
+                        f"scalar={recs['scalar'][field]}"
+                    )
+            speedup = (recs["scalar"]["wall_s"] / recs["ledger"]["wall_s"]
+                       if recs["ledger"]["wall_s"] else None)
+            metrics_comparison.append({
+                "scenario": "fanout",
+                "strategy": strategy,
+                "subscriptions": subs,
+                "deliveries": recs["ledger"]["deliveries"],
+                "ledger_wall_s": recs["ledger"]["wall_s"],
+                "scalar_wall_s": recs["scalar"]["wall_s"],
+                "speedup": round(speedup, 3) if speedup else None,
+                "decisions_identical": True,
+            })
+            print(f"fanout  {strategy:5s} {subs:>6d} subs: ledger "
+                  f"{recs['ledger']['wall_s']:6.2f}s vs scalar "
+                  f"{recs['scalar']['wall_s']:6.2f}s -> {speedup:.2f}x, "
+                  f"decisions identical")
+
     result = {
         "meta": {
             "bench": "bench_e2e",
@@ -159,12 +276,15 @@ def main(argv: list[str] | None = None) -> int:
         },
         "points": points,
         "oracle_comparison": comparison,
+        "metrics_comparison": metrics_comparison,
     }
     out = Path(args.out)
     out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {out}")
     best = max((c["speedup"] or 0.0) for c in comparison)
     print(f"best vector-vs-oracle speedup at {compare_at} subscriptions: {best:.2f}x")
+    best_metrics = max((c["speedup"] or 0.0) for c in metrics_comparison)
+    print(f"best ledger-vs-scalar fanout speedup: {best_metrics:.2f}x")
     return 0
 
 

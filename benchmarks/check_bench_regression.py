@@ -1,0 +1,110 @@
+"""Bench-smoke regression guard.
+
+Compares a fresh ``bench_e2e.py --smoke`` result against the committed
+baseline (``benchmarks/bench_e2e_smoke_baseline.json``) and fails when
+any matching point's ``wall_s`` regressed by more than the tolerance
+(default 25 %).  Points are matched on (strategy, subscriptions,
+matcher_backend, metrics_backend, scenario); points present in only one
+file are reported but don't fail the guard, so adding a bench point
+doesn't require a lock-step baseline refresh.
+
+Usage (CI runs exactly this)::
+
+    PYTHONPATH=src python benchmarks/bench_e2e.py --smoke --out BENCH_e2e.json
+    python benchmarks/check_bench_regression.py \
+        --baseline benchmarks/bench_e2e_smoke_baseline.json --current BENCH_e2e.json
+
+Refresh the baseline by re-running the smoke bench on a quiet machine and
+committing the output as the baseline file.  ``--tolerance`` (or the
+``BENCH_TOLERANCE`` environment variable, a fraction like ``0.25``)
+widens the bar for noisy runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def point_key(point: dict) -> tuple:
+    return (
+        point.get("scenario", "ssd"),
+        point["strategy"],
+        point["subscriptions"],
+        point.get("matcher_backend", "vector"),
+        point.get("metrics_backend", "ledger"),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="benchmarks/bench_e2e_smoke_baseline.json")
+    parser.add_argument("--current", default="BENCH_e2e.json")
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("BENCH_TOLERANCE", "0.25")),
+        help="allowed fractional wall_s regression (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--abs-slack", type=float,
+        default=float(os.environ.get("BENCH_ABS_SLACK", "0.05")),
+        help="absolute wall_s slack in seconds added on top of the "
+             "fractional tolerance; smoke points run ~0.1s, where pure "
+             "percentages amplify scheduler noise (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+
+    # wall_s is only comparable between runs of the same workload shape;
+    # comparing a full-matrix run against the smoke baseline would report
+    # its 2x-longer simulations as regressions.
+    shape_fields = ("mode", "minutes", "rate_per_min_per_publisher", "seed")
+    base_shape = {f: baseline["meta"].get(f) for f in shape_fields}
+    cur_shape = {f: current["meta"].get(f) for f in shape_fields}
+    if base_shape != cur_shape:
+        print(f"error: workload shapes differ — baseline {base_shape}, "
+              f"current {cur_shape}; re-run bench_e2e with matching flags")
+        return 2
+
+    base_points = {point_key(p): p for p in baseline["points"]}
+    cur_points = {point_key(p): p for p in current["points"]}
+
+    failures: list[str] = []
+    compared = 0
+    for key, base in sorted(base_points.items()):
+        cur = cur_points.get(key)
+        if cur is None:
+            print(f"note: baseline point {key} missing from current run")
+            continue
+        compared += 1
+        limit = base["wall_s"] * (1.0 + args.tolerance) + args.abs_slack
+        status = "ok" if cur["wall_s"] <= limit else "REGRESSED"
+        print(f"{status:9s} {key}: baseline {base['wall_s']:.3f}s, "
+              f"current {cur['wall_s']:.3f}s (limit {limit:.3f}s)")
+        if cur["wall_s"] > limit:
+            failures.append(
+                f"{key}: wall_s {cur['wall_s']:.3f}s exceeds "
+                f"{base['wall_s']:.3f}s +{args.tolerance:.0%}"
+            )
+    for key in sorted(set(cur_points) - set(base_points)):
+        print(f"note: new point {key} not in baseline (not guarded)")
+
+    if compared == 0:
+        print("error: no comparable points between baseline and current run")
+        return 2
+    if failures:
+        print(f"\n{len(failures)} point(s) regressed beyond tolerance:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall {compared} guarded points within +{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

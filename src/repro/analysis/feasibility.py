@@ -65,10 +65,10 @@ def calibrate(
     predicted = 0.0
     pairs = 0
     delivered = 0
-    received: dict[str, set[int]] = {
-        name: {r.msg_id for r in handle.records if r.valid}
-        for name, handle in system.subscribers.items()
-    }
+    received: dict[str, set[int]] = {}
+    for name, handle in system.subscribers.items():
+        msg, _, _, valid = handle.columns()
+        received[name] = set(msg[valid].tolist())
     for message in messages:
         source = system.brokers[message.source_broker]
         for row in source.table.match(message):

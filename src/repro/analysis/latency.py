@@ -49,15 +49,23 @@ def _quantile(ordered: list[float], q: float) -> float:
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
+def _latency_samples(handle: SubscriberHandle, valid_only: bool) -> list[float]:
+    """One endpoint's latency column (optionally valid-filtered), straight
+    off the columnar delivery log — no record materialisation."""
+    _, _, latency, valid = handle.columns()
+    if valid_only:
+        latency = latency[valid]
+    return latency.tolist()
+
+
 def latency_stats(
     handles: list[SubscriberHandle], valid_only: bool = True
 ) -> LatencyStats:
     """Pooled latency stats over a set of subscriber endpoints."""
     samples = [
-        r.latency_ms
+        sample
         for h in handles
-        for r in h.records
-        if r.valid or not valid_only
+        for sample in _latency_samples(h, valid_only)
     ]
     return LatencyStats.from_samples(samples)
 
@@ -68,9 +76,7 @@ def latency_by_subscriber(
     """Per-subscriber latency stats (subscribers with no deliveries included
     with an empty summary, so tier comparisons stay total)."""
     return {
-        h.name: LatencyStats.from_samples(
-            [r.latency_ms for r in h.records if r.valid or not valid_only]
-        )
+        h.name: LatencyStats.from_samples(_latency_samples(h, valid_only))
         for h in handles
     }
 
@@ -87,8 +93,7 @@ def deadline_margins(
     if deadline_ms <= 0.0:
         raise ValueError("deadline_ms must be positive")
     return [
-        deadline_ms - r.latency_ms
+        deadline_ms - sample
         for h in handles
-        for r in h.records
-        if r.valid
+        for sample in _latency_samples(h, valid_only=True)
     ]

@@ -21,6 +21,7 @@ from repro.experiments.claims import format_report, run_all
 from repro.experiments.common import ScaleSpec
 from repro.experiments.report import format_series_table
 from repro.pubsub.matching import MATCHER_BACKENDS
+from repro.pubsub.metrics import METRICS_BACKENDS
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import run_simulation
 from repro.workload.scenarios import Scenario
@@ -104,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--matcher", choices=list(MATCHER_BACKENDS), default="vector",
         help="matching engine: numpy fast path, dict oracle, or brute force",
     )
+    p.add_argument(
+        "--metrics", choices=list(METRICS_BACKENDS), default="ledger",
+        help="accounting backend: array-backed ledger or per-delivery scalar oracle",
+    )
     return parser
 
 
@@ -170,6 +175,7 @@ def main(argv: list[str] | None = None) -> int:
                 publishing_rate_per_min=args.rate,
                 duration_ms=args.minutes * 60_000.0,
                 matcher_backend=args.matcher,
+                metrics_backend=args.metrics,
             )
         )
         print(f"strategy          : {result.strategy}")

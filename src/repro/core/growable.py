@@ -1,0 +1,69 @@
+"""Growable numpy columns: the storage primitive of the columnar spine.
+
+Appending to a plain ``np.ndarray`` reallocates on every call, and a
+Python ``list`` forces per-element boxing on the way back out.  A
+:class:`GrowableArray` amortises both: capacity doubles, the live prefix
+is a zero-copy view, and whole batches land with one slice assignment.
+The delivery log (:mod:`repro.pubsub.client`) and the ledger metrics
+backend (:mod:`repro.pubsub.metrics`) both sit on this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Starting capacity; small because most instances are per-subscriber or
+#: per-message tallies that may never grow past a handful of entries.
+_INITIAL_CAPACITY = 16
+
+
+class GrowableArray:
+    """An append-only 1-D array with amortised O(1) growth."""
+
+    __slots__ = ("_data", "_n")
+
+    def __init__(self, dtype, capacity: int = _INITIAL_CAPACITY) -> None:
+        self._data = np.zeros(max(capacity, 1), dtype=dtype)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _reserve(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= self._data.shape[0]:
+            return
+        cap = self._data.shape[0]
+        while cap < need:
+            cap *= 2
+        grown = np.zeros(cap, dtype=self._data.dtype)
+        grown[: self._n] = self._data[: self._n]
+        self._data = grown
+
+    def append(self, value) -> None:
+        self._reserve(1)
+        self._data[self._n] = value
+        self._n += 1
+
+    def extend(self, values: np.ndarray) -> None:
+        k = len(values)
+        if k == 0:
+            return
+        self._reserve(k)
+        self._data[self._n : self._n + k] = values
+        self._n += k
+
+    def view(self) -> np.ndarray:
+        """Zero-copy view of the live prefix (invalidated by growth)."""
+        return self._data[: self._n]
+
+    def at_least(self, size: int) -> np.ndarray:
+        """View of the first ``max(size, len)`` slots, growing with zeros.
+
+        Used for dense-id tallies: indexing by a freshly interned id is
+        valid immediately, unfilled slots read as zero.
+        """
+        if size > self._n:
+            self._reserve(size - self._n)
+            self._n = size
+        return self._data[: self._n]

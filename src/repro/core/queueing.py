@@ -363,6 +363,11 @@ class ScheduledQueue:
         """Admit one entry (seqs must be unique and increasing)."""
         if entry.seq in self._live:
             raise ValueError(f"duplicate seq {entry.seq}")
+        if self.validate or self._backend.name == "scan":
+            # These paths re-score entries through ``entry.rows`` at pop
+            # time; force deferred row materialisation now, while the
+            # source table still matches the enqueue-time snapshot.
+            entry.rows
         self._live[entry.seq] = entry
         self._backend.push(entry)
         if self._prune_index is not None:

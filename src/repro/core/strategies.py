@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 
 from repro.core.context import SchedulingContext
 from repro.core.metrics import (
@@ -24,7 +23,6 @@ from repro.pubsub.message import Message
 from repro.pubsub.subscription import RowArrays, TableRow
 
 
-@dataclass
 class QueueEntry:
     """One message copy waiting in one output queue.
 
@@ -34,23 +32,45 @@ class QueueEntry:
     vectorised view used by the metric kernels; the broker supplies it
     pre-gathered from the subscription table's column arrays, and it is
     built row by row only when a caller omits it.
+
+    ``rows`` may be given as a :class:`~repro.pubsub.subscription.RowGroup`,
+    in which case the :class:`TableRow` objects materialise only when a
+    caller actually reads ``rows`` (the vectorised strategies never do).
+    Deferred materialisation must happen before the source table mutates;
+    :class:`~repro.core.queueing.ScheduledQueue` forces it on push for the
+    backends that re-score entries later through ``rows``.
     """
 
-    message: Message
-    rows: list[TableRow]
-    enqueue_time: float
-    seq: int
-    arrays: RowArrays | None = None
+    __slots__ = ("message", "enqueue_time", "seq", "arrays", "_rows")
 
-    def __post_init__(self) -> None:
-        if not self.rows:
+    def __init__(
+        self,
+        message: Message,
+        rows,
+        enqueue_time: float,
+        seq: int,
+        arrays: RowArrays | None = None,
+    ) -> None:
+        self.message = message
+        self.enqueue_time = enqueue_time
+        self.seq = seq
+        if not len(rows):
             raise ValueError("a queue entry must target at least one subscription")
-        if self.arrays is None:
-            self.arrays = RowArrays.from_rows(self.rows)
-        elif len(self.arrays) != len(self.rows):
+        self._rows = rows
+        if arrays is None:
+            arrays = rows.arrays if hasattr(rows, "arrays") else RowArrays.from_rows(rows)
+        elif len(arrays) != len(rows):
             raise ValueError(
-                f"arrays/rows mismatch: {len(self.arrays)} != {len(self.rows)}"
+                f"arrays/rows mismatch: {len(arrays)} != {len(rows)}"
             )
+        self.arrays = arrays
+
+    @property
+    def rows(self) -> list[TableRow]:
+        rows = self._rows
+        if type(rows) is not list:
+            rows = self._rows = rows.rows
+        return rows
 
 
 class Strategy(ABC):

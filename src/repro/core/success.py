@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.pubsub.message import Message
 from repro.pubsub.subscription import TableRow
 from repro.stats.normal import Normal, normal_cdf
@@ -39,6 +41,20 @@ def effective_deadline(row: TableRow, message: Message) -> float:
     if msg_dl is None:
         return sub_dl
     return min(sub_dl, msg_dl)
+
+
+def effective_deadline_array(deadline_col: np.ndarray, message: Message) -> np.ndarray:
+    """Vectorised :func:`effective_deadline` over a deadline column.
+
+    ``deadline_col`` is a table/group column where unspecified subscriber
+    deadlines are already ``inf`` (the :class:`~repro.pubsub.subscription.
+    RowArrays` convention), so the scalar min-with-None ladder collapses
+    to one ``np.minimum`` — identical bit patterns, one pass.
+    """
+    msg_dl = message.deadline_ms
+    if msg_dl is None:
+        return deadline_col
+    return np.minimum(deadline_col, msg_dl)
 
 
 def fdl_distribution(row: TableRow, size_kb: float, processing_delay_ms: float) -> Normal:

@@ -54,6 +54,14 @@ class LinkMonitor:
         self.prior = prior
         self.min_samples = min_samples
         self._estimator = estimator_factory()
+        # In ORACLE mode the exposed distribution is constant per link, so
+        # pin it once: the broker asks for the rate on every send attempt,
+        # and rebuilding/branching there is pure overhead.  In ESTIMATED
+        # mode the cache is keyed on the observation count (the estimate
+        # only moves when a transmission completes).
+        self._oracle_rate = link.true_rate if mode is MeasurementMode.ORACLE else None
+        self._estimate_cache: Normal | None = None
+        self._estimate_cache_count = -1
         if mode is MeasurementMode.ESTIMATED:
             link.add_observer(self._on_transmission)
 
@@ -66,11 +74,15 @@ class LinkMonitor:
 
     def rate(self) -> Normal:
         """The distribution schedulers should use for this link direction."""
-        if self.mode is MeasurementMode.ORACLE:
-            return self.link.true_rate
-        if self._estimator.count < self.min_samples:
+        if self._oracle_rate is not None:
+            return self._oracle_rate
+        count = self._estimator.count
+        if count < self.min_samples:
             return self.prior
-        return Normal(self._estimator.mean, self._estimator.variance)
+        if count != self._estimate_cache_count:
+            self._estimate_cache = Normal(self._estimator.mean, self._estimator.variance)
+            self._estimate_cache_count = count
+        return self._estimate_cache
 
     def estimation_error(self) -> float:
         """|estimated mean − true mean| (diagnostics/ablation)."""

@@ -20,11 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.core.context import SchedulingContext
 from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy
 from repro.core.queueing import ScheduledQueue
 from repro.core.strategies import QueueEntry, Strategy
-from repro.core.success import effective_deadline
+from repro.core.success import effective_deadline_array
 from repro.des.simulator import Simulator
 from repro.des.trace import TraceRecorder
 from repro.network.link import DirectedLink
@@ -32,6 +34,8 @@ from repro.network.measurement import LinkMonitor
 from repro.pubsub.message import Message
 from repro.pubsub.metrics import MetricsCollector
 from repro.pubsub.subscription import SubscriptionTable, TableRow
+
+_EMPTY_SIDS = np.empty(0, dtype=np.int64)
 
 
 @dataclass
@@ -58,6 +62,13 @@ class OutputQueue:
 
 
 DeliveryCallback = Callable[[str, Message, float, bool], None]
+
+#: Batched local-delivery hook: (broker, local row group, message,
+#: latency_ms, valid flags).  One call per (message, local group); all
+#: rows of a group share the arrival latency, ``valid`` is a per-row
+#: boolean array, and the group exposes the table's interned subscriber
+#: ids so receivers can translate with a cached gather.
+BatchDeliveryCallback = Callable[["Broker", "object", Message, float, "object"], None]
 
 
 class Broker:
@@ -108,8 +119,17 @@ class Broker:
         self._size_sum = 0.0
         self._size_count = 0
         self._default_size_kb = default_size_kb
-        #: Called on local delivery attempts: (subscriber, message, latency, valid).
+        #: Called per local delivery attempt: (subscriber, message, latency,
+        #: valid).  Legacy scalar hook — kept for tests/diagnostics; the
+        #: per-row loop only runs when a callback is registered.
         self.delivery_callbacks: list[DeliveryCallback] = []
+        #: Called once per (message, local group) with the whole batch; the
+        #: system's endpoint log subscribes here.
+        self.delivery_batch_callbacks: list[BatchDeliveryCallback] = []
+        # Table-local subscriber id -> ledger id translation, extended
+        # whenever the table interns new names; lets batched settlement
+        # skip per-row name lookups when the collector supports ids.
+        self._metrics_sids = _EMPTY_SIDS if hasattr(metrics, "on_delivery_batch_ids") else None
 
     # ------------------------------------------------------------------ #
     # Wiring.
@@ -168,22 +188,54 @@ class Broker:
         self._size_count += 1
         local, remote = self.table.match_grouped(message)
         now = self.sim.now
-        for row in local:
+        if len(local):
+            # Columnar local delivery: one vectorised validity comparison
+            # over the group's deadline column, one batched hand-off to the
+            # metrics ledger and the endpoint log.  All rows share the
+            # arrival latency ``hdl(now)``.
+            prices = local.price
             latency = message.hdl(now)
-            valid = latency <= effective_deadline(row, message)
-            price = row.price if row.price is not None else 1.0
-            self.metrics.on_delivery(message.msg_id, row.subscriber, latency, price, valid)
-            for callback in self.delivery_callbacks:
-                callback(row.subscriber, message, latency, valid)
-            if self.trace is not None:
-                self.trace.record(
-                    now, "deliver", self.name,
-                    msg=message.msg_id, subscriber=row.subscriber, valid=valid,
+            valid = latency <= effective_deadline_array(local.deadline, message)
+            if self._metrics_sids is not None:
+                sids = self._metrics_sids
+                names = local.sub_names
+                if sids.shape[0] < len(names):
+                    # Interning is append-only on both sides: extend the
+                    # translation with the new tail only.
+                    sids = self._metrics_sids = np.concatenate((
+                        sids, self.metrics.intern_subscribers(names[sids.shape[0]:])
+                    ))
+                # match_grouped guarantees one row per subscriber in the
+                # local group, so the ledger can skip its uniqueness check.
+                self.metrics.on_delivery_batch_ids(
+                    message.msg_id, sids[local.sub_ids], latency, prices, valid,
+                    assume_unique=True,
                 )
-        for neighbor in sorted(remote):
-            group = remote[neighbor]
+            else:
+                self.metrics.on_delivery_batch(
+                    message.msg_id, local.subscribers, latency, prices, valid
+                )
+            for batch_callback in self.delivery_batch_callbacks:
+                batch_callback(self, local, message, latency, valid)
+            if self.delivery_callbacks or self.trace is not None:
+                valid_list = valid.tolist()
+                for i, subscriber in enumerate(local.subscribers):
+                    for callback in self.delivery_callbacks:
+                        callback(subscriber, message, latency, valid_list[i])
+                    if self.trace is not None:
+                        self.trace.record(
+                            now, "deliver", self.name,
+                            msg=message.msg_id, subscriber=subscriber,
+                            valid=valid_list[i],
+                        )
+        # ``remote`` iterates in sorted neighbor-name order (match_grouped's
+        # insertion order) — the deterministic enqueue order, no per-message
+        # re-sort.
+        for neighbor, group in remote.items():
+            # The group goes in as-is: TableRow objects materialise only
+            # if this queue's strategy actually reads ``entry.rows``.
             entry = QueueEntry(
-                message, group.rows, enqueue_time=now, seq=self._seq,
+                message, group, enqueue_time=now, seq=self._seq,
                 arrays=group.arrays,
             )
             self._seq += 1

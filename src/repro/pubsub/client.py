@@ -2,14 +2,24 @@
 
 Clients talk to their edge broker locally (no access link is modelled,
 matching the paper), so these classes are thin: a publisher stamps and
-injects messages, a subscriber records what arrives.  Examples and tests
-use them; the sweep harness drives the system directly for speed.
+injects messages, a subscriber records what arrives.
+
+Delivery records are column-oriented: all endpoints of one system share a
+:class:`DeliveryLog` (msg_id/time/latency/valid/sub_id columns in growable
+arrays) that the system appends to **per batch**, one vectorised write per
+(message, edge broker).  A :class:`SubscriberHandle` is a view over its
+slice of the log; ``records`` materialises :class:`DeliveryRecord` objects
+lazily for the analysis/tests surface.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.core.growable import GrowableArray
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pubsub.message import Message
@@ -47,25 +57,176 @@ class DeliveryRecord:
     valid: bool
 
 
-@dataclass
-class SubscriberHandle:
-    """Named subscriber endpoint recording its deliveries."""
+_NO_ROWS = np.empty(0, dtype=np.int64)
 
-    name: str
-    records: list[DeliveryRecord] = field(default_factory=list)
 
-    def on_delivery(self, message: "Message", latency_ms: float, valid: bool, now: float) -> None:
-        self.records.append(
-            DeliveryRecord(msg_id=message.msg_id, time=now, latency_ms=latency_ms, valid=valid)
+class DeliveryLog:
+    """Columnar append-only store of local delivery attempts.
+
+    One instance is shared by every endpoint of a system; a batch of
+    deliveries (one message fanning out to many local subscribers) lands
+    as a single slice write per column.  Endpoint ids are dense ints
+    handed out by :meth:`register`; id ``-1`` marks rows addressed to
+    endpoints that no longer exist (filtered out before the write).
+    """
+
+    __slots__ = (
+        "_sub_id", "_msg_id", "_time", "_latency", "_valid", "_endpoints",
+        "_index", "_index_len",
+    )
+
+    def __init__(self) -> None:
+        self._sub_id = GrowableArray(np.int64)
+        self._msg_id = GrowableArray(np.int64)
+        self._time = GrowableArray(np.float64)
+        self._latency = GrowableArray(np.float64)
+        self._valid = GrowableArray(bool)
+        self._endpoints = 0
+        # Lazy endpoint-id -> row-index map, rebuilt when the log grew;
+        # post-run analysis queries every endpoint, so one grouped argsort
+        # beats one full-column scan per endpoint.
+        self._index: dict[int, np.ndarray] = {}
+        self._index_len = -1
+
+    def register(self) -> int:
+        """Hand out the next endpoint id (re-subscribing yields a fresh id,
+        so a returned handle keeps its own history)."""
+        eid = self._endpoints
+        self._endpoints += 1
+        return eid
+
+    def __len__(self) -> int:
+        return len(self._sub_id)
+
+    def append(self, sub_id: int, msg_id: int, time: float, latency_ms: float, valid: bool) -> None:
+        self._sub_id.append(sub_id)
+        self._msg_id.append(msg_id)
+        self._time.append(time)
+        self._latency.append(latency_ms)
+        self._valid.append(valid)
+
+    def append_batch(
+        self,
+        sub_ids: np.ndarray,
+        msg_id: int,
+        time: float,
+        latency_ms: float,
+        valid: np.ndarray,
+    ) -> None:
+        """One message's local fan-out: shared msg/time/latency scalars,
+        per-row endpoint id and validity.  Rows with ``sub_id < 0`` (no
+        live endpoint) are dropped."""
+        live = sub_ids >= 0
+        if not live.all():
+            sub_ids = sub_ids[live]
+            valid = valid[live]
+        n = sub_ids.shape[0]
+        if n == 0:
+            return
+        self._sub_id.extend(sub_ids)
+        self._msg_id.extend(np.full(n, msg_id, dtype=np.int64))
+        self._time.extend(np.full(n, time))
+        self._latency.extend(np.full(n, latency_ms))
+        self._valid.extend(valid)
+
+    def _rows_of(self, sub_id: int) -> np.ndarray:
+        n = len(self._sub_id)
+        if n != self._index_len:
+            if n == 0:
+                self._index = {}
+                self._index_len = 0
+                return _NO_ROWS
+            sub = self._sub_id.view()
+            order = np.argsort(sub, kind="stable")  # stable: arrival order
+            sorted_ids = sub[order]
+            bounds = np.flatnonzero(sorted_ids[1:] != sorted_ids[:-1]) + 1
+            starts = np.concatenate((np.zeros(1, dtype=np.int64), bounds))
+            stops = np.append(bounds, n)
+            self._index = {
+                int(sorted_ids[s]): order[s:e] for s, e in zip(starts, stops)
+            }
+            self._index_len = n
+        return self._index.get(sub_id, _NO_ROWS)
+
+    def columns_for(self, sub_id: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(msg_id, time, latency, valid) columns of one endpoint, in
+        arrival order (copies — safe to hold across later appends)."""
+        idx = self._rows_of(sub_id)
+        return (
+            self._msg_id.view()[idx],
+            self._time.view()[idx],
+            self._latency.view()[idx],
+            self._valid.view()[idx],
         )
+
+
+class SubscriberHandle:
+    """Named subscriber endpoint: a view over the shared delivery log.
+
+    Constructed standalone (tests, ad-hoc use) it owns a private log;
+    inside a system all handles share the system's log so deliveries
+    append in bulk.
+    """
+
+    __slots__ = ("name", "_log", "_sub_id", "_cache_len", "_cache")
+
+    def __init__(self, name: str, log: DeliveryLog | None = None) -> None:
+        self.name = name
+        self._log = log if log is not None else DeliveryLog()
+        self._sub_id = self._log.register()
+        self._cache_len = -1
+        self._cache: list[DeliveryRecord] = []
+
+    @property
+    def log_id(self) -> int:
+        """This endpoint's dense id in the shared delivery log."""
+        return self._sub_id
+
+    # ------------------------------------------------------------------ #
+    # Recording.
+    # ------------------------------------------------------------------ #
+    def on_delivery(self, message: "Message", latency_ms: float, valid: bool, now: float) -> None:
+        self._log.append(self._sub_id, message.msg_id, now, latency_ms, valid)
+
+    def record(self, msg_id: int, time: float, latency_ms: float, valid: bool) -> None:
+        """Append one raw record (test/analysis convenience)."""
+        self._log.append(self._sub_id, msg_id, time, latency_ms, valid)
+
+    # ------------------------------------------------------------------ #
+    # Inspection.
+    # ------------------------------------------------------------------ #
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(msg_id, time, latency_ms, valid) arrays, arrival order."""
+        return self._log.columns_for(self._sub_id)
+
+    @property
+    def records(self) -> list[DeliveryRecord]:
+        """Lazy materialisation of the endpoint's delivery records.
+
+        Cached against the shared log's length; treat the list as
+        read-only (use :meth:`record` / :meth:`on_delivery` to add)."""
+        n = len(self._log)
+        if n != self._cache_len:
+            msg, time, lat, valid = self.columns()
+            self._cache = [
+                DeliveryRecord(m, t, l, v)
+                for m, t, l, v in zip(
+                    msg.tolist(), time.tolist(), lat.tolist(), valid.tolist()
+                )
+            ]
+            self._cache_len = n
+        return self._cache
 
     @property
     def valid_count(self) -> int:
-        return sum(1 for r in self.records if r.valid)
+        _, _, _, valid = self.columns()
+        return int(np.count_nonzero(valid))
 
     @property
     def late_count(self) -> int:
-        return sum(1 for r in self.records if not r.valid)
+        _, _, _, valid = self.columns()
+        return int(valid.shape[0] - np.count_nonzero(valid))
 
     def received_ids(self) -> set[int]:
-        return {r.msg_id for r in self.records}
+        msg, _, _, _ = self.columns()
+        return set(msg.tolist())

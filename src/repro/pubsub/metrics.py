@@ -6,6 +6,22 @@
 * **Total earning** (SSD): ``Σ price(s) · msg(s)`` over subscribers.
 * **Message number**: total messages received by all brokers — the
   network-traffic proxy the paper plots in Figs. 5(b)/6(b).
+
+Two interchangeable backends implement the accounting
+(:func:`make_metrics`):
+
+* ``"ledger"`` (:class:`LedgerMetricsCollector`, the default) — the
+  columnar spine: subscribers and messages interned to dense ids,
+  per-message duplicate settlement via flat sorted settled-id arrays,
+  tallies in growable numpy accumulators, and a batched
+  ``on_delivery_batch`` entry point matched to the broker's batched
+  local delivery.
+* ``"scalar"`` (:class:`MetricsCollector`) — the original per-delivery
+  dict/set collector, kept as the differential oracle.
+
+Both produce byte-identical derived metrics: the ledger logs the float
+contributions (prices, latencies) in arrival order and folds them with
+the same left-to-right summation the scalar collector performs.
 """
 
 from __future__ import annotations
@@ -13,10 +29,40 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.core.growable import GrowableArray
+
+#: Available accounting backends, fast path first.
+METRICS_BACKENDS: tuple[str, ...] = ("ledger", "scalar")
+
+
+class MetricsError(AssertionError):
+    """An accounting invariant does not hold.
+
+    Subclasses :class:`AssertionError` for backwards compatibility, but is
+    raised explicitly so the checks survive ``python -O``.
+    """
+
+
+def make_metrics(backend: str = "ledger") -> "MetricsCollector | LedgerMetricsCollector":
+    """Instantiate the accounting backend by name."""
+    if backend == "ledger":
+        return LedgerMetricsCollector()
+    if backend == "scalar":
+        return MetricsCollector()
+    raise ValueError(
+        f"metrics_backend must be one of {METRICS_BACKENDS}, got {backend!r}"
+    )
+
 
 @dataclass
 class MetricsCollector:
-    """Mutable counters updated by the system while the simulation runs."""
+    """Mutable counters updated by the system while the simulation runs.
+
+    The scalar reference backend: one Python call per delivery, pair
+    settlement via ``(msg_id, subscriber)`` tuple sets.
+    """
 
     published: int = 0
     receptions: int = 0  # "message number"
@@ -36,6 +82,9 @@ class MetricsCollector:
     _valid_pairs: set = field(default_factory=set, repr=False)
     _late_pairs: set = field(default_factory=set, repr=False)
     duplicate_deliveries: int = 0
+
+    #: Backend name, mirroring :data:`METRICS_BACKENDS`.
+    backend = "scalar"
 
     # ------------------------------------------------------------------ #
     # Recording.
@@ -68,6 +117,24 @@ class MetricsCollector:
             self._late_pairs.add(pair)
             self.deliveries_late += 1
 
+    def on_delivery_batch(
+        self,
+        msg_id: int,
+        subscribers: list[str],
+        latency_ms: float,
+        prices: np.ndarray,
+        valid: np.ndarray,
+    ) -> None:
+        """One message's local deliveries at one broker, settled per row.
+
+        All rows of a batch share the arrival time (hence one scalar
+        ``latency_ms``); the scalar backend just replays the per-row path
+        in batch order — it *is* the oracle for the ledger's batched
+        settlement.
+        """
+        for sub, price, ok in zip(subscribers, prices.tolist(), valid.tolist()):
+            self.on_delivery(msg_id, sub, latency_ms, price, ok)
+
     def on_prune(self, count: int = 1) -> None:
         self.pruned += count
 
@@ -89,12 +156,300 @@ class MetricsCollector:
         return self.latency_sum_ms / self.deliveries_valid if self.deliveries_valid else 0.0
 
     def check_invariants(self) -> None:
-        """Accounting sanity: raise AssertionError on impossible counters."""
-        assert self.deliveries_valid == sum(self.delivered.values())
-        assert self.deliveries_valid <= self.total_interested, (
-            "delivered more than the interested population"
-        )
+        """Accounting sanity: raise :class:`MetricsError` on impossible
+        counters (a real raise, not ``assert`` — survives ``python -O``)."""
+        if self.deliveries_valid != sum(self.delivered.values()):
+            raise MetricsError(
+                f"valid-delivery total {self.deliveries_valid} != per-message "
+                f"sum {sum(self.delivered.values())}"
+            )
+        if self.deliveries_valid > self.total_interested:
+            raise MetricsError("delivered more than the interested population")
         for msg_id, count in self.delivered.items():
-            assert count <= self.interested.get(msg_id, 0), f"over-delivery of msg {msg_id}"
-        assert self.receptions >= 0 and self.pruned >= 0
-        assert self.earning >= 0.0
+            if count > self.interested.get(msg_id, 0):
+                raise MetricsError(f"over-delivery of msg {msg_id}")
+        if self.receptions < 0 or self.pruned < 0:
+            raise MetricsError("negative traffic counters")
+        if self.earning < 0.0:
+            raise MetricsError("negative earning")
+
+
+_EMPTY_SETTLED = np.empty(0, dtype=np.int64)
+
+
+class _FoldedSum:
+    """Float contributions logged in arrival order, folded left-to-right
+    on read.
+
+    The fold order is correctness-critical: it reproduces byte-for-byte
+    the running ``acc += value`` sum the scalar collector keeps, while
+    appends on the hot path stay vectorised.  The fold is amortised O(1)
+    per read (a watermark remembers what has been folded).
+    """
+
+    __slots__ = ("_log", "_folded", "_acc")
+
+    def __init__(self) -> None:
+        self._log = GrowableArray(np.float64)
+        self._folded = 0
+        self._acc = 0.0
+
+    def append(self, value: float) -> None:
+        self._log.append(value)
+
+    def extend(self, values: np.ndarray) -> None:
+        self._log.extend(values)
+
+    def value(self) -> float:
+        n = len(self._log)
+        if self._folded < n:
+            acc = self._acc
+            for v in self._log.view()[self._folded:].tolist():
+                acc += v
+            self._acc = acc
+            self._folded = n
+        return self._acc
+
+
+class LedgerMetricsCollector:
+    """Array-backed accounting: the columnar spine's ledger.
+
+    Subscribers and messages are interned to dense ids on first sight
+    (the same counting-index discipline the vector matcher applies to
+    rows), per-message pair settlement is a flat sorted array of settled
+    subscriber ids probed with ``searchsorted``, and per-message /
+    per-subscriber tallies are growable numpy accumulators.  Float
+    contributions (prices of counted valid deliveries, their latencies)
+    are appended in arrival order and folded left-to-right on read, so
+    ``earning`` and ``mean_latency_ms`` are byte-identical to the scalar
+    collector's running sums.
+    """
+
+    backend = "ledger"
+
+    def __init__(self) -> None:
+        self.published = 0
+        self.receptions = 0
+        self.transmissions = 0
+        self.deliveries_valid = 0
+        self.deliveries_late = 0
+        self.pruned = 0
+        self.duplicate_deliveries = 0
+        # Message interning and per-message tallies (dense mid-indexed).
+        self._mid_of: dict[int, int] = {}
+        self._msg_ids: list[int] = []
+        self._interested = GrowableArray(np.int64)
+        self._delivered = GrowableArray(np.int64)
+        #: Per message: sorted array of settled subscriber ids (valid and
+        #: late alike — settlement is first-arrival-wins either way).
+        self._settled: list[np.ndarray] = []
+        # Subscriber interning and per-subscriber tallies.
+        self._sid_of: dict[str, int] = {}
+        self._sub_names: list[str] = []
+        self._sub_valid = GrowableArray(np.int64)
+        # Float contribution logs (arrival order, folded on read).
+        self._earn = _FoldedSum()
+        self._lat = _FoldedSum()
+        self._total_interested = 0
+
+    # ------------------------------------------------------------------ #
+    # Interning.
+    # ------------------------------------------------------------------ #
+    def _mid(self, msg_id: int) -> int:
+        mid = self._mid_of.get(msg_id)
+        if mid is None:
+            mid = self._mid_of[msg_id] = len(self._msg_ids)
+            self._msg_ids.append(msg_id)
+            self._interested.at_least(mid + 1)
+            self._delivered.at_least(mid + 1)
+            self._settled.append(_EMPTY_SETTLED)
+        return mid
+
+    def _sid(self, subscriber: str) -> int:
+        sid = self._sid_of.get(subscriber)
+        if sid is None:
+            sid = self._sid_of[subscriber] = len(self._sub_names)
+            self._sub_names.append(subscriber)
+        return sid
+
+    # ------------------------------------------------------------------ #
+    # Recording.
+    # ------------------------------------------------------------------ #
+    def on_publish(self, msg_id: int, interested_subscribers: int) -> None:
+        self.published += 1
+        mid = self._mid(msg_id)
+        col = self._interested.view()
+        self._total_interested += interested_subscribers - int(col[mid])
+        col[mid] = interested_subscribers
+
+    def on_reception(self) -> None:
+        self.receptions += 1
+
+    def on_transmission(self) -> None:
+        self.transmissions += 1
+
+    def on_prune(self, count: int = 1) -> None:
+        self.pruned += count
+
+    def intern_subscribers(self, names: list[str]) -> np.ndarray:
+        """Dense ledger ids for a name column, in order.
+
+        Brokers call this once per growth of their table's interned name
+        list and cache the result, so batched settlement maps table-local
+        subscriber ids to ledger ids with one fancy index — no per-row
+        dict lookups on the delivery path.
+        """
+        return np.fromiter(map(self._sid, names), dtype=np.int64, count=len(names))
+
+    def _settle_one(self, mid: int, sid: int, latency_ms: float, price: float, valid: bool) -> None:
+        settled = self._settled[mid]
+        pos = int(np.searchsorted(settled, sid))
+        if pos < settled.size and settled[pos] == sid:
+            self.duplicate_deliveries += 1
+            return
+        self._settled[mid] = np.insert(settled, pos, sid)
+        if valid:
+            self.deliveries_valid += 1
+            self._delivered.view()[mid] += 1
+            self._sub_valid.at_least(sid + 1)[sid] += 1
+            self._earn.append(price)
+            self._lat.append(latency_ms)
+        else:
+            self.deliveries_late += 1
+
+    def on_delivery(self, msg_id: int, subscriber: str, latency_ms: float, price: float, valid: bool) -> None:
+        """Scalar entry point (API parity with the oracle collector)."""
+        self._settle_one(self._mid(msg_id), self._sid(subscriber), latency_ms, price, valid)
+
+    def on_delivery_batch(
+        self,
+        msg_id: int,
+        subscribers: list[str],
+        latency_ms: float,
+        prices: np.ndarray,
+        valid: np.ndarray,
+    ) -> None:
+        """Settle one message's local deliveries at one broker in bulk."""
+        if subscribers:
+            self.on_delivery_batch_ids(
+                msg_id, self.intern_subscribers(subscribers), latency_ms, prices, valid
+            )
+
+    def on_delivery_batch_ids(
+        self,
+        msg_id: int,
+        sids: np.ndarray,
+        latency_ms: float,
+        prices: np.ndarray,
+        valid: np.ndarray,
+        assume_unique: bool = False,
+    ) -> None:
+        """Batched settlement with pre-interned ledger subscriber ids
+        (see :meth:`intern_subscribers`).
+
+        Rows are expected unique per subscriber within a batch (the
+        broker's ``match_grouped`` dedups per group and passes
+        ``assume_unique=True`` to skip the check); when the check runs and
+        fails, the batch falls back to the order-exact scalar path.
+        """
+        n = sids.shape[0]
+        if n == 0:
+            return
+        mid = self._mid(msg_id)
+        settled = self._settled[mid]
+        pos = np.searchsorted(settled, sids)
+        dup = np.zeros(n, dtype=bool)
+        in_range = pos < settled.size
+        dup[in_range] = settled[pos[in_range]] == sids[in_range]
+        fresh = ~dup
+        fresh_ids = sids[fresh]
+        if not assume_unique and np.unique(fresh_ids).size != fresh_ids.size:
+            # Intra-batch duplicate subscribers: replay row by row so the
+            # first-arrival-wins order is exact.
+            for sid, price, ok in zip(sids.tolist(), prices.tolist(), valid.tolist()):
+                self._settle_one(mid, sid, latency_ms, price, ok)
+            return
+        ndup = int(dup.sum())
+        self.duplicate_deliveries += ndup
+        if ndup == n:
+            return
+        valid_new = valid & fresh
+        nv = int(np.count_nonzero(valid_new))
+        self.deliveries_valid += nv
+        self.deliveries_late += (n - ndup) - nv
+        if nv:
+            self._delivered.view()[mid] += nv
+            vids = sids[valid_new]
+            tallies = self._sub_valid.at_least(int(vids.max()) + 1)
+            np.add.at(tallies, vids, 1)
+            self._earn.extend(prices[valid_new])
+            self._lat.extend(np.full(nv, latency_ms))
+        merged = np.concatenate((settled, fresh_ids))
+        merged.sort()
+        self._settled[mid] = merged
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics.
+    # ------------------------------------------------------------------ #
+    @property
+    def earning(self) -> float:
+        return self._earn.value()
+
+    @property
+    def latency_sum_ms(self) -> float:
+        return self._lat.value()
+
+    @property
+    def total_interested(self) -> int:
+        return self._total_interested
+
+    @property
+    def delivery_rate(self) -> float:
+        denom = self._total_interested
+        return self.deliveries_valid / denom if denom else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.latency_sum_ms / self.deliveries_valid if self.deliveries_valid else 0.0
+
+    @property
+    def interested(self) -> dict[int, int]:
+        """Materialised ``msg_id -> ts_i`` view (oracle-dict parity)."""
+        col = self._interested.view()
+        return {m: int(col[i]) for i, m in enumerate(self._msg_ids)}
+
+    @property
+    def delivered(self) -> dict[int, int]:
+        """Materialised ``msg_id -> ds_i`` view, messages with ds_i > 0."""
+        col = self._delivered.view()
+        return {m: int(col[i]) for i, m in enumerate(self._msg_ids) if col[i]}
+
+    @property
+    def per_subscriber_valid(self) -> dict[str, int]:
+        """Materialised ``subscriber -> valid count`` view (counts > 0)."""
+        col = self._sub_valid.view()
+        n = col.shape[0]
+        return {
+            s: int(col[i])
+            for i, s in enumerate(self._sub_names)
+            if i < n and col[i]
+        }
+
+    def check_invariants(self) -> None:
+        """Accounting sanity over the ledger arrays (real raises)."""
+        delivered = self._delivered.view()
+        interested = self._interested.view()
+        if self.deliveries_valid != int(delivered.sum()):
+            raise MetricsError(
+                f"valid-delivery total {self.deliveries_valid} != per-message "
+                f"sum {int(delivered.sum())}"
+            )
+        if self.deliveries_valid > self._total_interested:
+            raise MetricsError("delivered more than the interested population")
+        over = np.flatnonzero(delivered > interested)
+        if over.size:
+            raise MetricsError(f"over-delivery of msg {self._msg_ids[int(over[0])]}")
+        if self.receptions < 0 or self.pruned < 0:
+            raise MetricsError("negative traffic counters")
+        if self.earning < 0.0:
+            raise MetricsError("negative earning")

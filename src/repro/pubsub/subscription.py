@@ -89,27 +89,44 @@ class TableRow:
 class RowGroup:
     """A matched set of rows of one table, addressed by row-id array.
 
-    ``rows`` materialises the :class:`TableRow` objects (needed for local
-    delivery and the per-row scoring paths); ``arrays`` gathers the
-    table's column arrays by fancy index — no per-row attribute access.
-    Groups are snapshots taken at match time: the column references are
-    captured immediately, so a later table recompilation cannot skew a
-    group already handed out.
+    ``arrays`` gathers the table's column arrays by fancy index — no
+    per-row attribute access — and ``sub_ids``/``subscribers`` expose the
+    table's interned subscriber column for the batched delivery spine.
+    ``rows`` materialises the :class:`TableRow` objects lazily (the
+    per-row scoring paths and queue entries need them; batched local
+    delivery never does).  Groups are snapshots taken at match time: the
+    column references are captured immediately, so a later table
+    recompilation cannot skew a group already handed out.  ``rows`` must
+    be materialised before the table mutates again (the broker does so at
+    enqueue time, inside the same processing step as the match).
     """
 
-    __slots__ = ("row_ids", "rows", "_cols", "_arrays")
+    __slots__ = ("row_ids", "_table", "_cols", "_arrays", "_rows", "_subscribers",
+                 "_deadline", "_price")
 
     def __init__(self, table: "SubscriptionTable", row_ids: np.ndarray) -> None:
         self.row_ids = row_ids
-        self.rows: list[TableRow] = [table._rows_by_id[i] for i in row_ids]
+        self._table = table
         self._cols = (table._c_nn, table._c_mean, table._c_std,
-                      table._c_deadline, table._c_price)
+                      table._c_deadline, table._c_price, table._c_sub,
+                      table._sub_names)
         self._arrays: RowArrays | None = None
+        self._rows: list[TableRow] | None = None
+        self._subscribers: list[str] | None = None
+        self._deadline: np.ndarray | None = None
+        self._price: np.ndarray | None = None
+
+    @property
+    def rows(self) -> list[TableRow]:
+        if self._rows is None:
+            by_id = self._table._rows_by_id
+            self._rows = [by_id[i] for i in self.row_ids]
+        return self._rows
 
     @property
     def arrays(self) -> "RowArrays":
         if self._arrays is None:
-            nn, mean, std, deadline, price = self._cols
+            nn, mean, std, deadline, price, _, _ = self._cols
             ids = self.row_ids
             self._arrays = RowArrays(
                 nn=nn[ids], mean=mean[ids], std=std[ids],
@@ -117,8 +134,45 @@ class RowGroup:
             )
         return self._arrays
 
+    @property
+    def deadline(self) -> np.ndarray:
+        """The group's deadline column alone (``inf`` = unspecified); the
+        local-delivery path needs just this and ``price``, not the full
+        five-column :attr:`arrays` gather."""
+        if self._deadline is None:
+            self._deadline = self._cols[3][self.row_ids]
+        return self._deadline
+
+    @property
+    def price(self) -> np.ndarray:
+        """The group's price column alone (1.0 = unspecified)."""
+        if self._price is None:
+            self._price = self._cols[4][self.row_ids]
+        return self._price
+
+    @property
+    def sub_ids(self) -> np.ndarray:
+        """Table-interned subscriber ids, one per row (dense, stable)."""
+        return self._cols[5][self.row_ids]
+
+    @property
+    def sub_names(self) -> list[str]:
+        """The owning table's full interned-name column (append-only):
+        ``sub_names[sub_ids[i]]`` is row ``i``'s subscriber.  Callers key
+        translation caches on ``len(sub_names)``."""
+        return self._cols[6]
+
+    @property
+    def subscribers(self) -> list[str]:
+        """Subscriber names, one per row, via the table's interning
+        (``_sub_names`` is append-only, so the capture is a snapshot)."""
+        if self._subscribers is None:
+            names = self._cols[6]
+            self._subscribers = [names[i] for i in self.sub_ids]
+        return self._subscribers
+
     def __len__(self) -> int:
-        return len(self.rows)
+        return int(self.row_ids.shape[0])
 
     def __iter__(self):
         return iter(self.rows)
@@ -153,6 +207,10 @@ class SubscriptionTable:
         #: Row ids freed by uninstall, reused by the next install so the
         #: column arrays scale with peak live rows, not cumulative churn.
         self._free_ids: list[int] = []
+        #: True once any row with path_id != 0 was installed: only
+        #: multi-path routing can produce duplicate (hop, subscriber)
+        #: pairs, so single-path tables skip dedup entirely.
+        self._has_multipath_rows = False
         # Raw columns, one slot per row id (dead rows keep stale values;
         # the matcher never returns their ids).
         self._nn: list[float] = []
@@ -172,6 +230,10 @@ class SubscriptionTable:
         self._c_nn = self._c_mean = self._c_std = np.empty(0)
         self._c_deadline = self._c_price = np.empty(0)
         self._c_hop = self._c_sub = self._c_rank = _EMPTY_IDS
+        #: hop id -> rank in sorted-neighbor-name order (offset by one so
+        #: slot 0 holds the local pseudo-hop −1, which must sort first).
+        self._c_hop_rank = _EMPTY_IDS
+        self._hop_by_rank: list[int] = []
         self._c_source_masks: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
@@ -219,6 +281,8 @@ class SubscriptionTable:
         self._id_of_key[key] = row_id
         self._ids_of_subscriber.setdefault(row.subscriber, []).append(row_id)
         self._matcher.add(row_id, row.subscription.filter)
+        if row.path_id != 0:
+            self._has_multipath_rows = True
         self._dirty = True
 
     def uninstall(self, subscriber: str) -> None:
@@ -269,6 +333,16 @@ class SubscriptionTable:
         for r, key in enumerate(sorted(self._id_of_key)):
             rank[self._id_of_key[key]] = r
         self._c_rank = rank
+        # Neighbor-name rank per hop id (local −1 ranks below every name),
+        # so grouping can emit neighbor groups already name-sorted — the
+        # broker's deterministic enqueue order without a per-message sort.
+        hop_rank = np.zeros(len(self._hop_names) + 1, dtype=np.int64)
+        hop_rank[0] = -1
+        order = sorted(range(len(self._hop_names)), key=self._hop_names.__getitem__)
+        for r, h in enumerate(order):
+            hop_rank[h + 1] = r
+        self._c_hop_rank = hop_rank
+        self._hop_by_rank = order
         self._c_source_masks = {}
         self._dirty = False
 
@@ -312,33 +386,41 @@ class SubscriptionTable:
         sharing a next hop — the queue copy must count the subscriber's
         benefit once).  Local rows are likewise unique per subscriber.
         Groups come back as :class:`RowGroup` views whose ``arrays`` are
-        column gathers.
+        column gathers.  The ``remote`` dict's insertion order is sorted
+        neighbor-name order — the broker's deterministic enqueue order —
+        so callers iterate it directly instead of re-sorting per message.
         """
         ids = self._matched_ids(message)
         if ids.size == 0:
             return RowGroup(self, _EMPTY_IDS), {}
         hop = self._c_hop[ids]
-        # Deduplicate (next hop, subscriber) keeping the first row in
-        # match order — the legacy setdefault semantics.
-        combo = (hop + 1) * len(self._sub_names) + self._c_sub[ids]
-        _, first = np.unique(combo, return_index=True)
-        if len(first) != len(ids):
-            first.sort()
-            ids, hop = ids[first], hop[first]
-        # Group by hop: stable sort keeps match order inside each group.
-        order = np.argsort(hop, kind="stable")
-        ids, hop = ids[order], hop[order]
-        boundaries = np.flatnonzero(hop[1:] != hop[:-1]) + 1
+        if self._has_multipath_rows:
+            # Deduplicate (next hop, subscriber) keeping the first row in
+            # match order — the legacy setdefault semantics.  Single-path
+            # tables hold one row per subscriber, so only multi-path
+            # installs can collide and the pass is skipped otherwise.
+            combo = (hop + 1) * len(self._sub_names) + self._c_sub[ids]
+            _, first = np.unique(combo, return_index=True)
+            if len(first) != len(ids):
+                first.sort()
+                ids, hop = ids[first], hop[first]
+        # Group by neighbor-name rank (local −1 first): the stable sort
+        # keeps match order inside each group and emits groups in sorted
+        # neighbor order.
+        hop_rank = self._c_hop_rank[hop + 1]
+        order = np.argsort(hop_rank, kind="stable")
+        ids, hop_rank = ids[order], hop_rank[order]
+        boundaries = np.flatnonzero(hop_rank[1:] != hop_rank[:-1]) + 1
         local = RowGroup(self, _EMPTY_IDS)
         remote: dict[str, RowGroup] = {}
         start = 0
         for stop in list(boundaries) + [len(ids)]:
             group = RowGroup(self, ids[start:stop])
-            h = int(hop[start])
-            if h < 0:
+            r = int(hop_rank[start])
+            if r < 0:
                 local = group
             else:
-                remote[self._hop_names[h]] = group
+                remote[self._hop_names[self._hop_by_rank[r]]] = group
             start = stop
         return local, remote
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 import networkx as nx
+import numpy as np
 
 from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy
 from repro.core.strategies import Strategy
@@ -37,10 +38,10 @@ from repro.network.paths import path_distribution
 from repro.network.routing import SinkTree, compute_sink_tree, k_shortest_paths
 from repro.network.topology import Topology, TopologyError
 from repro.pubsub.broker import Broker
-from repro.pubsub.client import PublisherHandle, SubscriberHandle
+from repro.pubsub.client import DeliveryLog, PublisherHandle, SubscriberHandle
 from repro.pubsub.matching import MATCHER_BACKENDS, MatchingEngine, make_matcher
 from repro.pubsub.message import Message
-from repro.pubsub.metrics import MetricsCollector
+from repro.pubsub.metrics import METRICS_BACKENDS, MetricsCollector, make_metrics
 from repro.pubsub.subscription import Subscription, TableRow
 from repro.stats.normal import Normal
 
@@ -106,6 +107,10 @@ class SystemConfig:
     #: index: "vector" (numpy counting index, the fast path), "oracle" (the
     #: dict-based counting matcher, the differential oracle) or "brute".
     matcher_backend: str = "vector"
+    #: Accounting backend: "ledger" (array-backed, batched — the fast
+    #: path) or "scalar" (the per-delivery dict/set oracle).  Both produce
+    #: byte-identical figure data (see :mod:`repro.pubsub.metrics`).
+    metrics_backend: str = "ledger"
 
     def __post_init__(self) -> None:
         if self.processing_delay_ms < 0.0:
@@ -120,6 +125,11 @@ class SystemConfig:
             raise ValueError(
                 f"matcher_backend must be one of {MATCHER_BACKENDS}, "
                 f"got {self.matcher_backend!r}"
+            )
+        if self.metrics_backend not in METRICS_BACKENDS:
+            raise ValueError(
+                f"metrics_backend must be one of {METRICS_BACKENDS}, "
+                f"got {self.metrics_backend!r}"
             )
 
 
@@ -142,8 +152,17 @@ class PubSubSystem:
         self.sim = sim
         self.streams = streams
         self.config = config or SystemConfig()
-        self.metrics = metrics or MetricsCollector()
+        self.metrics = metrics if metrics is not None else make_metrics(self.config.metrics_backend)
         self.trace = TraceRecorder(enabled=self.config.enable_trace)
+        #: Columnar store behind every subscriber endpoint; brokers append
+        #: whole local-delivery batches through the batch callback.
+        self.delivery_log = DeliveryLog()
+        # Per-broker translation of table-interned subscriber ids to
+        # endpoint log ids (−1 = no live endpoint).  Maintained
+        # incrementally: new interned names extend the tail, and
+        # subscribe/unsubscribe patch the one affected slot per broker —
+        # no full rebuilds on churn.
+        self._endpoint_ids: dict[str, np.ndarray] = {}
 
         self.brokers: dict[str, Broker] = {}
         self.monitors: dict[tuple[str, str], LinkMonitor] = {}
@@ -179,7 +198,7 @@ class PubSubSystem:
                 queue_validate=self.config.queue_validate,
                 matcher_backend=self.config.matcher_backend,
             )
-            broker.delivery_callbacks.append(self._on_local_delivery)
+            broker.delivery_batch_callbacks.append(self._on_local_delivery_batch)
             self.brokers[name] = broker
 
     def _wire_links(self) -> None:
@@ -197,10 +216,38 @@ class PubSubSystem:
         broker = self.brokers[dst]
         return broker.receive
 
-    def _on_local_delivery(self, subscriber: str, message: Message, latency: float, valid: bool) -> None:
-        handle = self.subscribers.get(subscriber)
-        if handle is not None:
-            handle.on_delivery(message, latency, valid, self.sim.now)
+    def _on_local_delivery_batch(self, broker: Broker, group, message: Message, latency: float, valid) -> None:
+        """Record one message's local fan-out in the shared delivery log.
+
+        One vectorised append per batch: the group's table-interned
+        subscriber ids are gathered through a per-broker translation array
+        (rebuilt only when a subscription is added/removed or the table
+        interned new names).  Rows whose subscriber no longer has a live
+        endpoint (unsubscribed while copies were in flight) map to id −1
+        and are dropped by the log.
+        """
+        names = group.sub_names
+        cached = self._endpoint_ids.get(broker.name)
+        if cached is None or cached.shape[0] < len(names):
+            start = 0 if cached is None else cached.shape[0]
+            get = self.subscribers.get
+            tail = np.fromiter(
+                (-1 if (h := get(s)) is None else h.log_id for s in names[start:]),
+                dtype=np.int64, count=len(names) - start,
+            )
+            cached = tail if cached is None else np.concatenate((cached, tail))
+            self._endpoint_ids[broker.name] = cached
+        self.delivery_log.append_batch(
+            cached[group.sub_ids], message.msg_id, self.sim.now, latency, valid
+        )
+
+    def _patch_endpoint_ids(self, name: str, log_id: int) -> None:
+        """Point one subscriber's slot at a new endpoint id (−1 = gone) in
+        every broker cache that already covers the name."""
+        for broker_name, ids in self._endpoint_ids.items():
+            sid = self.brokers[broker_name].table._sub_id_of.get(name)
+            if sid is not None and sid < ids.shape[0]:
+                ids[sid] = log_id
 
     # ------------------------------------------------------------------ #
     # Subscriptions.
@@ -235,8 +282,9 @@ class PubSubSystem:
 
         self._subscriptions[name] = subscription
         self._population.add(name, subscription.filter)
-        handle = SubscriberHandle(name)
+        handle = SubscriberHandle(name, log=self.delivery_log)
         self.subscribers[name] = handle
+        self._patch_endpoint_ids(name, handle.log_id)
         return handle
 
     def _install_single_path(self, subscription: Subscription, edge: str) -> None:
@@ -307,6 +355,7 @@ class PubSubSystem:
                 broker.table.uninstall(subscriber)
         del self._subscriptions[subscriber]
         self._population.remove(subscriber)
+        self._patch_endpoint_ids(subscriber, -1)
         return self.subscribers.pop(subscriber)
 
     @property

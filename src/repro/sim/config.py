@@ -47,6 +47,7 @@ class SimulationConfig:
     queue_backend: str = "auto"  # "scan" forces the legacy full-rescan oracle
     queue_validate: bool = False  # cross-check every queue decision (slow)
     matcher_backend: str = "vector"  # "oracle" forces the dict counting matcher
+    metrics_backend: str = "ledger"  # "scalar" forces the per-delivery oracle collector
 
     def __post_init__(self) -> None:
         if self.publishing_rate_per_min < 0.0:

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from statistics import mean
 from typing import Iterable
 
-from repro.pubsub.metrics import MetricsCollector
+from repro.pubsub.metrics import LedgerMetricsCollector, MetricsCollector
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,7 +37,7 @@ class SimulationResult:
     @classmethod
     def from_metrics(
         cls,
-        metrics: MetricsCollector,
+        metrics: MetricsCollector | LedgerMetricsCollector,
         *,
         strategy: str,
         scenario: str,

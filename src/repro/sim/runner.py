@@ -50,6 +50,7 @@ def build_system(
             queue_backend=config.queue_backend,
             queue_validate=config.queue_validate,
             matcher_backend=config.matcher_backend,
+            metrics_backend=config.metrics_backend,
         ),
     )
     system.subscribe_all(

@@ -11,13 +11,13 @@ from repro.analysis.latency import (
     latency_by_subscriber,
     latency_stats,
 )
-from repro.pubsub.client import DeliveryRecord, SubscriberHandle
+from repro.pubsub.client import SubscriberHandle
 
 
 def handle(name: str, latencies: list[float], valid: bool = True) -> SubscriberHandle:
     h = SubscriberHandle(name)
     for i, lat in enumerate(latencies):
-        h.records.append(DeliveryRecord(msg_id=i, time=lat, latency_ms=lat, valid=valid))
+        h.record(msg_id=i, time=lat, latency_ms=lat, valid=valid)
     return h
 
 
@@ -59,7 +59,7 @@ class TestLatencyStats:
 
     def test_valid_only_filter(self):
         h = handle("S1", [100.0])
-        h.records.append(DeliveryRecord(msg_id=99, time=0.0, latency_ms=9_000.0, valid=False))
+        h.record(msg_id=99, time=0.0, latency_ms=9_000.0, valid=False)
         assert latency_stats([h]).count == 1
         assert latency_stats([h], valid_only=False).count == 2
 

@@ -17,12 +17,25 @@ MATCH_ALL = Predicate("A1", "<", 1e9)
 class TestSubscriberHandle:
     def test_counts(self):
         h = SubscriberHandle("S1")
-        h.records.append(DeliveryRecord(1, 10.0, 10.0, valid=True))
-        h.records.append(DeliveryRecord(2, 20.0, 20.0, valid=True))
-        h.records.append(DeliveryRecord(3, 30.0, 30.0, valid=False))
+        h.record(1, 10.0, 10.0, valid=True)
+        h.record(2, 20.0, 20.0, valid=True)
+        h.record(3, 30.0, 30.0, valid=False)
         assert h.valid_count == 2
         assert h.late_count == 1
         assert h.received_ids() == {1, 2, 3}
+        assert h.records == [
+            DeliveryRecord(1, 10.0, 10.0, valid=True),
+            DeliveryRecord(2, 20.0, 20.0, valid=True),
+            DeliveryRecord(3, 30.0, 30.0, valid=False),
+        ]
+
+    def test_records_refresh_after_append(self):
+        h = SubscriberHandle("S1")
+        assert h.records == []
+        h.record(7, 1.0, 1.0, valid=True)
+        assert [r.msg_id for r in h.records] == [7]
+        h.record(8, 2.0, 2.0, valid=False)
+        assert [r.msg_id for r in h.records] == [7, 8]
 
     def test_empty(self):
         h = SubscriberHandle("S1")
