@@ -39,7 +39,8 @@ from repro.pubsub.filters import Predicate
 from repro.pubsub.subscription import Subscription
 from repro.pubsub.system import PubSubSystem, SystemConfig
 from repro.sim.config import SimulationConfig
-from repro.sim.runner import build_system, schedule_workload
+from repro.sim.runner import build_system, schedule_dynamics, schedule_workload
+from repro.workload.dynamics import churn_burst
 from repro.workload.scenarios import SSD_PRICE_BY_DEADLINE_MS, Scenario
 
 #: Edge brokers in the paper topology (layer sizes 4/4/8/16) — the
@@ -115,7 +116,31 @@ def run_point(config: SimulationConfig) -> dict:
     from the timed window (ingest throughput, not setup cost)."""
     system = build_system(config)
     published_planned = schedule_workload(system, config)
+    schedule_dynamics(system, config)
     return _timed_run(system, config, published_planned)
+
+
+def _dynamics_config(
+    subs_per_edge: int, strategy: str, rate: float, minutes: float, seed: int,
+) -> SimulationConfig:
+    """The churn+burst preset: a 3x rate burst through the middle half
+    with 30-out/30-in churn waves at its onset and end — exercises the
+    piecewise arrival process, mid-run (un)subscription and the epoch
+    filter on the match path, all inside the timed window."""
+    duration = minutes * 60_000.0
+    # churn_burst never inspects the topology, so the preset builder runs
+    # before the system exists.
+    script = churn_burst(None, duration)
+    return SimulationConfig(
+        seed=seed,
+        scenario=Scenario.SSD,
+        strategy=strategy,
+        publishing_rate_per_min=rate,
+        duration_ms=duration,
+        grace_ms=30_000.0,
+        topology_spec=LayeredMeshSpec(subscribers_per_edge_broker=subs_per_edge),
+        dynamics=script,
+    )
 
 
 #: Matches every message — the wide-match filter of the fanout scenario.
@@ -262,6 +287,22 @@ def main(argv: list[str] | None = None) -> int:
                   f"{recs['ledger']['wall_s']:6.2f}s vs scalar "
                   f"{recs['scalar']['wall_s']:6.2f}s -> {speedup:.2f}x, "
                   f"decisions identical")
+
+    # Churn+burst dynamics scenario: the scripted-intervention machinery
+    # (piecewise arrivals, mid-run churn, epoch-filtered matching) under
+    # the clock, guarded by the smoke baseline like every other point.
+    if args.smoke:
+        dynamics_points = [("eb", 1008)]
+    else:
+        dynamics_points = [("eb", 5008), ("fifo", 5008)]
+    for strategy, subs in dynamics_points:
+        record = run_point(_dynamics_config(
+            SUB_TARGETS[subs], strategy, args.rate, minutes, args.seed))
+        record["scenario"] = "dynamics"
+        points.append(record)
+        print(f"dynamic {strategy:5s} {subs:>6d} subs: "
+              f"{record['wall_s']:7.2f}s wall, "
+              f"{record['delivery_throughput_per_s']:>10.0f} deliveries/s")
 
     result = {
         "meta": {

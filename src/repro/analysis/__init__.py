@@ -12,6 +12,10 @@ need more:
   the same ``success(s, m)`` machinery the schedulers use, applied end to
   end from the source broker, and its calibration against what actually
   happened.
+* :mod:`~repro.analysis.timeseries` — windowed delivery-rate / earning /
+  queue-depth trajectories over the columnar delivery log (the dynamics
+  scripts' output format); every series folds exactly to the run's
+  aggregate metrics.
 """
 
 from repro.analysis.capacity import (
@@ -22,8 +26,16 @@ from repro.analysis.capacity import (
 from repro.analysis.feasibility import CalibrationReport, calibrate, predict_success
 from repro.analysis.latency import LatencyStats, latency_by_subscriber, latency_stats
 from repro.analysis.revenue import TierRevenue, premium_share, revenue_by_tier
+from repro.analysis.timeseries import (
+    MetricsTimeSeries,
+    QueueDepthSampler,
+    windowed_metrics,
+)
 
 __all__ = [
+    "MetricsTimeSeries",
+    "QueueDepthSampler",
+    "windowed_metrics",
     "TierRevenue",
     "revenue_by_tier",
     "premium_share",

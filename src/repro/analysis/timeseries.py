@@ -1,0 +1,218 @@
+"""Windowed time-series metrics over the columnar delivery spine.
+
+The paper reports one number per 2-hour run; under a dynamics script
+(load bursts, link degradation, churn) the *trajectory* is the result.
+This module buckets the run into fixed windows and computes, as pure
+vectorized reductions over the system's column arrays — no per-delivery
+Python —
+
+* **published / interested** per window (by publish time, from the
+  system's publication log),
+* **valid / late deliveries, earning, latency sum** per window (by
+  arrival time, from the shared :class:`~repro.pubsub.client.DeliveryLog`
+  with the metrics layer's first-arrival-wins pair settlement replayed
+  as one ``np.unique`` pass), and
+* optionally **queue depth** per window (mean/max of a
+  :class:`QueueDepthSampler`'s probes).
+
+Every series *folds back* to the run's aggregate metrics: counts sum
+exactly, ``earning`` sums exactly (prices are settled per delivery, the
+same contributions the metrics ledger logs), and
+``sum(valid) / sum(interested)`` is exactly the aggregate delivery rate.
+The integration tests assert those folds against both metrics backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pubsub.system import PubSubSystem
+
+
+@dataclass(frozen=True)
+class MetricsTimeSeries:
+    """Per-window metric columns over ``[0, horizon)``.
+
+    ``edges`` has ``windows + 1`` entries; window ``w`` covers
+    ``[edges[w], edges[w+1])`` except the last, which also absorbs events
+    landing exactly on the horizon (the simulator's closed interval).
+    """
+
+    window_ms: float
+    edges: np.ndarray
+    published: np.ndarray
+    interested: np.ndarray
+    deliveries_valid: np.ndarray
+    deliveries_late: np.ndarray
+    earning: np.ndarray
+    latency_sum_ms: np.ndarray
+    queue_depth_mean: np.ndarray | None = None
+    queue_depth_max: np.ndarray | None = None
+
+    @property
+    def windows(self) -> int:
+        return int(self.published.shape[0])
+
+    @property
+    def centers_ms(self) -> np.ndarray:
+        return (self.edges[:-1] + self.edges[1:]) / 2.0
+
+    @property
+    def delivery_rate(self) -> np.ndarray:
+        """Windowed Eq. 1: valid deliveries arriving in the window over
+        interested population published in it (0 where nothing was
+        publishable, matching the aggregate convention).
+
+        Numerator and denominator are bucketed on different clocks
+        (arrival vs publish), which is what makes the fold exact — but it
+        also means a single window can transiently exceed 1.0 when a
+        backlog of earlier messages drains into it."""
+        out = np.zeros(self.windows)
+        np.divide(
+            self.deliveries_valid, self.interested,
+            out=out, where=self.interested > 0,
+        )
+        return out
+
+    @property
+    def mean_latency_ms(self) -> np.ndarray:
+        out = np.zeros(self.windows)
+        np.divide(
+            self.latency_sum_ms, self.deliveries_valid,
+            out=out, where=self.deliveries_valid > 0,
+        )
+        return out
+
+    def totals(self) -> dict[str, float]:
+        """The aggregate folds (what the run-level metrics report)."""
+        interested = int(self.interested.sum())
+        valid = int(self.deliveries_valid.sum())
+        return {
+            "published": int(self.published.sum()),
+            "total_interested": interested,
+            "deliveries_valid": valid,
+            "deliveries_late": int(self.deliveries_late.sum()),
+            "earning": float(self.earning.sum()),
+            "delivery_rate": valid / interested if interested else 0.0,
+        }
+
+
+def _window_index(times: np.ndarray, window_ms: float, windows: int) -> np.ndarray:
+    idx = (times / window_ms).astype(np.int64)
+    # Events exactly at the horizon belong to the last window (run(until)
+    # executes them); clip also tolerates float edge jitter.
+    return np.clip(idx, 0, windows - 1)
+
+
+def windowed_metrics(
+    system: "PubSubSystem",
+    window_ms: float,
+    horizon_ms: float | None = None,
+    queue_sampler: "QueueDepthSampler | None" = None,
+) -> MetricsTimeSeries:
+    """Bucket a finished system's run into ``window_ms`` windows.
+
+    ``horizon_ms`` defaults to the simulator clock (the run's end).  Pair
+    settlement mirrors the metrics layer exactly: the first arrival of
+    each (message, endpoint) pair decides valid/late, later duplicates
+    (multi-path routing) are ignored.
+    """
+    if window_ms <= 0.0:
+        raise ValueError("window_ms must be positive")
+    horizon = float(horizon_ms if horizon_ms is not None else system.sim.now)
+    if horizon <= 0.0:
+        raise ValueError("horizon must be positive (has the run started?)")
+    windows = max(1, int(np.ceil(horizon / window_ms)))
+    edges = np.minimum(np.arange(windows + 1, dtype=np.float64) * window_ms, horizon)
+
+    pub_time, interested = system.publication_columns()
+    published = np.zeros(windows, dtype=np.int64)
+    interested_w = np.zeros(windows, dtype=np.int64)
+    if pub_time.shape[0]:
+        w = _window_index(pub_time, window_ms, windows)
+        published = np.bincount(w, minlength=windows)
+        interested_w = np.bincount(w, weights=interested, minlength=windows).astype(np.int64)
+
+    sub, msg, time, latency, valid = system.delivery_log.columns()
+    valid_w = np.zeros(windows, dtype=np.int64)
+    late_w = np.zeros(windows, dtype=np.int64)
+    earning_w = np.zeros(windows, dtype=np.float64)
+    latency_w = np.zeros(windows, dtype=np.float64)
+    if sub.shape[0]:
+        # First-arrival-wins settlement: the log is append-ordered by
+        # simulated time, so the first occurrence of a (message, endpoint)
+        # key is the arrival the metrics layer settled.
+        keys = msg * np.int64(system.delivery_log.endpoint_count) + sub
+        _, first = np.unique(keys, return_index=True)
+        sub, time, latency, valid = sub[first], time[first], latency[first], valid[first]
+        w = _window_index(time, window_ms, windows)
+        valid_w = np.bincount(w[valid], minlength=windows)
+        late_w = np.bincount(w[~valid], minlength=windows)
+        prices = system.endpoint_prices()[sub]
+        earning_w = np.bincount(w[valid], weights=prices[valid], minlength=windows)
+        latency_w = np.bincount(w[valid], weights=latency[valid], minlength=windows)
+
+    depth_mean = depth_max = None
+    if queue_sampler is not None:
+        depth_mean, depth_max = queue_sampler.bucketed(window_ms, windows)
+
+    return MetricsTimeSeries(
+        window_ms=window_ms,
+        edges=edges,
+        published=published,
+        interested=interested_w,
+        deliveries_valid=valid_w,
+        deliveries_late=late_w,
+        earning=earning_w,
+        latency_sum_ms=latency_w,
+        queue_depth_mean=depth_mean,
+        queue_depth_max=depth_max,
+    )
+
+
+class QueueDepthSampler:
+    """Periodic probe of the system's total queued entries.
+
+    Attach *before* running: the sampler schedules itself every
+    ``every_ms`` from t=0 to the horizon.  Probes only read state — they
+    never touch RNG streams or queues, so an instrumented run makes
+    exactly the same decisions as a bare one (only the simulator's
+    executed-event count grows).
+    """
+
+    def __init__(self, system: "PubSubSystem", every_ms: float, horizon_ms: float) -> None:
+        if every_ms <= 0.0:
+            raise ValueError("every_ms must be positive")
+        if horizon_ms <= 0.0:
+            raise ValueError("horizon_ms must be positive")
+        self.system = system
+        self.every_ms = every_ms
+        self.horizon_ms = horizon_ms
+        self.times: list[float] = []
+        self.depths: list[int] = []
+        system.sim.schedule_at(0.0, self._sample)
+
+    def _sample(self) -> None:
+        sim = self.system.sim
+        self.times.append(sim.now)
+        self.depths.append(self.system.total_queued())
+        if sim.now + self.every_ms <= self.horizon_ms:
+            sim.schedule(self.every_ms, self._sample)
+
+    def bucketed(self, window_ms: float, windows: int) -> tuple[np.ndarray, np.ndarray]:
+        """(mean, max) depth per window; windows without probes hold 0."""
+        mean = np.zeros(windows)
+        mx = np.zeros(windows)
+        if not self.times:
+            return mean, mx
+        w = _window_index(np.asarray(self.times), window_ms, windows)
+        depths = np.asarray(self.depths, dtype=np.float64)
+        counts = np.bincount(w, minlength=windows)
+        sums = np.bincount(w, weights=depths, minlength=windows)
+        np.divide(sums, counts, out=mean, where=counts > 0)
+        np.maximum.at(mx, w, depths)
+        return mean, mx

@@ -8,6 +8,8 @@ Examples::
     python -m repro tab1
     python -m repro claims --scale 0.1
     python -m repro run --scenario ssd --strategy ebpc --r 0.6 --rate 12 --minutes 10
+    python -m repro dynamics --preset flash-crowd --metric delivery-rate --minutes 10
+    python -m repro dynamics --preset degrade-worst-link --metric queue-depth
 """
 
 from __future__ import annotations
@@ -94,6 +96,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario", choices=[s.value for s in Scenario], default="psd"
     )
 
+    p = sub.add_parser(
+        "dynamics",
+        help="compare all strategies under a scripted scenario (time series)",
+    )
+    from repro.experiments.dynamics import ALL_STRATEGIES, METRICS
+    from repro.workload.dynamics import PRESETS
+
+    p.add_argument("--preset", choices=sorted(PRESETS), default="flash-crowd")
+    p.add_argument("--metric", choices=sorted(METRICS), default="delivery-rate")
+    p.add_argument("--scenario", choices=[s.value for s in Scenario], default="ssd")
+    p.add_argument("--rate", type=float, default=10.0, help="msgs/min/publisher (base)")
+    p.add_argument("--minutes", type=float, default=10.0, help="simulated test period")
+    p.add_argument("--window", type=float, default=60.0, help="bucket width (seconds)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--strategy", action="append", choices=ALL_STRATEGIES, default=None,
+        metavar="NAME", help="restrict to these strategies (repeatable; default all)",
+    )
+    p.add_argument(
+        "--measurement", choices=["oracle", "estimated"], default="oracle",
+        help="link parameter source for the schedulers",
+    )
+    p.add_argument(
+        "--estimator", choices=["welford", "window", "ewma"], default="welford",
+        help="ESTIMATED-mode estimator (window/ewma track runtime rate changes)",
+    )
+
     p = sub.add_parser("run", help="run one custom simulation point")
     p.add_argument("--scenario", choices=[s.value for s in Scenario], default="psd")
     p.add_argument("--strategy", default="eb", help="fifo | rl | eb | pc | ebpc")
@@ -164,6 +193,25 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.output} ({len(text.splitlines())} lines)")
         else:
             print(text)
+    elif args.command == "dynamics":
+        from repro.experiments.asciiplot import render_ascii_chart
+        from repro.experiments.dynamics import ALL_STRATEGIES, run_dynamics_comparison
+
+        result = run_dynamics_comparison(
+            preset=args.preset,
+            scenario=Scenario(args.scenario),
+            minutes=args.minutes,
+            rate_per_min=args.rate,
+            seed=args.seed,
+            window_s=args.window,
+            metric=args.metric,
+            strategies=tuple(args.strategy) if args.strategy else ALL_STRATEGIES,
+            measurement=args.measurement,
+            link_estimator=args.estimator,
+        )
+        print(format_series_table(result))
+        print()
+        print(render_ascii_chart(result))
     elif args.command == "run":
         params = {"r": args.r} if args.strategy == "ebpc" else {}
         result = run_simulation(

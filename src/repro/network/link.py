@@ -43,7 +43,10 @@ class DirectedLink:
     by the measurement layer, never this object directly.
     """
 
-    __slots__ = ("src", "dst", "true_rate", "_rng", "busy", "stats", "_observers")
+    __slots__ = (
+        "src", "dst", "true_rate", "_rng", "busy", "stats", "_observers",
+        "_rate_listeners",
+    )
 
     def __init__(self, src: str, dst: str, true_rate: Normal, rng: np.random.Generator) -> None:
         self.src = src
@@ -53,6 +56,7 @@ class DirectedLink:
         self.busy = False
         self.stats = LinkStats()
         self._observers: list[Callable[[float, float], None]] = []
+        self._rate_listeners: list[Callable[[Normal], None]] = []
 
     @property
     def name(self) -> str:
@@ -61,6 +65,19 @@ class DirectedLink:
     def add_observer(self, observer: Callable[[float, float], None]) -> None:
         """Register a ``(size_kb, duration_ms)`` callback per transmission."""
         self._observers.append(observer)
+
+    def add_rate_listener(self, listener: Callable[[Normal], None]) -> None:
+        """Register a callback fired when the *true* rate changes at runtime
+        (failure injection / recovery — see :meth:`set_true_rate`)."""
+        self._rate_listeners.append(listener)
+
+    def set_true_rate(self, rate: Normal) -> None:
+        """Runtime rate change: the channel samples the new distribution
+        from the next transmission on, and rate listeners (the measurement
+        layer) are notified so pinned oracle caches can't go stale."""
+        self.true_rate = rate
+        for listener in self._rate_listeners:
+            listener(rate)
 
     def draw_transmission_time(self, size_kb: float) -> float:
         """Sample the time (ms) to push ``size_kb`` through this direction.

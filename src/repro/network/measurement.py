@@ -20,7 +20,12 @@ import enum
 from typing import Callable
 
 from repro.network.link import DirectedLink
-from repro.stats.estimators import RateEstimator, WelfordEstimator
+from repro.stats.estimators import (
+    EwmaEstimator,
+    RateEstimator,
+    SlidingWindowEstimator,
+    WelfordEstimator,
+)
 from repro.stats.normal import Normal
 
 
@@ -29,6 +34,17 @@ class MeasurementMode(enum.Enum):
 
     ORACLE = "oracle"
     ESTIMATED = "estimated"
+
+
+#: Named estimator factories for config plumbing.  ``welford`` (full
+#: history) matches the paper's stationary-link assumption; ``window``
+#: and ``ewma`` forget, so they track runtime rate changes (the dynamics
+#: scripts' link degradations) instead of converging to the mixture.
+ESTIMATOR_FACTORIES: dict[str, Callable[[], RateEstimator]] = {
+    "welford": WelfordEstimator,
+    "window": SlidingWindowEstimator,
+    "ewma": EwmaEstimator,
+}
 
 
 #: Prior used before an estimator has seen ``min_samples`` transmissions:
@@ -54,19 +70,31 @@ class LinkMonitor:
         self.prior = prior
         self.min_samples = min_samples
         self._estimator = estimator_factory()
-        # In ORACLE mode the exposed distribution is constant per link, so
-        # pin it once: the broker asks for the rate on every send attempt,
-        # and rebuilding/branching there is pure overhead.  In ESTIMATED
-        # mode the cache is keyed on the observation count (the estimate
-        # only moves when a transmission completes).
+        # In ORACLE mode the exposed distribution is pinned (and repinned
+        # by the link's rate listener on runtime changes): the broker asks
+        # for the rate on every send attempt, and rebuilding/branching
+        # there is pure overhead.  In ESTIMATED mode the cache is keyed on
+        # the monitor's own observation counter — NOT the estimator's
+        # ``count``, which saturates for windowed estimators — so the
+        # estimate refreshes whenever a transmission completes.
         self._oracle_rate = link.true_rate if mode is MeasurementMode.ORACLE else None
         self._estimate_cache: Normal | None = None
         self._estimate_cache_count = -1
+        self._observed = 0
         if mode is MeasurementMode.ESTIMATED:
             link.add_observer(self._on_transmission)
+        # Runtime rate changes (failure injection) must reach the pinned
+        # ORACLE cache; in ESTIMATED mode the estimator keeps *measuring*
+        # its way to the new rate — the monitor never peeks at the truth.
+        link.add_rate_listener(self._on_rate_change)
 
     def _on_transmission(self, size_kb: float, duration_ms: float) -> None:
+        self._observed += 1
         self._estimator.observe(duration_ms / size_kb)
+
+    def _on_rate_change(self, rate: Normal) -> None:
+        if self.mode is MeasurementMode.ORACLE:
+            self._oracle_rate = rate
 
     @property
     def samples(self) -> int:
@@ -76,12 +104,11 @@ class LinkMonitor:
         """The distribution schedulers should use for this link direction."""
         if self._oracle_rate is not None:
             return self._oracle_rate
-        count = self._estimator.count
-        if count < self.min_samples:
+        if self._estimator.count < self.min_samples:
             return self.prior
-        if count != self._estimate_cache_count:
+        if self._observed != self._estimate_cache_count:
             self._estimate_cache = Normal(self._estimator.mean, self._estimator.variance)
-            self._estimate_cache_count = count
+            self._estimate_cache_count = self._observed
         return self._estimate_cache
 
     def estimation_error(self) -> float:

@@ -10,6 +10,7 @@ the paper (clients talk to their broker locally).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -63,6 +64,9 @@ class Topology:
         self._graph = nx.Graph()
         self.publisher_brokers: dict[str, str] = {}  # publisher -> broker
         self.subscriber_brokers: dict[str, str] = {}  # subscriber -> broker
+        #: Builder-recorded facts about how the topology came to be
+        #: (e.g. how many random chords were actually added).
+        self.metadata: dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
     # Construction.
@@ -130,7 +134,14 @@ class Topology:
             raise TopologyError(f"no link {a!r}-{b!r}") from None
 
     def set_link_rate(self, a: str, b: str, rate: Normal) -> None:
-        """Replace a link's distribution (used by failure injection)."""
+        """Replace a link's distribution in the static description.
+
+        This mutates the *topology layer only* — a running system built
+        from this topology holds its own :class:`DirectedLink` channels.
+        Use :meth:`repro.pubsub.system.PubSubSystem.set_link_rate` for
+        runtime failure injection; it keeps both layers (and the link
+        monitors) in step.
+        """
         if not self._graph.has_edge(a, b):
             raise TopologyError(f"no link {a!r}-{b!r}")
         self._graph.edges[a, b]["rate"] = rate
@@ -272,6 +283,16 @@ def build_random_mesh(
             continue
         topo.add_link(a, b, _draw_rate(rng, rate_mean_range, rate_std))
         added += 1
+    topo.metadata["chords_requested"] = extra_links
+    topo.metadata["chords_added"] = added
+    if added < extra_links:
+        warnings.warn(
+            f"build_random_mesh: added {added} of {extra_links} requested "
+            f"chords ({max_possible} possible on {broker_count} brokers; "
+            f"attempt budget {100 * (target + 1)}); see topology.metadata",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return topo
 
 

@@ -95,8 +95,25 @@ class DeliveryLog:
         self._endpoints += 1
         return eid
 
+    @property
+    def endpoint_count(self) -> int:
+        """Endpoints registered so far (dense ids ``0..count-1``)."""
+        return self._endpoints
+
     def __len__(self) -> int:
         return len(self._sub_id)
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Whole-log ``(sub_id, msg_id, time, latency, valid)`` columns in
+        append (= simulated-time) order, as zero-copy views — the input of
+        the windowed time-series reductions.  Do not hold across appends."""
+        return (
+            self._sub_id.view(),
+            self._msg_id.view(),
+            self._time.view(),
+            self._latency.view(),
+            self._valid.view(),
+        )
 
     def append(self, sub_id: int, msg_id: int, time: float, latency_ms: float, valid: bool) -> None:
         self._sub_id.append(sub_id)

@@ -60,6 +60,15 @@ class TableRow:
     ``path_id`` distinguishes rows when the multi-path routing extension
     installs several routes for the same subscriber (single-path routing
     always uses 0).
+
+    ``min_msg_id`` is the subscription's epoch: the row only matches
+    messages whose id is at least this value.  Message ids are assigned in
+    publish-execution order, so a watermark taken at subscribe time makes
+    a mid-run subscriber (churn wave, flash crowd) see exactly the
+    messages published after it joined — the same set its membership in
+    the interested-population count covers — and never an in-flight older
+    message (which would over-deliver against Eq. 1's ``ts_i``).  0 (all
+    rows installed before t=0) matches everything.
     """
 
     subscription: Subscription
@@ -68,6 +77,7 @@ class TableRow:
     rate: Normal
     sources: frozenset[str]
     path_id: int = 0
+    min_msg_id: int = 0
 
     @property
     def is_local(self) -> bool:
@@ -211,6 +221,9 @@ class SubscriptionTable:
         #: multi-path routing can produce duplicate (hop, subscriber)
         #: pairs, so single-path tables skip dedup entirely.
         self._has_multipath_rows = False
+        #: True once any row carries a subscribe-time epoch (> 0): tables
+        #: of a frozen world skip the per-match epoch filter entirely.
+        self._has_epoch_rows = False
         # Raw columns, one slot per row id (dead rows keep stale values;
         # the matcher never returns their ids).
         self._nn: list[float] = []
@@ -220,6 +233,7 @@ class SubscriptionTable:
         self._price: list[float] = []
         self._hop_id: list[int] = []  # -1 = local
         self._sub_id: list[int] = []
+        self._min_msg: list[int] = []
         self._sources: list[frozenset[str]] = []
         self._hop_names: list[str] = []
         self._hop_id_of: dict[str, int] = {}
@@ -229,7 +243,7 @@ class SubscriptionTable:
         self._dirty = True
         self._c_nn = self._c_mean = self._c_std = np.empty(0)
         self._c_deadline = self._c_price = np.empty(0)
-        self._c_hop = self._c_sub = self._c_rank = _EMPTY_IDS
+        self._c_hop = self._c_sub = self._c_rank = self._c_min_msg = _EMPTY_IDS
         #: hop id -> rank in sorted-neighbor-name order (offset by one so
         #: slot 0 holds the local pseudo-hop −1, which must sort first).
         self._c_hop_rank = _EMPTY_IDS
@@ -266,6 +280,7 @@ class SubscriptionTable:
             self._price[row_id] = price
             self._hop_id[row_id] = hop
             self._sub_id[row_id] = sub
+            self._min_msg[row_id] = row.min_msg_id
             self._sources[row_id] = row.sources
         else:
             row_id = len(self._rows_by_id)
@@ -277,12 +292,15 @@ class SubscriptionTable:
             self._price.append(price)
             self._hop_id.append(hop)
             self._sub_id.append(sub)
+            self._min_msg.append(row.min_msg_id)
             self._sources.append(row.sources)
         self._id_of_key[key] = row_id
         self._ids_of_subscriber.setdefault(row.subscriber, []).append(row_id)
         self._matcher.add(row_id, row.subscription.filter)
         if row.path_id != 0:
             self._has_multipath_rows = True
+        if row.min_msg_id > 0:
+            self._has_epoch_rows = True
         self._dirty = True
 
     def uninstall(self, subscriber: str) -> None:
@@ -326,6 +344,7 @@ class SubscriptionTable:
         self._c_price = np.asarray(self._price)
         self._c_hop = np.asarray(self._hop_id, dtype=np.int64)
         self._c_sub = np.asarray(self._sub_id, dtype=np.int64)
+        self._c_min_msg = np.asarray(self._min_msg, dtype=np.int64)
         # Rank = position in sorted (subscriber, path_id) order, the
         # canonical match order (dead ids keep a stale rank; the matcher
         # never returns them).
@@ -369,6 +388,10 @@ class SubscriptionTable:
         if ids.size == 0:
             return ids
         ids = ids[self._source_mask(message.source_broker)[ids]]
+        if self._has_epoch_rows and ids.size:
+            # Mid-run subscriptions only see messages published after they
+            # joined (ids are publish-ordered); frozen tables skip this.
+            ids = ids[self._c_min_msg[ids] <= message.msg_id]
         if ids.size:
             ids = ids[np.argsort(self._c_rank[ids], kind="stable")]
         return ids

@@ -27,13 +27,14 @@ from typing import Callable, Mapping
 import networkx as nx
 import numpy as np
 
+from repro.core.growable import GrowableArray
 from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy
 from repro.core.strategies import Strategy
 from repro.des.rng import RngStreams
 from repro.des.simulator import Simulator
 from repro.des.trace import TraceRecorder
 from repro.network.link import DirectedLink
-from repro.network.measurement import LinkMonitor, MeasurementMode
+from repro.network.measurement import ESTIMATOR_FACTORIES, LinkMonitor, MeasurementMode
 from repro.network.paths import path_distribution
 from repro.network.routing import SinkTree, compute_sink_tree, k_shortest_paths
 from repro.network.topology import Topology, TopologyError
@@ -111,8 +112,16 @@ class SystemConfig:
     #: path) or "scalar" (the per-delivery dict/set oracle).  Both produce
     #: byte-identical figure data (see :mod:`repro.pubsub.metrics`).
     metrics_backend: str = "ledger"
+    #: Estimator used by ESTIMATED link monitors ("welford" | "window" |
+    #: "ewma"); forgetting estimators adapt to runtime rate changes.
+    link_estimator: str = "welford"
 
     def __post_init__(self) -> None:
+        if self.link_estimator not in ESTIMATOR_FACTORIES:
+            raise ValueError(
+                f"link_estimator must be one of {sorted(ESTIMATOR_FACTORIES)}, "
+                f"got {self.link_estimator!r}"
+            )
         if self.processing_delay_ms < 0.0:
             raise ValueError("processing_delay_ms must be non-negative")
         if self.scheduling_slack_per_hop_ms < 0.0:
@@ -172,6 +181,17 @@ class PubSubSystem:
         self._population: MatchingEngine[str] = make_matcher(self.config.matcher_backend)
         self._sink_trees: dict[str, SinkTree] = {}
         self._next_msg_id = 0
+        #: Build-time link distributions, keyed ``(a, b)`` with a < b —
+        #: the restore point for degrade/recover interventions.
+        self._built_rates: dict[tuple[str, str], Normal] = {}
+        #: Price per endpoint log id, fixed at subscribe time (what the
+        #: metrics layer bills for that endpoint's valid deliveries);
+        #: lets the windowed time-series fold earnings without a join.
+        self._endpoint_price: list[float] = []
+        # Publication log (msg_id is the dense index): publish times and
+        # interested-population sizes, for windowed time-series analysis.
+        self._pub_time = GrowableArray(np.float64)
+        self._pub_interested = GrowableArray(np.int64)
 
         self._build_brokers()
         self._wire_links()
@@ -203,10 +223,15 @@ class PubSubSystem:
 
     def _wire_links(self) -> None:
         for a, b, rate in self.topology.links():
+            self._built_rates[(a, b)] = rate
             for src, dst in ((a, b), (b, a)):
                 rng = self.streams.get(f"link:{src}->{dst}")
                 link = DirectedLink(src, dst, rate, rng)
-                monitor = LinkMonitor(link, mode=self.config.measurement_mode)
+                monitor = LinkMonitor(
+                    link,
+                    mode=self.config.measurement_mode,
+                    estimator_factory=ESTIMATOR_FACTORIES[self.config.link_estimator],
+                )
                 self.monitors[(src, dst)] = monitor
                 self.brokers[src].add_neighbor(
                     dst, link, monitor, self._make_deliver(dst)
@@ -267,6 +292,12 @@ class PubSubSystem:
         publisher-hosting broker to the subscriber's edge broker; each row
         records the set of source brokers that route through it.  With
         multi-path routing, one row per (path, broker) is installed.
+
+        Subscribing mid-run (churn waves, flash crowds) is supported: the
+        rows carry the current message-id watermark, so the subscriber
+        sees exactly the messages published after it joined — never an
+        in-flight older message, which would break the ``ds_i <= ts_i``
+        accounting invariant.
         """
         name = subscription.subscriber
         if name in self._subscriptions:
@@ -284,6 +315,12 @@ class PubSubSystem:
         self._population.add(name, subscription.filter)
         handle = SubscriberHandle(name, log=self.delivery_log)
         self.subscribers[name] = handle
+        # Endpoint ids are handed out sequentially and only here, so the
+        # price list stays index-aligned with the shared delivery log.
+        assert handle.log_id == len(self._endpoint_price)
+        self._endpoint_price.append(
+            subscription.price if subscription.price is not None else 1.0
+        )
         self._patch_endpoint_ids(name, handle.log_id)
         return handle
 
@@ -304,6 +341,7 @@ class PubSubSystem:
                     nn=entry.nn,
                     rate=entry.rate if entry.next_hop is not None else Normal(0.0, 0.0),
                     sources=frozenset(sources),
+                    min_msg_id=self._next_msg_id,
                 )
             )
 
@@ -331,6 +369,7 @@ class PubSubSystem:
                             rate=path_distribution(self.topology, suffix),
                             sources=frozenset({source}),
                             path_id=path_id,
+                            min_msg_id=self._next_msg_id,
                         )
                     )
                 path_id += 1
@@ -388,14 +427,67 @@ class PubSubSystem:
         self._next_msg_id += 1
         interested = len(self._population.match(message.attributes))
         self.metrics.on_publish(message.msg_id, interested)
+        self._pub_time.append(message.publish_time)
+        self._pub_interested.append(interested)
         self.brokers[source].receive(message)
         return message
+
+    # ------------------------------------------------------------------ #
+    # Runtime interventions (the dynamics subsystem's write API).
+    # ------------------------------------------------------------------ #
+    def set_link_rate(self, a: str, b: str, rate: Normal) -> None:
+        """Change a link's true rate at runtime — real failure injection.
+
+        Propagates through every layer that holds the distribution: the
+        static topology, both live :class:`DirectedLink` directions (the
+        next transmission samples the new rate) and, via the links' rate
+        listeners, the :class:`LinkMonitor` pinned ORACLE caches.
+        ESTIMATED monitors are deliberately *not* told: they keep
+        measuring and adapt at their estimator's pace.  Cached sink trees
+        are dropped so later subscriptions route on current rates;
+        already-installed rows keep their build-time routes (routing is
+        static per subscription, as in the paper).
+        """
+        if (min(a, b), max(a, b)) not in self._built_rates:
+            raise TopologyError(f"no link {a!r}-{b!r}")
+        self.topology.set_link_rate(a, b, rate)
+        for src, dst in ((a, b), (b, a)):
+            self.monitors[(src, dst)].link.set_true_rate(rate)
+        self._sink_trees.clear()
+
+    def degrade_link(self, a: str, b: str, factor: float) -> None:
+        """Slow link ``a–b`` by ``factor`` relative to its *build-time*
+        rate (mean and std scale linearly; rates are ms/KB, so factor > 1
+        degrades).  Repeated degrades therefore don't compound."""
+        if factor <= 0.0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        base = self.built_link_rate(a, b)
+        self.set_link_rate(a, b, Normal(base.mean * factor, base.variance * factor * factor))
+
+    def recover_link(self, a: str, b: str) -> None:
+        """Restore link ``a–b`` to its build-time distribution."""
+        self.set_link_rate(a, b, self.built_link_rate(a, b))
+
+    def built_link_rate(self, a: str, b: str) -> Normal:
+        """The distribution link ``a–b`` was built with."""
+        try:
+            return self._built_rates[(min(a, b), max(a, b))]
+        except KeyError:
+            raise TopologyError(f"no link {a!r}-{b!r}") from None
 
     # ------------------------------------------------------------------ #
     # Introspection.
     # ------------------------------------------------------------------ #
     def total_queued(self) -> int:
         return sum(b.queued_entries() for b in self.brokers.values())
+
+    def publication_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(publish_time, interested)`` arrays indexed by msg_id."""
+        return self._pub_time.view().copy(), self._pub_interested.view().copy()
+
+    def endpoint_prices(self) -> np.ndarray:
+        """Price per delivery-log endpoint id (1.0 where unpriced)."""
+        return np.asarray(self._endpoint_price, dtype=np.float64)
 
     def routing_path(self, source_broker: str, subscriber: str) -> list[str]:
         """The single path a message from ``source_broker`` takes to reach

@@ -7,8 +7,9 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy
-from repro.network.measurement import MeasurementMode
+from repro.network.measurement import ESTIMATOR_FACTORIES, MeasurementMode
 from repro.network.topology import LayeredMeshSpec
+from repro.workload.dynamics import ScenarioScript
 from repro.workload.generator import ArrivalProcess
 from repro.workload.scenarios import Scenario
 
@@ -48,6 +49,14 @@ class SimulationConfig:
     queue_validate: bool = False  # cross-check every queue decision (slow)
     matcher_backend: str = "vector"  # "oracle" forces the dict counting matcher
     metrics_backend: str = "ledger"  # "scalar" forces the per-delivery oracle collector
+    #: Scripted runtime interventions (rate bursts, link degradation,
+    #: churn waves, flash crowds).  The default empty script reproduces
+    #: the paper's frozen world byte-for-byte.
+    dynamics: ScenarioScript = field(default_factory=ScenarioScript)
+    #: Estimator behind ``MeasurementMode.ESTIMATED`` monitors: "welford"
+    #: (full history, the stationary-link default), "window" or "ewma"
+    #: (forgetting — they track runtime rate changes).
+    link_estimator: str = "welford"
 
     def __post_init__(self) -> None:
         if self.publishing_rate_per_min < 0.0:
@@ -56,6 +65,11 @@ class SimulationConfig:
             raise ValueError("duration_ms must be positive")
         if self.grace_ms < 0.0:
             raise ValueError("grace_ms must be non-negative")
+        if self.link_estimator not in ESTIMATOR_FACTORIES:
+            raise ValueError(
+                f"link_estimator must be one of {sorted(ESTIMATOR_FACTORIES)}, "
+                f"got {self.link_estimator!r}"
+            )
 
     def replace(self, **changes: Any) -> "SimulationConfig":
         """A copy with the given fields changed (configs are frozen)."""

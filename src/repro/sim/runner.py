@@ -16,7 +16,8 @@ from repro.network.topology import Topology, build_layered_mesh
 from repro.pubsub.system import PubSubSystem, RoutingMode, SystemConfig
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimulationResult
-from repro.workload.generator import generate_publications
+from repro.workload.dynamics import DynamicsDriver
+from repro.workload.generator import generate_publications_piecewise
 from repro.workload.scenarios import build_subscriptions
 
 
@@ -51,6 +52,7 @@ def build_system(
             queue_validate=config.queue_validate,
             matcher_backend=config.matcher_backend,
             metrics_backend=config.metrics_backend,
+            link_estimator=config.link_estimator,
         ),
     )
     system.subscribe_all(
@@ -60,12 +62,22 @@ def build_system(
 
 
 def schedule_workload(system: PubSubSystem, config: SimulationConfig) -> int:
-    """Schedule every publication as a simulator event; returns the count."""
+    """Schedule every publication as a simulator event; returns the count.
+
+    The schedule follows the config's dynamics script: rate bursts become
+    segments of the piecewise arrival process.  An empty script compiles
+    to the single homogeneous segment, whose draws are byte-identical to
+    the historic generator.
+    """
+    if config.publishing_rate_per_min == 0.0:
+        return 0
     streams = system.streams
-    publications = generate_publications(
+    publications = generate_publications_piecewise(
         streams.get("workload"),
         publishers=sorted(system.topology.publisher_brokers),
-        rate_per_minute=config.publishing_rate_per_min,
+        segments=config.dynamics.rate_segments(
+            config.publishing_rate_per_min, config.duration_ms
+        ),
         duration_ms=config.duration_ms,
         scenario=config.scenario,
         size_kb=config.message_size_kb,
@@ -85,6 +97,20 @@ def schedule_workload(system: PubSubSystem, config: SimulationConfig) -> int:
     return len(publications)
 
 
+def schedule_dynamics(system: PubSubSystem, config: SimulationConfig) -> DynamicsDriver | None:
+    """Compile the script's timed interventions into DES events.
+
+    Returns the driver (for introspection), or None for a script with no
+    timed interventions — in which case nothing was created or touched,
+    not even the ``"dynamics"`` RNG stream.
+    """
+    if not config.dynamics.timed:
+        return None
+    driver = DynamicsDriver(system, scenario=config.scenario)
+    driver.schedule(config.dynamics)
+    return driver
+
+
 def run_simulation(
     config: SimulationConfig,
     topology: Topology | None = None,
@@ -92,6 +118,7 @@ def run_simulation(
     """Run one experiment point to completion and collect the metrics."""
     system = build_system(config, topology)
     schedule_workload(system, config)
+    schedule_dynamics(system, config)
     executed = system.sim.run(until=config.horizon_ms)
     return SimulationResult.from_metrics(
         system.metrics,

@@ -12,7 +12,23 @@ Section 6.1 of the paper:
   for a 2-hour test period; messages are 50 KB.
 """
 
-from repro.workload.generator import ArrivalProcess, Publication, generate_publications
+from repro.workload.dynamics import (
+    PRESETS,
+    ChurnWave,
+    DynamicsDriver,
+    FlashCrowd,
+    LinkDegrade,
+    LinkRecover,
+    RateBurst,
+    ScenarioScript,
+)
+from repro.workload.generator import (
+    ArrivalProcess,
+    Publication,
+    RateSegment,
+    generate_publications,
+    generate_publications_piecewise,
+)
 from repro.workload.scenarios import (
     SSD_PRICE_BY_DEADLINE_MS,
     Scenario,
@@ -24,7 +40,17 @@ from repro.workload.subscriptions import random_conjunctive_filter
 __all__ = [
     "Publication",
     "ArrivalProcess",
+    "RateSegment",
     "generate_publications",
+    "generate_publications_piecewise",
+    "ScenarioScript",
+    "RateBurst",
+    "LinkDegrade",
+    "LinkRecover",
+    "ChurnWave",
+    "FlashCrowd",
+    "DynamicsDriver",
+    "PRESETS",
     "Scenario",
     "build_subscriptions",
     "draw_message_deadline_ms",

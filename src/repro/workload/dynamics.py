@@ -1,0 +1,355 @@
+"""Scripted runtime dynamics: typed, timed interventions.
+
+The paper's evaluation runs every experiment against a frozen world —
+subscriptions installed before t=0, one constant publishing rate, link
+distributions fixed for the whole test period.  A
+:class:`ScenarioScript` breaks that freeze declaratively: it is an
+ordered set of interventions, each a small frozen dataclass with a firing
+time, compiled at build time into
+
+* **rate segments** for the piecewise arrival process
+  (:class:`RateBurst` — see
+  :func:`repro.workload.generator.generate_publications_piecewise`), and
+* **DES events** applied to the live system mid-run (everything else):
+  :class:`LinkDegrade` / :class:`LinkRecover` rescale a link's true rate
+  through the system's intervention API (monitors follow — pinned ORACLE
+  caches invalidate, ESTIMATED estimators measure their way to the new
+  rate), :class:`ChurnWave` unsubscribes/resubscribes batches of
+  subscribers, and :class:`FlashCrowd` attaches a burst of new
+  broad-filter subscribers.
+
+An empty script compiles to a single rate segment and zero events, which
+is byte-identical to the historic frozen-world run.  All randomness used
+by interventions comes from the dedicated ``"dynamics"`` RNG stream, so
+scripts never perturb the workload/topology/subscription draws of the
+paired comparison.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence, Union
+
+from repro.pubsub.filters import Predicate
+from repro.pubsub.subscription import Subscription
+from repro.workload.generator import RateSegment
+from repro.workload.scenarios import SSD_PRICE_BY_DEADLINE_MS, Scenario
+from repro.workload.subscriptions import random_conjunctive_filter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.topology import Topology
+    from repro.pubsub.system import PubSubSystem
+
+
+@dataclass(frozen=True, slots=True)
+class RateBurst:
+    """Multiply every publisher's rate by ``multiplier`` over a window.
+
+    Overlapping bursts compose multiplicatively; a multiplier of 0
+    silences publishers for the window (arrival phase freezes).
+    """
+
+    start_ms: float
+    end_ms: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0.0:
+            raise ValueError(f"start_ms must be non-negative, got {self.start_ms}")
+        if self.end_ms <= self.start_ms:
+            raise ValueError(f"end_ms {self.end_ms} must be after start_ms {self.start_ms}")
+        if self.multiplier < 0.0:
+            raise ValueError(f"multiplier must be non-negative, got {self.multiplier}")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkDegrade:
+    """At ``at_ms``, slow link ``a–b`` down by ``factor`` (mean and std of
+    the true per-KB rate scale by ``factor``; rates are ms/KB, so
+    ``factor > 1`` degrades).  Relative to the build-time distribution,
+    not the current one — repeated degrades don't compound."""
+
+    at_ms: float
+    a: str
+    b: str
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be non-negative, got {self.at_ms}")
+        if self.factor <= 0.0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkRecover:
+    """At ``at_ms``, restore link ``a–b`` to its build-time distribution."""
+
+    at_ms: float
+    a: str
+    b: str
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be non-negative, got {self.at_ms}")
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnWave:
+    """At ``at_ms``, ``leave`` random existing subscribers unsubscribe and
+    ``join`` fresh random-filter subscribers subscribe (attached round-robin
+    to the edge brokers that already host subscribers)."""
+
+    at_ms: float
+    leave: int = 0
+    join: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be non-negative, got {self.at_ms}")
+        if self.leave < 0 or self.join < 0:
+            raise ValueError("leave/join must be non-negative")
+        if self.leave == 0 and self.join == 0:
+            raise ValueError("churn wave must move at least one subscriber")
+
+
+@dataclass(frozen=True, slots=True)
+class FlashCrowd:
+    """At ``at_ms``, ``count`` new *broad-filter* (match-everything)
+    subscribers arrive — at ``broker``, or spread round-robin over the
+    subscriber-hosting edge brokers when ``broker`` is None."""
+
+    at_ms: float
+    count: int
+    broker: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be non-negative, got {self.at_ms}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+
+Intervention = Union[RateBurst, LinkDegrade, LinkRecover, ChurnWave, FlashCrowd]
+
+#: Interventions applied as DES events (everything but rate shaping).
+_TIMED_TYPES = (LinkDegrade, LinkRecover, ChurnWave, FlashCrowd)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioScript:
+    """A declarative, ordered set of runtime interventions.
+
+    The default (empty) script reproduces the frozen world exactly: one
+    rate segment, zero scheduled events.
+    """
+
+    interventions: tuple[Intervention, ...] = ()
+
+    def __post_init__(self) -> None:
+        for item in self.interventions:
+            if not isinstance(item, (RateBurst, *_TIMED_TYPES)):
+                raise TypeError(f"not an intervention: {item!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.interventions)
+
+    @property
+    def rate_bursts(self) -> tuple[RateBurst, ...]:
+        return tuple(i for i in self.interventions if isinstance(i, RateBurst))
+
+    @property
+    def timed(self) -> tuple[Intervention, ...]:
+        """Event-applied interventions, sorted by firing time (stable)."""
+        return tuple(
+            sorted(
+                (i for i in self.interventions if isinstance(i, _TIMED_TYPES)),
+                key=lambda i: i.at_ms,
+            )
+        )
+
+    def rate_segments(self, base_rate_per_minute: float, duration_ms: float) -> list[RateSegment]:
+        """Compile the bursts into contiguous segments over ``[0, duration)``.
+
+        Burst windows clip to the duration; overlaps multiply.  With no
+        bursts the result is the single homogeneous segment.
+        """
+        if duration_ms <= 0.0:
+            raise ValueError("duration_ms must be positive")
+        bursts = [b for b in self.rate_bursts if b.start_ms < duration_ms]
+        if not bursts:
+            return [RateSegment(0.0, duration_ms, base_rate_per_minute)]
+        edges = {0.0, duration_ms}
+        for b in bursts:
+            edges.add(b.start_ms)
+            edges.add(min(b.end_ms, duration_ms))
+        cuts = sorted(edges)
+        out = []
+        for lo, hi in zip(cuts, cuts[1:]):
+            rate = base_rate_per_minute
+            for b in bursts:
+                if b.start_ms <= lo and hi <= b.end_ms:
+                    rate *= b.multiplier
+            out.append(RateSegment(lo, hi, rate))
+        return out
+
+
+# ---------------------------------------------------------------------- #
+# Applying a script to a live system.
+# ---------------------------------------------------------------------- #
+class DynamicsDriver:
+    """Applies a script's timed interventions to a running system.
+
+    One driver per run: it owns the ``"dynamics"`` RNG stream, the naming
+    counter for dynamically created subscribers (``D1, D2, ...``) and the
+    scenario-consistent subscription construction (SSD/HYBRID draws a
+    (deadline, price) tier exactly like the static population does).
+    """
+
+    def __init__(
+        self,
+        system: "PubSubSystem",
+        scenario: Scenario,
+        attributes: Sequence[str] = ("A1", "A2"),
+        value_range: tuple[float, float] = (0.0, 10.0),
+        price_table: dict[float, float] | None = None,
+    ) -> None:
+        self.system = system
+        self.scenario = scenario
+        self.attributes = tuple(attributes)
+        self.value_range = value_range
+        self.price_table = dict(price_table or SSD_PRICE_BY_DEADLINE_MS)
+        self._rng = system.streams.get("dynamics")
+        self._names = (f"D{i}" for i in itertools.count(1))
+        self.applied = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling.
+    # ------------------------------------------------------------------ #
+    def schedule(self, script: ScenarioScript) -> int:
+        """Schedule every timed intervention as a DES event; returns the
+        count (0 for an empty script — nothing is touched)."""
+        count = 0
+        for item in script.timed:
+            self.system.sim.schedule_at(item.at_ms, self._applier(item))
+            count += 1
+        return count
+
+    def _applier(self, item: Intervention) -> Callable[[], None]:
+        def apply() -> None:
+            self.apply(item)
+
+        return apply
+
+    # ------------------------------------------------------------------ #
+    # Application.
+    # ------------------------------------------------------------------ #
+    def apply(self, item: Intervention) -> None:
+        """Apply one intervention to the live system now."""
+        if isinstance(item, LinkDegrade):
+            self.system.degrade_link(item.a, item.b, item.factor)
+        elif isinstance(item, LinkRecover):
+            self.system.recover_link(item.a, item.b)
+        elif isinstance(item, ChurnWave):
+            self._churn(item)
+        elif isinstance(item, FlashCrowd):
+            self._flash_crowd(item)
+        else:
+            raise TypeError(f"not a timed intervention: {item!r}")
+        self.applied += 1
+
+    def _edge_brokers(self) -> list[str]:
+        edges = sorted(set(self.system.topology.subscriber_brokers.values()))
+        if not edges:
+            raise ValueError("no subscriber-hosting edge brokers to attach to")
+        return edges
+
+    def _subscribe(self, name: str, broker: str, filt) -> None:
+        system = self.system
+        system.topology.attach_subscriber(name, broker)
+        if self.scenario.subscriptions_carry_deadlines:
+            deadlines = sorted(self.price_table)
+            dl = deadlines[int(self._rng.integers(0, len(deadlines)))]
+            sub = Subscription(name, filt, deadline_ms=dl, price=self.price_table[dl])
+        else:
+            sub = Subscription(name, filt)
+        system.subscribe(sub)
+
+    def _churn(self, wave: ChurnWave) -> None:
+        system = self.system
+        current = sorted(system.subscribers)
+        leave = min(wave.leave, len(current))
+        if leave:
+            idx = self._rng.choice(len(current), size=leave, replace=False)
+            for i in sorted(int(i) for i in idx):
+                system.unsubscribe(current[i])
+        if wave.join:
+            edges = self._edge_brokers()
+            for k in range(wave.join):
+                filt = random_conjunctive_filter(self._rng, self.attributes, self.value_range)
+                self._subscribe(next(self._names), edges[k % len(edges)], filt)
+
+    def _flash_crowd(self, crowd: FlashCrowd) -> None:
+        lo, hi = self.value_range
+        # Matches every message: attribute values are drawn strictly
+        # inside the open range, so "< hi + span" can never exclude one.
+        broad = Predicate(self.attributes[0], "<", hi + (hi - lo))
+        edges = [crowd.broker] if crowd.broker is not None else self._edge_brokers()
+        for k in range(crowd.count):
+            self._subscribe(next(self._names), edges[k % len(edges)], broad)
+
+
+# ---------------------------------------------------------------------- #
+# Preset scripts.
+# ---------------------------------------------------------------------- #
+def diurnal(topology: "Topology", duration_ms: float) -> ScenarioScript:
+    """A day-shaped load curve: quiet start, midday double-rate peak,
+    evening cool-down — four equal phases at 0.5x / 1x / 2x / 1x."""
+    q = duration_ms / 4.0
+    return ScenarioScript((
+        RateBurst(0.0, q, 0.5),
+        RateBurst(2.0 * q, 3.0 * q, 2.0),
+    ))
+
+
+def flash_crowd(topology: "Topology", duration_ms: float) -> ScenarioScript:
+    """A breaking-news moment 30% in: 40 broad-filter subscribers arrive
+    and publishers double their rate for the middle third; at 80% a
+    20-subscriber churn wave (uniform over the whole population, crowd
+    and regulars alike) thins the audience back down."""
+    return ScenarioScript((
+        FlashCrowd(at_ms=0.3 * duration_ms, count=40),
+        RateBurst(0.3 * duration_ms, 0.6 * duration_ms, 2.0),
+        ChurnWave(at_ms=0.8 * duration_ms, leave=20),
+    ))
+
+
+def degrade_worst_link(topology: "Topology", duration_ms: float) -> ScenarioScript:
+    """Degrade the overlay's most load-bearing link 4x for the middle half
+    of the run.  Min-mean-TR routing concentrates paths on the *fastest*
+    link, so the lowest-mean link is where degradation hurts most."""
+    a, b, _ = min(topology.links(), key=lambda t: t[2].mean)
+    return ScenarioScript((
+        LinkDegrade(at_ms=0.25 * duration_ms, a=a, b=b, factor=4.0),
+        LinkRecover(at_ms=0.75 * duration_ms, a=a, b=b),
+    ))
+
+
+def churn_burst(topology: "Topology", duration_ms: float) -> ScenarioScript:
+    """The bench scenario: a 3x rate burst through the middle half with a
+    churn wave (30 leave, 30 join) at its onset and another at its end."""
+    return ScenarioScript((
+        RateBurst(0.25 * duration_ms, 0.75 * duration_ms, 3.0),
+        ChurnWave(at_ms=0.25 * duration_ms, leave=30, join=30),
+        ChurnWave(at_ms=0.75 * duration_ms, leave=30, join=30),
+    ))
+
+
+#: Named preset builders: ``(topology, duration_ms) -> ScenarioScript``.
+PRESETS: dict[str, Callable[["Topology", float], ScenarioScript]] = {
+    "diurnal": diurnal,
+    "flash-crowd": flash_crowd,
+    "degrade-worst-link": degrade_worst_link,
+    "churn-burst": churn_burst,
+}

@@ -5,11 +5,25 @@ certain rate", quantified as the average number of messages per minute.
 Three arrival processes are provided; **Poisson** is the default (matches
 "average rate" semantics and is the standard open-loop workload model),
 with deterministic and jittered-uniform alternatives for ablations.
+
+The core arrival process is **piecewise-rate**: the publication window is
+covered by segments, each with its own per-publisher rate, and gaps are
+drawn at the rate of the segment the publisher currently sits in.  A gap
+that crosses a segment boundary carries its residual *phase* (the drawn
+gap expressed in periods of the segment it was drawn in) into the next
+segment, rescaled by that segment's period — the classic time-rescaling
+construction of an inhomogeneous Poisson process, applied uniformly to
+all three gap distributions.  The homogeneous workload of the paper is
+the one-segment special case and is **byte-identical** to the historic
+homogeneous generator: with a single segment no boundary is ever crossed,
+so the draw expressions (and hence the RNG stream) are exactly the ones
+the old code used.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -38,6 +52,53 @@ class Publication:
     deadline_ms: float | None
 
 
+@dataclass(frozen=True, slots=True)
+class RateSegment:
+    """One constant-rate stretch of the publication window.
+
+    ``end_ms`` is exclusive; a rate of 0 silences publishers for the whole
+    segment (arrival phase freezes and resumes when the rate does).
+    """
+
+    start_ms: float
+    end_ms: float
+    rate_per_minute: float
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0.0:
+            raise ValueError(f"segment start must be non-negative, got {self.start_ms}")
+        if self.end_ms <= self.start_ms:
+            raise ValueError(
+                f"segment end {self.end_ms} must be after start {self.start_ms}"
+            )
+        if self.rate_per_minute < 0.0:
+            raise ValueError("rate_per_minute must be non-negative")
+
+    @property
+    def period_ms(self) -> float:
+        """Mean inter-arrival time in this segment (``inf`` when silent)."""
+        if self.rate_per_minute == 0.0:
+            return math.inf
+        return 60_000.0 / self.rate_per_minute
+
+
+def validate_segments(segments: Sequence[RateSegment], duration_ms: float) -> None:
+    """Segments must tile ``[0, duration_ms)`` contiguously, in order."""
+    if not segments:
+        raise ValueError("need at least one rate segment")
+    if segments[0].start_ms != 0.0:
+        raise ValueError(f"first segment must start at 0, got {segments[0].start_ms}")
+    for prev, cur in zip(segments, segments[1:]):
+        if cur.start_ms != prev.end_ms:
+            raise ValueError(
+                f"segments must be contiguous: {prev.end_ms} then {cur.start_ms}"
+            )
+    if segments[-1].end_ms < duration_ms:
+        raise ValueError(
+            f"segments end at {segments[-1].end_ms} before duration {duration_ms}"
+        )
+
+
 def generate_publications(
     rng: np.random.Generator,
     publishers: Sequence[str],
@@ -54,20 +115,60 @@ def generate_publications(
 
     ``rate_per_minute`` is per publisher (the paper's "publishing rate").
     A rate of 0 yields an empty schedule (the figures' leftmost points).
+    This is the homogeneous one-segment case of
+    :func:`generate_publications_piecewise`.
     """
     if rate_per_minute < 0.0:
         raise ValueError("rate_per_minute must be non-negative")
     if duration_ms <= 0.0:
         raise ValueError("duration_ms must be positive")
+    if rate_per_minute == 0.0 or not publishers:
+        if size_kb <= 0.0:
+            raise ValueError("size_kb must be positive")
+        return []
+    return generate_publications_piecewise(
+        rng,
+        publishers,
+        [RateSegment(0.0, duration_ms, rate_per_minute)],
+        duration_ms,
+        scenario,
+        size_kb=size_kb,
+        arrival=arrival,
+        attributes=attributes,
+        value_range=value_range,
+        deadline_range_ms=deadline_range_ms,
+    )
+
+
+def generate_publications_piecewise(
+    rng: np.random.Generator,
+    publishers: Sequence[str],
+    segments: Sequence[RateSegment],
+    duration_ms: float,
+    scenario: Scenario,
+    size_kb: float = 50.0,
+    arrival: ArrivalProcess = ArrivalProcess.POISSON,
+    attributes: Sequence[str] = ("A1", "A2"),
+    value_range: tuple[float, float] = (0.0, 10.0),
+    deadline_range_ms: tuple[float, float] = (10_000.0, 30_000.0),
+) -> list[Publication]:
+    """All publications of a piecewise-rate process in ``[0, duration_ms)``.
+
+    With one segment this is bit-for-bit the homogeneous generator: the
+    gap draws use the same expressions at the segment's period, and no
+    boundary crossing ever rescales a gap.
+    """
+    if duration_ms <= 0.0:
+        raise ValueError("duration_ms must be positive")
     if size_kb <= 0.0:
         raise ValueError("size_kb must be positive")
-    if rate_per_minute == 0.0 or not publishers:
+    validate_segments(segments, duration_ms)
+    if not publishers or all(s.rate_per_minute == 0.0 for s in segments):
         return []
 
-    period_ms = 60_000.0 / rate_per_minute
     out: list[Publication] = []
     for publisher in publishers:
-        t = _first_arrival(rng, period_ms, arrival)
+        t, seg = _advance(rng, 0.0, 0, segments, arrival, first=True)
         while t < duration_ms:
             out.append(
                 Publication(
@@ -78,9 +179,51 @@ def generate_publications(
                     deadline_ms=draw_message_deadline_ms(scenario, rng, deadline_range_ms),
                 )
             )
-            t += _gap(rng, period_ms, arrival)
+            t, seg = _advance(rng, t, seg, segments, arrival, first=False)
     out.sort(key=lambda p: (p.time_ms, p.publisher))
     return out
+
+
+def _advance(
+    rng: np.random.Generator,
+    t: float,
+    seg: int,
+    segments: Sequence[RateSegment],
+    arrival: ArrivalProcess,
+    first: bool,
+) -> tuple[float, int]:
+    """Next arrival time from ``t`` (inside segment ``seg``) onwards.
+
+    Draws one gap at the current segment's period, then walks boundaries
+    carrying the unconsumed phase (gap / period, unitless) into each later
+    segment.  Silent (rate-0) segments pass the phase through untouched.
+    Returns ``(inf, last_seg)`` once the phase cannot complete before the
+    final segment ends.
+    """
+    period = segments[seg].period_ms
+    draw = _first_arrival if first else _gap
+    if math.isinf(period):
+        # Silent segment: draw the gap in phase units (same RNG
+        # consumption as a period-scaled draw) and spend it later.
+        phase = draw(rng, 1.0, arrival)
+        target = math.inf
+    else:
+        # Finite rate: draw in milliseconds — the exact homogeneous
+        # expression, so the one-segment case never rescales.
+        target = t + draw(rng, period, arrival)
+        if target < segments[seg].end_ms or seg + 1 == len(segments):
+            return target, seg
+        phase = (target - segments[seg].end_ms) / period
+    while seg + 1 < len(segments):
+        seg += 1
+        period = segments[seg].period_ms
+        if math.isinf(period):
+            continue
+        target = segments[seg].start_ms + phase * period
+        if target < segments[seg].end_ms or seg + 1 == len(segments):
+            return target, seg
+        phase = (target - segments[seg].end_ms) / period
+    return math.inf, seg
 
 
 def _first_arrival(rng: np.random.Generator, period_ms: float, arrival: ArrivalProcess) -> float:

@@ -1,0 +1,147 @@
+"""Windowed time-series reductions: folds must equal the aggregates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import QueueDepthSampler, windowed_metrics
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_system, schedule_dynamics, schedule_workload
+from repro.workload.dynamics import ChurnWave, FlashCrowd, RateBurst, ScenarioScript
+from repro.workload.scenarios import Scenario
+
+
+def _run(config: SimulationConfig, window_ms: float, sample: bool = False):
+    system = build_system(config)
+    schedule_workload(system, config)
+    schedule_dynamics(system, config)
+    sampler = (
+        QueueDepthSampler(system, every_ms=window_ms / 4.0, horizon_ms=config.horizon_ms)
+        if sample
+        else None
+    )
+    system.sim.run(until=config.horizon_ms)
+    ts = windowed_metrics(system, window_ms, config.horizon_ms, queue_sampler=sampler)
+    return system, ts
+
+
+def _assert_folds(system, ts):
+    m = system.metrics
+    t = ts.totals()
+    assert t["published"] == m.published
+    assert t["total_interested"] == m.total_interested
+    assert t["deliveries_valid"] == m.deliveries_valid
+    assert t["deliveries_late"] == m.deliveries_late
+    assert t["earning"] == m.earning
+    assert t["delivery_rate"] == m.delivery_rate
+    assert float(ts.latency_sum_ms.sum()) == pytest.approx(m.latency_sum_ms, rel=1e-12)
+
+
+class TestFolds:
+    @pytest.mark.parametrize("strategy", ["fifo", "rl", "eb", "pc", "ebpc"])
+    @pytest.mark.parametrize("scenario", [Scenario.PSD, Scenario.SSD])
+    def test_frozen_world_folds_to_aggregates(self, strategy, scenario):
+        config = SimulationConfig(
+            seed=11, scenario=scenario, strategy=strategy,
+            publishing_rate_per_min=6.0, duration_ms=90_000.0,
+        )
+        system, ts = _run(config, window_ms=20_000.0)
+        _assert_folds(system, ts)
+
+    @pytest.mark.parametrize("backend", ["ledger", "scalar"])
+    def test_folds_match_both_metrics_backends(self, backend):
+        config = SimulationConfig(
+            seed=11, scenario=Scenario.SSD, strategy="eb",
+            publishing_rate_per_min=6.0, duration_ms=90_000.0,
+            metrics_backend=backend,
+        )
+        system, ts = _run(config, window_ms=20_000.0)
+        _assert_folds(system, ts)
+
+    def test_folds_under_churn_and_bursts(self):
+        script = ScenarioScript((
+            RateBurst(20_000.0, 60_000.0, 3.0),
+            ChurnWave(at_ms=25_000.0, leave=10, join=10),
+            FlashCrowd(at_ms=40_000.0, count=12),
+        ))
+        config = SimulationConfig(
+            seed=11, scenario=Scenario.SSD, strategy="ebpc",
+            publishing_rate_per_min=6.0, duration_ms=90_000.0, dynamics=script,
+        )
+        system, ts = _run(config, window_ms=20_000.0)
+        _assert_folds(system, ts)
+        system.metrics.check_invariants()
+
+    def test_folds_under_multipath_duplicates(self):
+        config = SimulationConfig(
+            seed=11, scenario=Scenario.SSD, strategy="eb",
+            publishing_rate_per_min=6.0, duration_ms=60_000.0, routing_paths=2,
+        )
+        system, ts = _run(config, window_ms=20_000.0)
+        # Duplicate arrivals must be settled first-arrival-wins, exactly
+        # like the metrics layer, or the fold double-counts.
+        assert system.metrics.duplicate_deliveries > 0
+        _assert_folds(system, ts)
+
+
+class TestSeriesShape:
+    def test_windows_cover_horizon(self):
+        config = SimulationConfig(
+            seed=2, strategy="fifo", publishing_rate_per_min=4.0, duration_ms=50_000.0,
+        )
+        system, ts = _run(config, window_ms=15_000.0)
+        assert ts.windows == int(np.ceil(config.horizon_ms / 15_000.0))
+        assert ts.edges[0] == 0.0
+        assert ts.edges[-1] == config.horizon_ms
+        assert ts.centers_ms.shape == (ts.windows,)
+        # Windowed rates are >= 0 but may exceed 1 transiently (deliveries
+        # bucket by arrival, interested by publish); the *fold* is in [0, 1].
+        assert (ts.delivery_rate >= 0.0).all()
+        assert 0.0 <= ts.totals()["delivery_rate"] <= 1.0
+
+    def test_burst_shows_up_in_published_series(self):
+        script = ScenarioScript((RateBurst(30_000.0, 60_000.0, 8.0),))
+        config = SimulationConfig(
+            seed=4, strategy="fifo", publishing_rate_per_min=6.0,
+            duration_ms=90_000.0, dynamics=script,
+        )
+        _, ts = _run(config, window_ms=30_000.0)
+        # Windows: [0,30) base, [30,60) 8x burst, [60,90) base, grace...
+        assert ts.published[1] > 3 * ts.published[0]
+        assert ts.published[1] > 3 * ts.published[2]
+
+    def test_queue_sampler_buckets(self):
+        config = SimulationConfig(
+            seed=2, strategy="eb", publishing_rate_per_min=10.0, duration_ms=60_000.0,
+        )
+        system, ts = _run(config, window_ms=20_000.0, sample=True)
+        assert ts.queue_depth_mean is not None
+        assert ts.queue_depth_max is not None
+        assert ts.queue_depth_mean.shape == (ts.windows,)
+        assert (ts.queue_depth_max >= ts.queue_depth_mean).all()
+        # Traffic flowed, so something was queued at some probe.
+        assert ts.queue_depth_max.max() > 0
+
+    def test_sampler_does_not_change_decisions(self):
+        config = SimulationConfig(
+            seed=7, strategy="ebpc", publishing_rate_per_min=8.0, duration_ms=60_000.0,
+        )
+        bare, ts_bare = _run(config, window_ms=20_000.0, sample=False)
+        probed, ts_probed = _run(config, window_ms=20_000.0, sample=True)
+        assert bare.metrics.deliveries_valid == probed.metrics.deliveries_valid
+        assert bare.metrics.earning == probed.metrics.earning
+        np.testing.assert_array_equal(ts_bare.deliveries_valid, ts_probed.deliveries_valid)
+        np.testing.assert_array_equal(ts_bare.earning, ts_probed.earning)
+
+    def test_validation(self):
+        config = SimulationConfig(
+            seed=2, strategy="fifo", publishing_rate_per_min=4.0, duration_ms=30_000.0,
+        )
+        system = build_system(config)
+        with pytest.raises(ValueError):
+            windowed_metrics(system, 0.0, 1000.0)
+        with pytest.raises(ValueError):
+            windowed_metrics(system, 100.0)  # clock still at 0
+        with pytest.raises(ValueError):
+            QueueDepthSampler(system, every_ms=0.0, horizon_ms=1000.0)

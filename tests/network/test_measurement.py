@@ -74,3 +74,70 @@ class TestEstimatedMode:
     def test_invalid_min_samples(self, rng):
         with pytest.raises(ValueError):
             LinkMonitor(make_link(rng), min_samples=0)
+
+
+class TestRuntimeRateChanges:
+    """Mid-run ``set_true_rate`` (the dynamics scripts' failure injection)."""
+
+    def test_oracle_pinned_cache_invalidates(self, rng):
+        link = make_link(rng)
+        monitor = LinkMonitor(link, mode=MeasurementMode.ORACLE)
+        assert monitor.rate() is TRUE  # pinned
+        degraded = Normal(240.0, 6400.0)
+        link.set_true_rate(degraded)
+        assert monitor.rate() is degraded  # repinned, not stale
+        assert monitor.estimation_error() == 0.0
+        link.set_true_rate(TRUE)
+        assert monitor.rate() is TRUE
+
+    def test_channel_samples_new_rate(self, rng):
+        link = DirectedLink("A", "B", Normal(10.0, 0.0), rng)
+        assert link.draw_transmission_time(1.0) == pytest.approx(10.0)
+        link.set_true_rate(Normal(40.0, 0.0))
+        assert link.draw_transmission_time(1.0) == pytest.approx(40.0)
+
+    def test_estimated_window_converges_to_new_rate(self, rng):
+        from repro.stats.estimators import SlidingWindowEstimator
+
+        link = DirectedLink("A", "B", Normal(50.0, 4.0), rng)
+        monitor = LinkMonitor(
+            link,
+            mode=MeasurementMode.ESTIMATED,
+            estimator_factory=lambda: SlidingWindowEstimator(window=64),
+        )
+        for _ in range(200):
+            link.draw_transmission_time(1.0)
+        assert monitor.rate().mean == pytest.approx(50.0, rel=0.05)
+        link.set_true_rate(Normal(150.0, 4.0))
+        for _ in range(200):
+            link.draw_transmission_time(1.0)
+        # The window slid fully past the old regime: the estimate tracks
+        # the *new* rate, not the old/new mixture.
+        assert monitor.rate().mean == pytest.approx(150.0, rel=0.05)
+
+    def test_estimated_cache_tracks_observation_count(self, rng):
+        link = DirectedLink("A", "B", Normal(50.0, 4.0), rng)
+        monitor = LinkMonitor(link, mode=MeasurementMode.ESTIMATED, min_samples=2)
+        for _ in range(5):
+            link.draw_transmission_time(1.0)
+        before = monitor.rate()
+        assert monitor.rate() is before  # count unchanged -> cached object
+        link.set_true_rate(Normal(500.0, 4.0))
+        # No new observation yet: the estimate (by design) can't know.
+        assert monitor.rate() is before
+        link.draw_transmission_time(1.0)
+        after = monitor.rate()
+        assert after is not before  # count moved -> cache refreshed
+        assert after.mean > before.mean  # and toward the new rate
+
+    def test_estimated_welford_drifts_toward_new_rate(self, rng):
+        link = DirectedLink("A", "B", Normal(50.0, 4.0), rng)
+        monitor = LinkMonitor(link, mode=MeasurementMode.ESTIMATED)
+        for _ in range(50):
+            link.draw_transmission_time(1.0)
+        before = monitor.rate().mean
+        link.set_true_rate(Normal(200.0, 4.0))
+        for _ in range(500):
+            link.draw_transmission_time(1.0)
+        after = monitor.rate().mean
+        assert after > before + 50.0  # full-history mean moves, slowly

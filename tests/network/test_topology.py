@@ -168,11 +168,23 @@ class TestOtherBuilders:
         assert topo.broker_count == 10
         assert topo.link_count == 9 + 5
         assert topo.is_connected()
+        assert topo.metadata["chords_requested"] == 5
+        assert topo.metadata["chords_added"] == 5
 
-    def test_random_mesh_caps_extra_links(self, rng):
-        topo = build_random_mesh(rng, broker_count=4, extra_links=100)
+    def test_random_mesh_caps_extra_links_and_warns(self, rng):
+        with pytest.warns(RuntimeWarning, match="added 3 of 100 requested"):
+            topo = build_random_mesh(rng, broker_count=4, extra_links=100)
         # Complete graph on 4 nodes has 6 edges.
         assert topo.link_count == 6
+        assert topo.metadata["chords_requested"] == 100
+        assert topo.metadata["chords_added"] == 3
+
+    def test_random_mesh_full_build_is_silent(self, rng):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            build_random_mesh(rng, broker_count=10, extra_links=5)
 
     def test_from_edges_with_attachments(self):
         topo = build_from_edges(

@@ -176,3 +176,52 @@ class TestNoDuplicateDelivery:
         # Path B1->B2->B4: three receptions, two transmissions.
         assert system.metrics.receptions == 3
         assert system.metrics.transmissions == 2
+
+
+class TestRuntimeLinkInterventions:
+    """The failure-injection path must reach *live* links, not just the
+    static topology description (the historic dead path)."""
+
+    def test_topology_mutation_alone_is_dead(self, line_topology):
+        system = make_system(line_topology)
+        old = system.monitors[("B1", "B2")].link.true_rate
+        line_topology.set_link_rate("B1", "B2", Normal(999.0, 1.0))
+        # Static layer changed, live channel did not — which is why the
+        # system-level API below exists.
+        assert system.monitors[("B1", "B2")].link.true_rate is old
+
+    def test_system_set_link_rate_reaches_every_layer(self, line_topology):
+        system = make_system(line_topology)
+        new = Normal(999.0, 1.0)
+        system.set_link_rate("B1", "B2", new)
+        assert system.topology.link_rate("B1", "B2") is new
+        assert system.monitors[("B1", "B2")].link.true_rate is new
+        assert system.monitors[("B2", "B1")].link.true_rate is new
+        # ORACLE monitors repin instantly.
+        assert system.monitors[("B1", "B2")].rate() is new
+        assert system.monitors[("B2", "B1")].rate() is new
+
+    def test_set_link_rate_unknown_link_rejected(self, line_topology):
+        system = make_system(line_topology)
+        with pytest.raises(TopologyError):
+            system.set_link_rate("B1", "B3", Normal(1.0, 1.0))
+
+    def test_degrade_validates_factor(self, line_topology):
+        system = make_system(line_topology)
+        with pytest.raises(ValueError):
+            system.degrade_link("B1", "B2", 0.0)
+
+    def test_rate_change_invalidates_sink_tree_cache(self):
+        # Diamond: B1 -> {B2 fast | B3 slow} -> B4; routing prefers B2.
+        topo = make_diamond_topology(fast=Normal(10.0, 1.0), slow=Normal(50.0, 1.0))
+        topo.attach_publisher("P1", "B1")
+        topo.attach_subscriber("S1", "B4")
+        topo.attach_subscriber("S2", "B4")
+        system = make_system(topo)
+        system.subscribe(Subscription("S1", MATCH_ALL))
+        assert system.routing_path("B1", "S1") == ["B1", "B2", "B4"]
+        # Degrade the fast branch below the slow one: new subscriptions
+        # must route around it.
+        system.set_link_rate("B1", "B2", Normal(100.0, 1.0))
+        system.subscribe(Subscription("S2", MATCH_ALL))
+        assert system.routing_path("B1", "S2") == ["B1", "B3", "B4"]

@@ -30,6 +30,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--scenario", "xyz"])
 
+    def test_dynamics_defaults(self):
+        args = build_parser().parse_args(["dynamics"])
+        assert args.preset == "flash-crowd"
+        assert args.metric == "delivery-rate"
+        assert args.strategy is None  # -> all strategies
+
+    def test_dynamics_bad_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamics", "--preset", "nope"])
+
 
 class TestExecution:
     def test_tab1(self, capsys):
@@ -53,3 +63,20 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Fig 4(b)" in out
         assert "ebpc" in out
+
+    def test_dynamics_command(self, capsys):
+        assert main([
+            "dynamics", "--preset", "diurnal", "--minutes", "2", "--window", "30",
+            "--rate", "4", "--strategy", "fifo", "--strategy", "eb",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Dynamics [diurnal]" in out
+        assert "fifo" in out and "eb" in out
+        assert "legend:" in out  # ascii chart rendered
+
+    def test_dynamics_queue_metric(self, capsys):
+        assert main([
+            "dynamics", "--preset", "degrade-worst-link", "--metric", "queue-depth",
+            "--minutes", "2", "--window", "30", "--rate", "4", "--strategy", "fifo",
+        ]) == 0
+        assert "queue" in capsys.readouterr().out

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.workload.generator import ArrivalProcess, generate_publications
 from repro.workload.scenarios import Scenario
@@ -77,3 +79,125 @@ class TestSchedule:
             generate_publications(rng, ["P1"], 1.0, 0.0, Scenario.PSD)
         with pytest.raises(ValueError):
             generate_publications(rng, ["P1"], 1.0, 60_000.0, Scenario.PSD, size_kb=0.0)
+
+
+class TestPiecewise:
+    """The piecewise-rate arrival process (the dynamics scripts' engine)."""
+
+    def _seg(self, *triples):
+        from repro.workload.generator import RateSegment
+
+        return [RateSegment(a, b, r) for a, b, r in triples]
+
+    @given(
+        rate=st.floats(min_value=0.5, max_value=60.0),
+        duration_min=st.floats(min_value=0.5, max_value=30.0),
+        arrival=st.sampled_from(list(ArrivalProcess)),
+        scenario=st.sampled_from(list(Scenario)),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_segment_reduces_to_homogeneous(
+        self, rate, duration_min, arrival, scenario, seed
+    ):
+        from repro.workload.generator import generate_publications_piecewise
+
+        duration = duration_min * 60_000.0
+        homogeneous = generate_publications(
+            np.random.default_rng(seed), ["P1", "P2"], rate, duration, scenario,
+            arrival=arrival,
+        )
+        piecewise = generate_publications_piecewise(
+            np.random.default_rng(seed), ["P1", "P2"],
+            self._seg((0.0, duration, rate)), duration, scenario, arrival=arrival,
+        )
+        # Byte-identical, not merely statistically equal: same times, same
+        # attribute draws, same deadlines, in the same order.
+        assert piecewise == homogeneous
+
+    def test_per_segment_counts_match_expectation(self, rng):
+        from repro.workload.generator import generate_publications_piecewise
+
+        # 20 publishers x 10 minutes split 2/min then 20/min: expected
+        # counts 200 and 2000 per phase.
+        segs = self._seg((0.0, 300_000.0, 2.0), (300_000.0, 600_000.0, 20.0))
+        pubs = generate_publications_piecewise(
+            rng, [f"P{i}" for i in range(20)], segs, 600_000.0, Scenario.SSD,
+        )
+        first = sum(1 for p in pubs if p.time_ms < 300_000.0)
+        second = len(pubs) - first
+        assert first == pytest.approx(200, rel=0.25)
+        assert second == pytest.approx(2000, rel=0.1)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        arrival=st.sampled_from(list(ArrivalProcess)),
+        cut=st.floats(min_value=0.2, max_value=0.8),
+        r1=st.floats(min_value=0.0, max_value=30.0),
+        r2=st.floats(min_value=0.0, max_value=30.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_piecewise_wellformed(self, seed, arrival, cut, r1, r2):
+        from repro.workload.generator import generate_publications_piecewise
+
+        duration = 600_000.0
+        boundary = cut * duration
+        segs = self._seg((0.0, boundary, r1), (boundary, duration, r2))
+        pubs = generate_publications_piecewise(
+            np.random.default_rng(seed), ["P1", "P2"], segs, duration, Scenario.PSD,
+            arrival=arrival,
+        )
+        times = [p.time_ms for p in pubs]
+        assert times == sorted(times)
+        assert all(0.0 <= t < duration for t in times)
+        # Zero-rate segments are silent.
+        if r1 == 0.0:
+            assert all(t >= boundary for t in times)
+        if r2 == 0.0:
+            assert all(t < boundary for t in times)
+        if r1 == r2 == 0.0:
+            assert pubs == []
+
+    def test_zero_rate_gap_freezes_phase_for_fixed_arrival(self, rng):
+        from repro.workload.generator import generate_publications_piecewise
+
+        # 6/min fixed (10 s period) with a silent middle minute: arrivals
+        # resume at the boundary with the pre-gap phase intact.
+        segs = self._seg(
+            (0.0, 60_000.0, 6.0), (60_000.0, 120_000.0, 0.0), (120_000.0, 180_000.0, 6.0)
+        )
+        pubs = generate_publications_piecewise(
+            rng, ["P1"], segs, 180_000.0, Scenario.SSD, arrival=ArrivalProcess.FIXED,
+        )
+        times = [p.time_ms for p in pubs]
+        assert sum(1 for t in times if t < 60_000.0) == 6
+        assert not any(60_000.0 <= t < 120_000.0 for t in times)
+        assert sum(1 for t in times if t >= 120_000.0) == 6
+        # Phase carries over: offsets within the period repeat exactly.
+        assert (times[6] - 120_000.0) % 10_000.0 == pytest.approx(
+            times[0] % 10_000.0, abs=1e-6
+        )
+
+    def test_segment_validation(self, rng):
+        from repro.workload.generator import (
+            RateSegment,
+            generate_publications_piecewise,
+            validate_segments,
+        )
+
+        with pytest.raises(ValueError):
+            RateSegment(0.0, 0.0, 1.0)  # empty
+        with pytest.raises(ValueError):
+            RateSegment(0.0, 10.0, -1.0)  # negative rate
+        with pytest.raises(ValueError):
+            validate_segments([], 10.0)
+        with pytest.raises(ValueError):  # gap between segments
+            validate_segments(
+                [RateSegment(0.0, 5.0, 1.0), RateSegment(6.0, 10.0, 1.0)], 10.0
+            )
+        with pytest.raises(ValueError):  # doesn't start at 0
+            validate_segments([RateSegment(1.0, 10.0, 1.0)], 10.0)
+        with pytest.raises(ValueError):  # ends before the duration
+            generate_publications_piecewise(
+                rng, ["P1"], [RateSegment(0.0, 5.0, 1.0)], 10.0, Scenario.SSD
+            )
