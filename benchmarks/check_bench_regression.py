@@ -5,8 +5,10 @@ baseline (``benchmarks/bench_e2e_smoke_baseline.json``) and fails when
 any matching point's ``wall_s`` regressed by more than the tolerance
 (default 25 %).  Points are matched on (strategy, subscriptions,
 matcher_backend, metrics_backend, scenario); points present in only one
-file are reported but don't fail the guard, so adding a bench point
-doesn't require a lock-step baseline refresh.
+file — or points whose record shape doesn't carry a comparable key at
+all (a new scenario family, e.g. the ``scale`` RSS points) — are
+reported as notes but never fail the guard, so adding a bench point or
+scenario doesn't require a lock-step baseline refresh.
 
 Usage (CI runs exactly this)::
 
@@ -29,14 +31,38 @@ import sys
 from pathlib import Path
 
 
-def point_key(point: dict) -> tuple:
+def point_key(point: dict) -> tuple | None:
+    """Comparison key of a bench point, or None when the point does not
+    carry enough identity to be matched (a new scenario family whose
+    records use a different shape must degrade to a note, not a
+    ``KeyError`` that fails the whole guard)."""
+    if not isinstance(point, dict):
+        return None
+    strategy = point.get("strategy")
+    subscriptions = point.get("subscriptions")
+    if strategy is None or subscriptions is None:
+        return None
     return (
         point.get("scenario", "ssd"),
-        point["strategy"],
-        point["subscriptions"],
+        strategy,
+        subscriptions,
         point.get("matcher_backend", "vector"),
         point.get("metrics_backend", "ledger"),
     )
+
+
+def keyed_points(points: list, label: str) -> dict:
+    """Index comparable points; report the rest instead of crashing."""
+    out: dict = {}
+    for point in points:
+        key = point_key(point)
+        if key is None or not isinstance(point.get("wall_s"), (int, float)):
+            shown = point.get("scenario", "?") if isinstance(point, dict) else point
+            print(f"note: {label} point from scenario {shown!r} has no "
+                  f"comparable key/wall_s — not guarded")
+            continue
+        out[key] = point
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,8 +97,8 @@ def main(argv: list[str] | None = None) -> int:
               f"current {cur_shape}; re-run bench_e2e with matching flags")
         return 2
 
-    base_points = {point_key(p): p for p in baseline["points"]}
-    cur_points = {point_key(p): p for p in current["points"]}
+    base_points = keyed_points(baseline.get("points", []), "baseline")
+    cur_points = keyed_points(current.get("points", []), "current")
 
     failures: list[str] = []
     compared = 0
@@ -92,7 +118,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"{base['wall_s']:.3f}s +{args.tolerance:.0%}"
             )
     for key in sorted(set(cur_points) - set(base_points)):
-        print(f"note: new point {key} not in baseline (not guarded)")
+        print(f"note: new scenario/point {key} not in baseline (not guarded)")
 
     if compared == 0:
         print("error: no comparable points between baseline and current run")

@@ -13,6 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core.chunked import grouped_runs
 from repro.pubsub.message import Message
 from repro.pubsub.system import PubSubSystem
 
@@ -65,10 +68,27 @@ def calibrate(
     predicted = 0.0
     pairs = 0
     delivered = 0
-    received: dict[str, set[int]] = {}
-    for name, handle in system.subscribers.items():
-        msg, _, _, valid = handle.columns()
-        received[name] = set(msg[valid].tolist())
+    # Valid-reception sets built in ONE streaming pass over the chunked
+    # delivery log (the old per-handle gathers scanned the whole log once
+    # per subscriber), vectorised: per-chunk (endpoint, message) keys are
+    # deduped in numpy and only the unique pairs — grouped by endpoint
+    # with one stable argsort — touch Python.  Endpoint ids translate
+    # back through the live handles; departed endpoints are skipped.
+    id_to_name = {h.log_id: name for name, h in system.subscribers.items()}
+    received: dict[str, set[int]] = {name: set() for name in system.subscribers}
+    endpoints = np.int64(max(system.delivery_log.endpoint_count, 1))
+    key_parts: list[np.ndarray] = []
+    for sub, msg, valid in system.delivery_log.iter_chunks(("sub_id", "msg_id", "valid")):
+        if valid.any():
+            key_parts.append(np.unique(msg[valid] * endpoints + sub[valid]))
+    if key_parts:
+        keys = np.unique(np.concatenate(key_parts)) if len(key_parts) > 1 else key_parts[0]
+        order, sub_sorted, starts, stops = grouped_runs(keys % endpoints)
+        msg_sorted = (keys // endpoints)[order]
+        for a, b in zip(starts.tolist(), stops.tolist()):
+            name = id_to_name.get(int(sub_sorted[a]))
+            if name is not None:
+                received[name] = set(msg_sorted[a:b].tolist())
     for message in messages:
         source = system.brokers[message.source_broker]
         for row in source.table.match(message):

@@ -35,6 +35,11 @@ def revenue_by_tier(system: PubSubSystem) -> list[TierRevenue]:
     Tiers are keyed by ``(price, deadline)``; unpriced subscriptions (PSD)
     fall into a single ``price=1.0`` tier, so the function is total over
     scenarios.  Sorted by descending price.
+
+    Per-endpoint valid counts come from the delivery log's cached
+    one-pass chunk-stream tallies, so the whole breakdown costs one log
+    pass plus O(subscribers) — no per-endpoint log scans, no whole-log
+    gather, spill-compatible.
     """
     buckets: dict[tuple[float, float | None], dict[str, float]] = {}
     for name, handle in system.subscribers.items():

@@ -2,9 +2,12 @@
 
 The paper reports one number per 2-hour run; under a dynamics script
 (load bursts, link degradation, churn) the *trajectory* is the result.
-This module buckets the run into fixed windows and computes, as pure
-vectorized reductions over the system's column arrays — no per-delivery
-Python —
+This module buckets the run into fixed windows and computes, as
+**streaming per-chunk reductions** over the system's chunked column
+stores — no per-delivery Python, no whole-log gather, O(chunk +
+settled-pair keys) memory even when the logs are spilled to disk (the
+cross-chunk first-arrival settlement keeps one int64 per pair, ~4x
+leaner than the 5-column rows it replaces holding) —
 
 * **published / interested** per window (by publish time, from the
   system's publication log),
@@ -28,6 +31,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro.core.chunked import sorted_contains
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pubsub.system import PubSubSystem
@@ -104,8 +109,53 @@ class MetricsTimeSeries:
 def _window_index(times: np.ndarray, window_ms: float, windows: int) -> np.ndarray:
     idx = (times / window_ms).astype(np.int64)
     # Events exactly at the horizon belong to the last window (run(until)
-    # executes them); clip also tolerates float edge jitter.
+    # executes them); clip also tolerates float edge jitter.  Events
+    # *beyond* the horizon must be masked out by the caller first — clip
+    # would silently fold them into the last window.
     return np.clip(idx, 0, windows - 1)
+
+
+class _SettledKeys:
+    """The cross-chunk pair-settlement state: a sorted-set of int keys
+    with amortised consolidation.
+
+    A consolidated sorted array plus a short list of sorted per-chunk
+    batches; novelty probes binary-search all of them, and batches fold
+    into the big array only when they rival it in size (or pile up) —
+    doubling-style, so the total sort work over a run is O(P log P) in
+    the settled-pair count instead of one full re-sort per chunk.
+    """
+
+    __slots__ = ("_seen", "_pending", "_pending_rows")
+
+    _MAX_PENDING = 16
+
+    def __init__(self) -> None:
+        self._seen = np.empty(0, dtype=np.int64)
+        self._pending: list[np.ndarray] = []
+        self._pending_rows = 0
+
+    def novel(self, uniq: np.ndarray) -> np.ndarray:
+        """Mask of ``uniq`` (sorted unique) keys not settled yet."""
+        mask = ~sorted_contains(self._seen, uniq)
+        for batch in self._pending:
+            mask &= ~sorted_contains(batch, uniq)
+        return mask
+
+    def add(self, fresh: np.ndarray) -> None:
+        """Record sorted keys known to be disjoint from the state."""
+        if not fresh.shape[0]:
+            return
+        self._pending.append(fresh)
+        self._pending_rows += fresh.shape[0]
+        if (
+            len(self._pending) >= self._MAX_PENDING
+            or self._pending_rows >= max(self._seen.shape[0], 1)
+        ):
+            self._seen = np.concatenate([self._seen, *self._pending])
+            self._seen.sort(kind="mergesort")  # disjoint parts: plain sort
+            self._pending.clear()
+            self._pending_rows = 0
 
 
 def windowed_metrics(
@@ -119,7 +169,18 @@ def windowed_metrics(
     ``horizon_ms`` defaults to the simulator clock (the run's end).  Pair
     settlement mirrors the metrics layer exactly: the first arrival of
     each (message, endpoint) pair decides valid/late, later duplicates
-    (multi-path routing) are ignored.
+    (multi-path routing) are ignored.  Events strictly beyond the horizon
+    are **excluded** (not clipped into the last window), so a truncated
+    horizon folds to the truncated aggregates.
+
+    The whole computation is a streaming reduction over the chunked
+    publication and delivery logs — per-chunk partial bincounts and
+    ``np.add.at`` into carried accumulators, with cross-chunk pair
+    settlement as a sorted-key merge — so peak memory is O(chunk +
+    settled pairs) even when the logs live on disk.  Counts and earnings
+    are exact in any chunking (integer-valued sums); carried ``add.at``
+    accumulation reproduces the whole-array bincount's addition order,
+    bit for bit, within each chunking.
     """
     if window_ms <= 0.0:
         raise ValueError("window_ms must be positive")
@@ -129,36 +190,56 @@ def windowed_metrics(
     windows = max(1, int(np.ceil(horizon / window_ms)))
     edges = np.minimum(np.arange(windows + 1, dtype=np.float64) * window_ms, horizon)
 
-    pub_time, interested = system.publication_columns()
     published = np.zeros(windows, dtype=np.int64)
-    interested_w = np.zeros(windows, dtype=np.int64)
-    if pub_time.shape[0]:
+    interested_f = np.zeros(windows, dtype=np.float64)
+    for pub_time, interested in system.publication_chunks():
+        inside = pub_time <= horizon
+        if not inside.all():
+            pub_time, interested = pub_time[inside], interested[inside]
+        if not pub_time.shape[0]:
+            continue
         w = _window_index(pub_time, window_ms, windows)
-        published = np.bincount(w, minlength=windows)
-        interested_w = np.bincount(w, weights=interested, minlength=windows).astype(np.int64)
+        published += np.bincount(w, minlength=windows)
+        np.add.at(interested_f, w, interested)
+    interested_w = interested_f.astype(np.int64)
 
-    sub, msg, time, latency, valid = system.delivery_log.columns()
     valid_w = np.zeros(windows, dtype=np.int64)
     late_w = np.zeros(windows, dtype=np.int64)
     earning_w = np.zeros(windows, dtype=np.float64)
     latency_w = np.zeros(windows, dtype=np.float64)
-    if sub.shape[0]:
-        # First-arrival-wins settlement: the log is append-ordered by
-        # simulated time, so the first occurrence of a (message, endpoint)
-        # key is the arrival the metrics layer settled.
-        keys = msg * np.int64(system.delivery_log.endpoint_count) + sub
-        _, first = np.unique(keys, return_index=True)
-        sub, time, latency, valid = sub[first], time[first], latency[first], valid[first]
-        w = _window_index(time, window_ms, windows)
-        valid_w = np.bincount(w[valid], minlength=windows)
-        late_w = np.bincount(w[~valid], minlength=windows)
-        prices = system.endpoint_prices()[sub]
-        earning_w = np.bincount(w[valid], weights=prices[valid], minlength=windows)
-        latency_w = np.bincount(w[valid], weights=latency[valid], minlength=windows)
+    prices = system.endpoint_prices()
+    endpoints = np.int64(max(system.delivery_log.endpoint_count, 1))
+    # Settled (message, endpoint) keys — the cross-chunk dedup state.
+    # First-arrival-wins: the log is append-ordered by simulated time,
+    # so the first occurrence of a key (earliest chunk, then np.unique's
+    # first index within it) is the arrival the metrics layer settled.
+    seen = _SettledKeys()
+    for sub, _msg, time, latency, valid in system.delivery_log.iter_chunks():
+        if not sub.shape[0]:
+            continue
+        keys = _msg * endpoints + sub
+        uniq, first = np.unique(keys, return_index=True)
+        novel = seen.novel(uniq)
+        if not novel.all():
+            uniq, first = uniq[novel], first[novel]
+        seen.add(uniq)
+        # Settlement happens wherever the first arrival lands; only the
+        # bucketing is horizon-masked, so a truncated horizon excludes
+        # out-of-horizon events instead of corrupting the last window.
+        inside = time[first] <= horizon
+        first = first[inside]
+        if not first.shape[0]:
+            continue
+        s, t, lat, v = sub[first], time[first], latency[first], valid[first]
+        w = _window_index(t, window_ms, windows)
+        valid_w += np.bincount(w[v], minlength=windows)
+        late_w += np.bincount(w[~v], minlength=windows)
+        np.add.at(earning_w, w[v], prices[s[v]])
+        np.add.at(latency_w, w[v], lat[v])
 
     depth_mean = depth_max = None
     if queue_sampler is not None:
-        depth_mean, depth_max = queue_sampler.bucketed(window_ms, windows)
+        depth_mean, depth_max = queue_sampler.bucketed(window_ms, windows, horizon_ms=horizon)
 
     return MetricsTimeSeries(
         window_ms=window_ms,
@@ -203,14 +284,25 @@ class QueueDepthSampler:
         if sim.now + self.every_ms <= self.horizon_ms:
             sim.schedule(self.every_ms, self._sample)
 
-    def bucketed(self, window_ms: float, windows: int) -> tuple[np.ndarray, np.ndarray]:
-        """(mean, max) depth per window; windows without probes hold 0."""
+    def bucketed(
+        self, window_ms: float, windows: int, horizon_ms: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(mean, max) depth per window; windows without probes hold 0.
+
+        Probes beyond ``horizon_ms`` (when given) are excluded rather
+        than clipped into the last window."""
         mean = np.zeros(windows)
         mx = np.zeros(windows)
         if not self.times:
             return mean, mx
-        w = _window_index(np.asarray(self.times), window_ms, windows)
+        times = np.asarray(self.times)
         depths = np.asarray(self.depths, dtype=np.float64)
+        if horizon_ms is not None:
+            inside = times <= horizon_ms
+            times, depths = times[inside], depths[inside]
+            if not times.shape[0]:
+                return mean, mx
+        w = _window_index(times, window_ms, windows)
         counts = np.bincount(w, minlength=windows)
         sums = np.bincount(w, weights=depths, minlength=windows)
         np.divide(sums, counts, out=mean, where=counts > 0)

@@ -10,6 +10,8 @@ Examples::
     python -m repro run --scenario ssd --strategy ebpc --r 0.6 --rate 12 --minutes 10
     python -m repro dynamics --preset flash-crowd --metric delivery-rate --minutes 10
     python -m repro dynamics --preset degrade-worst-link --metric queue-depth
+    python -m repro scale --size 100k --log-spill
+    python -m repro run --strategy eb --minutes 10 --log-spill --log-chunk 16384
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import argparse
 import sys
 import time
 
+from repro.core.chunked import DEFAULT_CHUNK_ROWS
 from repro.experiments import figure4, figure5, figure6, table1
 from repro.experiments.claims import format_report, run_all
 from repro.experiments.common import ScaleSpec
@@ -26,7 +29,7 @@ from repro.pubsub.matching import MATCHER_BACKENDS
 from repro.pubsub.metrics import METRICS_BACKENDS
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import run_simulation
-from repro.workload.scenarios import Scenario
+from repro.workload.scenarios import SCALE_SCENARIOS, Scenario
 
 _FIGURES = {
     "fig4a": figure4.run_panel_a,
@@ -138,7 +141,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", choices=list(METRICS_BACKENDS), default="ledger",
         help="accounting backend: array-backed ledger or per-delivery scalar oracle",
     )
+    _add_log_args(p)
+
+    p = sub.add_parser(
+        "scale",
+        help="run one bounded-memory scale-tier point (100k+ subscribers)",
+    )
+    p.add_argument(
+        "--size", choices=sorted(SCALE_SCENARIOS), default="100k",
+        help="scale-family member (smoke is CI-sized)",
+    )
+    p.add_argument("--strategy", default="eb", help="fifo | rl | eb | pc | ebpc")
+    p.add_argument("--rate", type=float, default=10.0, help="msgs/min/publisher")
+    p.add_argument("--minutes", type=float, default=2.0, help="simulated test period")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--window", type=float, default=30.0, help="series bucket (seconds)")
+    _add_log_args(p)
     return parser
+
+
+def _add_log_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-spill", action="store_true",
+        help="spill sealed delivery-/publication-log chunks to a temp .npz "
+             "ring; only the active chunk stays in RAM (decision-neutral)",
+    )
+    parser.add_argument(
+        "--log-chunk", type=_positive_int, default=DEFAULT_CHUNK_ROWS, metavar="ROWS",
+        help="rows per sealed log chunk (the spill granularity; "
+             f"default {DEFAULT_CHUNK_ROWS})",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -224,6 +256,8 @@ def main(argv: list[str] | None = None) -> int:
                 duration_ms=args.minutes * 60_000.0,
                 matcher_backend=args.matcher,
                 metrics_backend=args.metrics,
+                log_spill=args.log_spill,
+                log_chunk_rows=args.log_chunk,
             )
         )
         print(f"strategy          : {result.strategy}")
@@ -234,6 +268,33 @@ def main(argv: list[str] | None = None) -> int:
         print(f"message number    : {result.message_number}")
         print(f"pruned            : {result.pruned}")
         print(f"mean latency (ms) : {result.mean_latency_ms:.0f}")
+    elif args.command == "scale":
+        from repro.experiments.scale import run_scale_point
+
+        point = run_scale_point(
+            args.size,
+            strategy=args.strategy,
+            seed=args.seed,
+            rate_per_min=args.rate,
+            minutes=args.minutes,
+            spill=args.log_spill,
+            chunk_rows=args.log_chunk,
+            window_s=args.window,
+        )
+        print(f"scenario          : scale-{point.scenario}")
+        print(f"strategy          : {point.strategy}")
+        print(f"subscribers       : {point.subscribers}")
+        print(f"published         : {point.published}")
+        print(f"deliveries        : {point.deliveries}")
+        print(f"delivery rate     : {point.delivery_rate:.4f}")
+        print(f"total earning     : {point.earning:.1f}")
+        print(f"log rows          : {point.log_rows}")
+        print(f"spilled chunks    : {point.spilled_chunks}"
+              f" ({'spill on' if point.spill else 'in-memory'},"
+              f" {point.chunk_rows} rows/chunk)")
+        print(f"build / run / ana : {point.build_s:.1f}s / {point.run_s:.1f}s"
+              f" / {point.analysis_s:.1f}s")
+        print(f"peak RSS          : {point.peak_rss_kb / 1024.0:.0f} MiB")
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(2)
 

@@ -1,0 +1,276 @@
+"""Chunked columnar storage with optional on-disk spill.
+
+The columnar spine (PR 2/3) made append and reduction fast, but every
+row of every run still lived in RAM until process exit — fine at 20k
+subscribers, fatal at the roadmap's "millions of users" tier.  This
+module decomposes a column set into **fixed-size immutable chunks**:
+
+* the *active* chunk is a set of fixed-capacity
+  :class:`~repro.core.growable.GrowableArray` columns (one broadcast or
+  slice write per batch, never reallocating);
+* a full active chunk is **sealed** — its columns are detached
+  (zero-copy, marked read-only) and either kept in memory or, with
+  spill enabled, written to a numbered ``.npz`` file in a private temp
+  ring and dropped from RAM;
+* readers consume :meth:`ChunkedColumnStore.iter_chunks`, a streaming
+  pass that materialises **one chunk at a time** (loading only the
+  requested columns of spilled chunks), so any associative reduction —
+  partial bincounts, ``np.add.at`` into carried accumulators, sorted
+  key merges — runs in O(chunk) memory over an O(run) log.
+
+Chunk boundaries never reorder rows: concatenating the chunks of a
+store reproduces the exact append sequence, which is what makes the
+streaming reductions in :mod:`repro.analysis` decision- and
+byte-compatible with the old whole-array gathers.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import weakref
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.growable import GrowableArray
+
+#: Default rows per chunk: 64k rows x 5 delivery-log columns x 8 bytes is
+#: a ~2.5 MB working set — big enough to amortise seal overhead, small
+#: enough that the active chunk is cache-friendly.
+DEFAULT_CHUNK_ROWS = 65_536
+
+
+def sorted_contains(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``needles`` in a **sorted** ``haystack``.
+
+    The searchsorted-and-clamp idiom every chunk-streaming reduction
+    needs (cross-chunk dedup state probes, wanted-id filters); shared
+    here so the clamping subtlety lives in one place.  ``haystack`` must
+    be ascending (an empty haystack contains nothing); ``needles`` may
+    be in any order.
+    """
+    if haystack.shape[0] == 0:
+        return np.zeros(needles.shape[0], dtype=bool)
+    pos = np.minimum(np.searchsorted(haystack, needles), haystack.shape[0] - 1)
+    return haystack[pos] == needles
+
+
+def grouped_runs(ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stable group-by over an id array: ``(order, sorted_ids, starts,
+    stops)``.
+
+    ``order`` is a stable argsort (ties keep input order — for the
+    chunk-streaming reductions that means arrival order within each
+    group); group ``g`` covers ``order[starts[g]:stops[g]]`` and its id
+    is ``sorted_ids[starts[g]]``.  Shared by the per-chunk group-bys in
+    :mod:`repro.analysis` so the run-boundary arithmetic lives once.
+    """
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    if sorted_ids.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return order, sorted_ids, empty, empty  # no phantom zero-length group
+    bounds = np.flatnonzero(sorted_ids[1:] != sorted_ids[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), bounds))
+    stops = np.append(bounds, sorted_ids.shape[0])
+    return order, sorted_ids, starts, stops
+
+
+class _SealedChunk:
+    """One immutable chunk: column arrays in memory or an ``.npz`` path."""
+
+    __slots__ = ("rows", "arrays", "path")
+
+    def __init__(self, rows: int, arrays: dict[str, np.ndarray] | None, path: Path | None) -> None:
+        self.rows = rows
+        self.arrays = arrays
+        self.path = path
+
+    def load(self, names: Sequence[str]) -> tuple[np.ndarray, ...]:
+        if self.arrays is not None:
+            return tuple(self.arrays[n] for n in names)
+        with np.load(self.path, allow_pickle=False) as zf:  # type: ignore[arg-type]
+            # npz members load lazily per key: a reduction that needs two
+            # of five columns reads only those two from disk.
+            return tuple(zf[n] for n in names)
+
+
+class ChunkedColumnStore:
+    """Append-only named columns stored as fixed-size immutable chunks.
+
+    ``schema`` is a sequence of ``(name, dtype)`` pairs.  With
+    ``spill=False`` (the default) sealed chunks stay in memory and the
+    store behaves like the old growable columns, just pre-segmented;
+    with ``spill=True`` sealed chunks are written to a process-private
+    temp directory (``<prefix>-XXXX/chunk-NNNNNN.npz``) that is removed
+    when the store is garbage-collected or :meth:`close` is called.
+    """
+
+    __slots__ = (
+        "_names", "_dtypes", "_chunk_rows", "_spill", "_spill_dir",
+        "_active", "_sealed", "_rows_sealed", "_finalizer", "__weakref__",
+    )
+
+    def __init__(
+        self,
+        schema: Sequence[tuple[str, np.dtype]],
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        spill: bool = False,
+        spill_prefix: str = "repro-chunks",
+    ) -> None:
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        if not schema:
+            raise ValueError("schema must name at least one column")
+        self._names = tuple(name for name, _ in schema)
+        self._dtypes = tuple(np.dtype(dt) for _, dt in schema)
+        self._chunk_rows = chunk_rows
+        self._spill = spill
+        self._spill_dir: Path | None = None
+        self._finalizer = None
+        if spill:
+            tmp = tempfile.mkdtemp(prefix=f"{spill_prefix}-")
+            self._spill_dir = Path(tmp)
+            self._finalizer = weakref.finalize(self, _remove_tree, tmp)
+        self._active = self._fresh_active()
+        self._sealed: list[_SealedChunk] = []
+        self._rows_sealed = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection.
+    # ------------------------------------------------------------------ #
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def chunk_rows(self) -> int:
+        return self._chunk_rows
+
+    @property
+    def sealed_chunks(self) -> int:
+        return len(self._sealed)
+
+    @property
+    def spilled_chunks(self) -> int:
+        return sum(1 for c in self._sealed if c.path is not None)
+
+    @property
+    def spills(self) -> bool:
+        return self._spill
+
+    def __len__(self) -> int:
+        return self._rows_sealed + len(self._active[0])
+
+    # ------------------------------------------------------------------ #
+    # Appending.
+    # ------------------------------------------------------------------ #
+    def _fresh_active(self) -> tuple[GrowableArray, ...]:
+        return tuple(
+            GrowableArray(dt, capacity=self._chunk_rows) for dt in self._dtypes
+        )
+
+    def _seal_active(self) -> None:
+        arrays = {n: g.detach() for n, g in zip(self._names, self._active)}
+        rows = next(iter(arrays.values())).shape[0]
+        if self._spill_dir is not None:
+            if not self._spill_dir.exists():
+                # Recreate the ring after close() (or external cleanup):
+                # the store stays append-usable for its whole lifetime.
+                self._spill_dir.mkdir(parents=True, exist_ok=True)
+                self._finalizer = weakref.finalize(
+                    self, _remove_tree, str(self._spill_dir)
+                )
+            path = self._spill_dir / f"chunk-{len(self._sealed):06d}.npz"
+            np.savez(path, **arrays)
+            self._sealed.append(_SealedChunk(rows, None, path))
+        else:
+            self._sealed.append(_SealedChunk(rows, arrays, None))
+        self._rows_sealed += rows
+        self._active = self._fresh_active()
+
+    def append_row(self, *values) -> None:
+        """Append one row (scalar per column, schema order)."""
+        for g, v in zip(self._active, values):
+            g.append(v)
+        if len(self._active[0]) >= self._chunk_rows:
+            self._seal_active()
+
+    def append_batch(self, count: int, *columns) -> None:
+        """Append ``count`` rows; each column is a length-``count`` array
+        or a scalar (broadcast with one slice-fill per chunk segment).
+
+        Batches larger than the active chunk's remaining capacity are
+        split at chunk boundaries, preserving row order exactly.
+        """
+        if count <= 0:
+            return
+        offset = 0
+        while offset < count:
+            fill = len(self._active[0])
+            take = min(self._chunk_rows - fill, count - offset)
+            for g, col in zip(self._active, columns):
+                if isinstance(col, np.ndarray):
+                    g.extend(col[offset : offset + take])
+                else:
+                    g.extend_scalar(col, take)
+            offset += take
+            if len(self._active[0]) >= self._chunk_rows:
+                self._seal_active()
+
+    # ------------------------------------------------------------------ #
+    # Reading.
+    # ------------------------------------------------------------------ #
+    def iter_chunks(
+        self, names: Sequence[str] | None = None
+    ) -> Iterator[tuple[np.ndarray, ...]]:
+        """Stream the store's chunks in append order.
+
+        Yields one tuple of column arrays (in ``names`` order; all
+        columns by default) per sealed chunk, then the live prefix of
+        the active chunk.  Sealed arrays are immutable; the final active
+        tuple holds live views — consume each chunk before appending
+        again, and never mutate what is yielded.
+        """
+        cols = self._names if names is None else tuple(names)
+        for chunk in self._sealed:
+            yield chunk.load(cols)
+        if len(self._active[0]):
+            idx = {n: i for i, n in enumerate(self._names)}
+            yield tuple(self._active[idx[n]].view() for n in cols)
+
+    def gather(self, names: Sequence[str] | None = None) -> tuple[np.ndarray, ...]:
+        """Concatenate all chunks into whole-column copies.
+
+        The compatibility escape hatch: safe to hold (always a copy),
+        but materialises the full log — streaming reductions should use
+        :meth:`iter_chunks` instead.
+        """
+        cols = self._names if names is None else tuple(names)
+        parts: list[tuple[np.ndarray, ...]] = list(self.iter_chunks(cols))
+        if not parts:
+            idx = {n: i for i, n in enumerate(self._names)}
+            return tuple(np.empty(0, dtype=self._dtypes[idx[n]]) for n in cols)
+        return tuple(
+            np.concatenate([p[i] for p in parts]) if len(parts) > 1 else parts[0][i].copy()
+            for i in range(len(cols))
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle.
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop sealed chunks and remove the spill ring (idempotent)."""
+        self._sealed.clear()
+        self._rows_sealed = 0
+        self._active = self._fresh_active()
+        if self._finalizer is not None:
+            self._finalizer()
+
+
+def _remove_tree(path: str) -> None:
+    """Best-effort recursive removal of the spill ring directory."""
+    import shutil
+
+    shutil.rmtree(path, ignore_errors=True)

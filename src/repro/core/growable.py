@@ -53,9 +53,43 @@ class GrowableArray:
         self._data[self._n : self._n + k] = values
         self._n += k
 
+    def extend_scalar(self, value, count: int) -> None:
+        """Append ``count`` copies of one scalar with a single broadcast
+        slice-fill — no ``np.full`` temporary on the append hot path."""
+        if count <= 0:
+            return
+        self._reserve(count)
+        self._data[self._n : self._n + count] = value
+        self._n += count
+
+    @property
+    def capacity(self) -> int:
+        return self._data.shape[0]
+
     def view(self) -> np.ndarray:
-        """Zero-copy view of the live prefix (invalidated by growth)."""
+        """Zero-copy view of the live prefix.
+
+        Aliasing contract (pinned by ``tests/core/test_growable.py``): the
+        view shares the *current* buffer, so later appends that fit in
+        place are visible through it, while a reallocating grow detaches
+        it — the view keeps the old buffer and goes stale.  Holders that
+        need a stable snapshot must copy (or use :meth:`detach`).
+        """
         return self._data[: self._n]
+
+    def detach(self) -> np.ndarray:
+        """Seal and hand over the live prefix; the array resets to empty.
+
+        Zero-copy when the buffer is exactly full (the chunk-store case:
+        fixed-capacity columns sealed at capacity), otherwise the prefix
+        is copied out.  The returned array is marked read-only — it is an
+        immutable chunk from this moment on.
+        """
+        out = self._data if self._n == self._data.shape[0] else self._data[: self._n].copy()
+        out.setflags(write=False)
+        self._data = np.zeros(_INITIAL_CAPACITY, dtype=self._data.dtype)
+        self._n = 0
+        return out
 
     def at_least(self, size: int) -> np.ndarray:
         """View of the first ``max(size, len)`` slots, growing with zeros.

@@ -83,9 +83,22 @@ class EventHandle:
     def cancelled(self) -> bool:
         return self._event.cancelled
 
+    @property
+    def done(self) -> bool:
+        """Whether the event's action has already executed."""
+        return self._event.done
+
     def cancel(self) -> bool:
-        """Cancel the event; returns False if it was already cancelled."""
-        if self._event.cancelled:
+        """Cancel the event; returns False if it was already cancelled
+        **or already executed**.
+
+        A stale handle (the action ran before the caller got around to
+        cancelling) must not report success — callers use the return
+        value to decide whether they prevented the action, and marking a
+        done event cancelled would also misstate its state to later
+        inspectors.  The event is left untouched in that case.
+        """
+        if self._event.cancelled or self._event.done:
             return False
         self._event.cancelled = True
         if self._on_cancel is not None:

@@ -4,22 +4,26 @@ Clients talk to their edge broker locally (no access link is modelled,
 matching the paper), so these classes are thin: a publisher stamps and
 injects messages, a subscriber records what arrives.
 
-Delivery records are column-oriented: all endpoints of one system share a
-:class:`DeliveryLog` (msg_id/time/latency/valid/sub_id columns in growable
-arrays) that the system appends to **per batch**, one vectorised write per
-(message, edge broker).  A :class:`SubscriberHandle` is a view over its
-slice of the log; ``records`` materialises :class:`DeliveryRecord` objects
-lazily for the analysis/tests surface.
+Delivery records are column-oriented **and chunked**: all endpoints of
+one system share a :class:`DeliveryLog` (msg_id/time/latency/valid/sub_id
+columns in a :class:`~repro.core.chunked.ChunkedColumnStore`) that the
+system appends to per batch, one broadcast write per (message, edge
+broker).  Sealed chunks are immutable and — with ``log_spill`` enabled —
+live on disk, so a run's delivery history no longer has to fit in RAM;
+every inspection path below is a streaming reduction over chunks.  A
+:class:`SubscriberHandle` is a view over its slice of the log;
+``records`` materialises :class:`DeliveryRecord` objects lazily for the
+analysis/tests surface.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.growable import GrowableArray
+from repro.core.chunked import DEFAULT_CHUNK_ROWS, ChunkedColumnStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pubsub.message import Message
@@ -57,36 +61,48 @@ class DeliveryRecord:
     valid: bool
 
 
-_NO_ROWS = np.empty(0, dtype=np.int64)
+#: Column schema of the shared delivery log (chunk storage order).
+_LOG_SCHEMA = (
+    ("sub_id", np.int64),
+    ("msg_id", np.int64),
+    ("time", np.float64),
+    ("latency", np.float64),
+    ("valid", np.bool_),
+)
 
 
 class DeliveryLog:
-    """Columnar append-only store of local delivery attempts.
+    """Chunked columnar append-only store of local delivery attempts.
 
     One instance is shared by every endpoint of a system; a batch of
     deliveries (one message fanning out to many local subscribers) lands
     as a single slice write per column.  Endpoint ids are dense ints
     handed out by :meth:`register`; id ``-1`` marks rows addressed to
     endpoints that no longer exist (filtered out before the write).
+
+    Rows live in fixed-size immutable chunks (``chunk_rows`` each); with
+    ``spill=True`` sealed chunks are written to a private temp ``.npz``
+    ring and only the active chunk stays hot — the memory high-water
+    mark of the log becomes O(chunk), independent of run length.
+    Chunking never reorders rows, so every chunk-streaming reduction
+    below returns exactly what the old whole-array pass returned.
     """
 
-    __slots__ = (
-        "_sub_id", "_msg_id", "_time", "_latency", "_valid", "_endpoints",
-        "_index", "_index_len",
-    )
+    __slots__ = ("_store", "_endpoints", "_counts_len", "_valid_counts", "_total_counts")
 
-    def __init__(self) -> None:
-        self._sub_id = GrowableArray(np.int64)
-        self._msg_id = GrowableArray(np.int64)
-        self._time = GrowableArray(np.float64)
-        self._latency = GrowableArray(np.float64)
-        self._valid = GrowableArray(bool)
+    def __init__(self, chunk_rows: int = DEFAULT_CHUNK_ROWS, spill: bool = False) -> None:
+        self._store = ChunkedColumnStore(
+            _LOG_SCHEMA, chunk_rows=chunk_rows, spill=spill,
+            spill_prefix="repro-delivery-log",
+        )
         self._endpoints = 0
-        # Lazy endpoint-id -> row-index map, rebuilt when the log grew;
-        # post-run analysis queries every endpoint, so one grouped argsort
-        # beats one full-column scan per endpoint.
-        self._index: dict[int, np.ndarray] = {}
-        self._index_len = -1
+        # One-pass per-endpoint tallies, cached against the log length:
+        # post-run analysis (revenue tiers, per-subscriber counts) asks
+        # for every endpoint, and a single chunk stream beats one full
+        # scan per endpoint by a factor of the population size.
+        self._counts_len = -1
+        self._valid_counts: np.ndarray | None = None
+        self._total_counts: np.ndarray | None = None
 
     def register(self) -> int:
         """Hand out the next endpoint id (re-subscribing yields a fresh id,
@@ -100,27 +116,27 @@ class DeliveryLog:
         """Endpoints registered so far (dense ids ``0..count-1``)."""
         return self._endpoints
 
+    @property
+    def chunk_rows(self) -> int:
+        return self._store.chunk_rows
+
+    @property
+    def spilled_chunks(self) -> int:
+        """Sealed chunks currently resident on disk rather than in RAM."""
+        return self._store.spilled_chunks
+
+    @property
+    def spills(self) -> bool:
+        return self._store.spills
+
     def __len__(self) -> int:
-        return len(self._sub_id)
+        return len(self._store)
 
-    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Whole-log ``(sub_id, msg_id, time, latency, valid)`` columns in
-        append (= simulated-time) order, as zero-copy views — the input of
-        the windowed time-series reductions.  Do not hold across appends."""
-        return (
-            self._sub_id.view(),
-            self._msg_id.view(),
-            self._time.view(),
-            self._latency.view(),
-            self._valid.view(),
-        )
-
+    # ------------------------------------------------------------------ #
+    # Appending.
+    # ------------------------------------------------------------------ #
     def append(self, sub_id: int, msg_id: int, time: float, latency_ms: float, valid: bool) -> None:
-        self._sub_id.append(sub_id)
-        self._msg_id.append(msg_id)
-        self._time.append(time)
-        self._latency.append(latency_ms)
-        self._valid.append(valid)
+        self._store.append_row(sub_id, msg_id, time, latency_ms, valid)
 
     def append_batch(
         self,
@@ -130,9 +146,9 @@ class DeliveryLog:
         latency_ms: float,
         valid: np.ndarray,
     ) -> None:
-        """One message's local fan-out: shared msg/time/latency scalars,
-        per-row endpoint id and validity.  Rows with ``sub_id < 0`` (no
-        live endpoint) are dropped."""
+        """One message's local fan-out: shared msg/time/latency scalars
+        (broadcast, no temporaries), per-row endpoint id and validity.
+        Rows with ``sub_id < 0`` (no live endpoint) are dropped."""
         live = sub_ids >= 0
         if not live.all():
             sub_ids = sub_ids[live]
@@ -140,41 +156,83 @@ class DeliveryLog:
         n = sub_ids.shape[0]
         if n == 0:
             return
-        self._sub_id.extend(sub_ids)
-        self._msg_id.extend(np.full(n, msg_id, dtype=np.int64))
-        self._time.extend(np.full(n, time))
-        self._latency.extend(np.full(n, latency_ms))
-        self._valid.extend(valid)
+        self._store.append_batch(n, sub_ids, msg_id, time, latency_ms, valid)
 
-    def _rows_of(self, sub_id: int) -> np.ndarray:
-        n = len(self._sub_id)
-        if n != self._index_len:
-            if n == 0:
-                self._index = {}
-                self._index_len = 0
-                return _NO_ROWS
-            sub = self._sub_id.view()
-            order = np.argsort(sub, kind="stable")  # stable: arrival order
-            sorted_ids = sub[order]
-            bounds = np.flatnonzero(sorted_ids[1:] != sorted_ids[:-1]) + 1
-            starts = np.concatenate((np.zeros(1, dtype=np.int64), bounds))
-            stops = np.append(bounds, n)
-            self._index = {
-                int(sorted_ids[s]): order[s:e] for s, e in zip(starts, stops)
-            }
-            self._index_len = n
-        return self._index.get(sub_id, _NO_ROWS)
+    # ------------------------------------------------------------------ #
+    # Streaming reads.
+    # ------------------------------------------------------------------ #
+    def iter_chunks(
+        self, names: Sequence[str] | None = None
+    ) -> Iterator[tuple[np.ndarray, ...]]:
+        """Stream ``(col, ...)`` tuples per chunk in append (= simulated
+        time) order — the input of every analysis reduction.  Spilled
+        chunks load only the requested columns.  Do not mutate yields;
+        consume before appending again."""
+        return self._store.iter_chunks(names)
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Whole-log ``(sub_id, msg_id, time, latency, valid)`` columns in
+        append order, as **snapshot copies** — safe to hold across later
+        appends (unlike the pre-chunking zero-copy views), but the whole
+        log is materialised: prefer :meth:`iter_chunks` at scale."""
+        return self._store.gather()  # type: ignore[return-value]
+
+    def _endpoint_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """(total, valid) delivery tallies per endpoint id, one streaming
+        pass over (sub_id, valid), cached against the log length."""
+        n = len(self._store)
+        if n != self._counts_len:
+            total = np.zeros(max(self._endpoints, 1), dtype=np.int64)
+            valid_c = np.zeros(max(self._endpoints, 1), dtype=np.int64)
+            for sub, valid in self._store.iter_chunks(("sub_id", "valid")):
+                total += np.bincount(sub, minlength=total.shape[0])
+                valid_c += np.bincount(sub[valid], minlength=valid_c.shape[0])
+            self._total_counts, self._valid_counts = total, valid_c
+            self._counts_len = n
+        elif self._total_counts is not None and self._total_counts.shape[0] < self._endpoints:
+            # Endpoints registered since the cache was built have no rows
+            # by construction (ids are handed out before first use): pad
+            # with zeros instead of re-streaming the (possibly spilled) log.
+            pad = self._endpoints - self._total_counts.shape[0]
+            self._total_counts = np.concatenate(
+                (self._total_counts, np.zeros(pad, dtype=np.int64))
+            )
+            self._valid_counts = np.concatenate(
+                (self._valid_counts, np.zeros(pad, dtype=np.int64))
+            )
+        return self._total_counts, self._valid_counts  # type: ignore[return-value]
+
+    def counts_for(self, sub_id: int) -> tuple[int, int]:
+        """(total, valid) deliveries recorded for one endpoint."""
+        total, valid = self._endpoint_counts()
+        if sub_id >= total.shape[0]:
+            return 0, 0
+        return int(total[sub_id]), int(valid[sub_id])
 
     def columns_for(self, sub_id: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """(msg_id, time, latency, valid) columns of one endpoint, in
-        arrival order (copies — safe to hold across later appends)."""
-        idx = self._rows_of(sub_id)
-        return (
-            self._msg_id.view()[idx],
-            self._time.view()[idx],
-            self._latency.view()[idx],
-            self._valid.view()[idx],
-        )
+        arrival order (copies — safe to hold across later appends).
+
+        A per-call streaming filter: each call scans every chunk (from
+        disk, under spill), gathering only the matching rows.  That is
+        the deliberate bounded-memory trade for dropping the old
+        whole-log grouped index; code inspecting *many* endpoints must
+        not loop over this — the mass consumers in :mod:`repro.analysis`
+        (pooled latency samples, received sets, per-endpoint tallies)
+        each group one shared streaming pass instead."""
+        parts: list[tuple[np.ndarray, ...]] = []
+        for sub, msg, time, lat, valid in self._store.iter_chunks():
+            hit = sub == sub_id
+            if hit.any():
+                parts.append((msg[hit], time[hit], lat[hit], valid[hit]))
+        if not parts:
+            return (
+                np.empty(0, dtype=np.int64), np.empty(0), np.empty(0),
+                np.empty(0, dtype=bool),
+            )
+        if len(parts) == 1:
+            return parts[0]  # fancy-index results are already copies
+        return tuple(np.concatenate([p[i] for p in parts]) for i in range(4))  # type: ignore[return-value]
 
 
 class SubscriberHandle:
@@ -198,6 +256,11 @@ class SubscriberHandle:
     def log_id(self) -> int:
         """This endpoint's dense id in the shared delivery log."""
         return self._sub_id
+
+    @property
+    def log(self) -> DeliveryLog:
+        """The (possibly shared) delivery log backing this endpoint."""
+        return self._log
 
     # ------------------------------------------------------------------ #
     # Recording.
@@ -236,14 +299,16 @@ class SubscriberHandle:
 
     @property
     def valid_count(self) -> int:
-        _, _, _, valid = self.columns()
-        return int(np.count_nonzero(valid))
+        _, valid = self._log.counts_for(self._sub_id)
+        return valid
 
     @property
     def late_count(self) -> int:
-        _, _, _, valid = self.columns()
-        return int(valid.shape[0] - np.count_nonzero(valid))
+        total, valid = self._log.counts_for(self._sub_id)
+        return total - valid
 
     def received_ids(self) -> set[int]:
-        msg, _, _, _ = self.columns()
-        return set(msg.tolist())
+        out: set[int] = set()
+        for sub, msg in self._log.iter_chunks(("sub_id", "msg_id")):
+            out.update(msg[sub == self._sub_id].tolist())
+        return out

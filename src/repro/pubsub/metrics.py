@@ -185,9 +185,20 @@ class _FoldedSum:
     the running ``acc += value`` sum the scalar collector keeps, while
     appends on the hot path stay vectorised.  The fold is amortised O(1)
     per read (a watermark remembers what has been folded).
+
+    Memory is **bounded**: once the unfolded tail reaches ``_TRIM_AT``
+    entries the log is folded into the accumulator and discarded —
+    folding earlier performs exactly the same additions in exactly the
+    same order, so trimming is invisible in the result, and the ledger's
+    float state stays O(1) over million-delivery runs instead of
+    retaining every contribution.
     """
 
     __slots__ = ("_log", "_folded", "_acc")
+
+    #: Fold-and-trim threshold (entries); small enough to bound memory,
+    #: large enough that the Python fold loop stays amortised.
+    _TRIM_AT = 65_536
 
     def __init__(self) -> None:
         self._log = GrowableArray(np.float64)
@@ -196,9 +207,18 @@ class _FoldedSum:
 
     def append(self, value: float) -> None:
         self._log.append(value)
+        if len(self._log) >= self._TRIM_AT:
+            self._fold_and_trim()
 
     def extend(self, values: np.ndarray) -> None:
         self._log.extend(values)
+        if len(self._log) >= self._TRIM_AT:
+            self._fold_and_trim()
+
+    def _fold_and_trim(self) -> None:
+        self.value()
+        self._log = GrowableArray(np.float64)
+        self._folded = 0
 
     def value(self) -> float:
         n = len(self._log)

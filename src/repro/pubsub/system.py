@@ -27,7 +27,7 @@ from typing import Callable, Mapping
 import networkx as nx
 import numpy as np
 
-from repro.core.growable import GrowableArray
+from repro.core.chunked import DEFAULT_CHUNK_ROWS, ChunkedColumnStore
 from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy
 from repro.core.strategies import Strategy
 from repro.des.rng import RngStreams
@@ -115,8 +115,19 @@ class SystemConfig:
     #: Estimator used by ESTIMATED link monitors ("welford" | "window" |
     #: "ewma"); forgetting estimators adapt to runtime rate changes.
     link_estimator: str = "welford"
+    #: Spill sealed delivery-/publication-log chunks to a temp ``.npz``
+    #: ring, keeping only the active chunk in RAM — the bounded-memory
+    #: scale tier.  Off by default (chunks stay in memory).
+    log_spill: bool = False
+    #: Rows per sealed log chunk; smaller chunks lower the memory
+    #: high-water mark under spill at the cost of more seal/load churn.
+    log_chunk_rows: int = DEFAULT_CHUNK_ROWS
 
     def __post_init__(self) -> None:
+        if self.log_chunk_rows < 1:
+            raise ValueError(
+                f"log_chunk_rows must be >= 1, got {self.log_chunk_rows}"
+            )
         if self.link_estimator not in ESTIMATOR_FACTORIES:
             raise ValueError(
                 f"link_estimator must be one of {sorted(ESTIMATOR_FACTORIES)}, "
@@ -163,9 +174,12 @@ class PubSubSystem:
         self.config = config or SystemConfig()
         self.metrics = metrics if metrics is not None else make_metrics(self.config.metrics_backend)
         self.trace = TraceRecorder(enabled=self.config.enable_trace)
-        #: Columnar store behind every subscriber endpoint; brokers append
-        #: whole local-delivery batches through the batch callback.
-        self.delivery_log = DeliveryLog()
+        #: Chunked columnar store behind every subscriber endpoint; brokers
+        #: append whole local-delivery batches through the batch callback,
+        #: sealed chunks spill to disk when ``log_spill`` is on.
+        self.delivery_log = DeliveryLog(
+            chunk_rows=self.config.log_chunk_rows, spill=self.config.log_spill
+        )
         # Per-broker translation of table-interned subscriber ids to
         # endpoint log ids (−1 = no live endpoint).  Maintained
         # incrementally: new interned names extend the tail, and
@@ -190,8 +204,13 @@ class PubSubSystem:
         self._endpoint_price: list[float] = []
         # Publication log (msg_id is the dense index): publish times and
         # interested-population sizes, for windowed time-series analysis.
-        self._pub_time = GrowableArray(np.float64)
-        self._pub_interested = GrowableArray(np.int64)
+        # Chunked like the delivery log, and spilled under the same knob.
+        self._pub_log = ChunkedColumnStore(
+            (("time", np.float64), ("interested", np.int64)),
+            chunk_rows=self.config.log_chunk_rows,
+            spill=self.config.log_spill,
+            spill_prefix="repro-publication-log",
+        )
 
         self._build_brokers()
         self._wire_links()
@@ -427,8 +446,7 @@ class PubSubSystem:
         self._next_msg_id += 1
         interested = len(self._population.match(message.attributes))
         self.metrics.on_publish(message.msg_id, interested)
-        self._pub_time.append(message.publish_time)
-        self._pub_interested.append(interested)
+        self._pub_log.append_row(message.publish_time, interested)
         self.brokers[source].receive(message)
         return message
 
@@ -482,8 +500,14 @@ class PubSubSystem:
         return sum(b.queued_entries() for b in self.brokers.values())
 
     def publication_columns(self) -> tuple[np.ndarray, np.ndarray]:
-        """``(publish_time, interested)`` arrays indexed by msg_id."""
-        return self._pub_time.view().copy(), self._pub_interested.view().copy()
+        """``(publish_time, interested)`` arrays indexed by msg_id
+        (whole-log snapshot copies; prefer :meth:`publication_chunks`
+        at scale)."""
+        return self._pub_log.gather()  # type: ignore[return-value]
+
+    def publication_chunks(self):
+        """Stream ``(publish_time, interested)`` per chunk, msg_id order."""
+        return self._pub_log.iter_chunks()
 
     def endpoint_prices(self) -> np.ndarray:
         """Price per delivery-log endpoint id (1.0 where unpriced)."""

@@ -6,6 +6,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.chunked import DEFAULT_CHUNK_ROWS
 from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy
 from repro.network.measurement import ESTIMATOR_FACTORIES, MeasurementMode
 from repro.network.topology import LayeredMeshSpec
@@ -57,8 +58,18 @@ class SimulationConfig:
     #: (full history, the stationary-link default), "window" or "ewma"
     #: (forgetting — they track runtime rate changes).
     link_estimator: str = "welford"
+    #: Bounded-memory scale tier: spill sealed delivery-/publication-log
+    #: chunks to a temp ``.npz`` ring instead of keeping the whole run's
+    #: history in RAM.  Decision- and byte-neutral — analysis reductions
+    #: stream the same chunks either way.
+    log_spill: bool = False
+    #: Rows per sealed log chunk (the spill granularity and the memory
+    #: high-water mark of the log under spill).
+    log_chunk_rows: int = DEFAULT_CHUNK_ROWS
 
     def __post_init__(self) -> None:
+        if self.log_chunk_rows < 1:
+            raise ValueError("log_chunk_rows must be >= 1")
         if self.publishing_rate_per_min < 0.0:
             raise ValueError("publishing_rate_per_min must be non-negative")
         if self.duration_ms <= 0.0:

@@ -49,9 +49,20 @@ def _jsonable(value):
     return value
 
 
+#: Config fields that change *residency*, never results (the chunked-log
+#: knobs are proven decision- and byte-neutral): excluded from the
+#: fingerprint so equal-result configs share cache entries — which also
+#: keeps fingerprints of pre-existing caches valid.
+_RESULT_NEUTRAL_FIELDS = frozenset({"log_spill", "log_chunk_rows"})
+
+
 def config_fingerprint(config: SimulationConfig) -> str:
     """Stable hash of everything that determines a point's result."""
-    payload = {"schema": _CACHE_SCHEMA, "config": _jsonable(config)}
+    fields = {
+        k: v for k, v in _jsonable(config).items()
+        if k not in _RESULT_NEUTRAL_FIELDS
+    }
+    payload = {"schema": _CACHE_SCHEMA, "config": fields}
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -76,10 +87,18 @@ class PointCache:
             return None
         try:
             return result_from_dict(json.loads(path.read_text()))
-        except (ValueError, TypeError):
-            # Corrupt or stale-format entry (bad JSON, non-object payload,
-            # wrong fields): recompute the point.  JSONDecodeError is a
-            # ValueError; TypeError covers valid-JSON non-dict payloads.
+        except (ValueError, TypeError, OSError):
+            # A corrupt, truncated or unreadable entry (a killed run or a
+            # full disk can leave either) is a cache MISS, never a sweep
+            # abort: recompute the point, and delete the bad file so it
+            # cannot poison later sweeps either.  JSONDecodeError and
+            # UnicodeDecodeError are ValueErrors; TypeError covers
+            # valid-JSON non-dict payloads; OSError covers unreadable
+            # files.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
             return None
 
     def put(self, config: SimulationConfig, result: SimulationResult) -> None:

@@ -9,6 +9,10 @@ figures compare strategies.
 
 from __future__ import annotations
 
+from typing import Callable
+
+import numpy as np
+
 from repro.core.registry import make_strategy
 from repro.des.rng import RngStreams
 from repro.des.simulator import Simulator
@@ -17,18 +21,26 @@ from repro.pubsub.system import PubSubSystem, RoutingMode, SystemConfig
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimulationResult
 from repro.workload.dynamics import DynamicsDriver
+from repro.pubsub.subscription import Subscription
 from repro.workload.generator import generate_publications_piecewise
 from repro.workload.scenarios import build_subscriptions
+
+#: Population override hook: (subscriptions RNG stream, topology) -> subs.
+SubscriptionBuilder = Callable[[np.random.Generator, Topology], list[Subscription]]
 
 
 def build_system(
     config: SimulationConfig,
     topology: Topology | None = None,
+    subscription_builder: "SubscriptionBuilder | None" = None,
 ) -> PubSubSystem:
     """Construct the fully wired system for a config (without running it).
 
     Exposed separately so tests and examples can poke at the assembled
-    overlay; ``run_simulation`` goes through here.
+    overlay; ``run_simulation`` goes through here.  ``subscription_builder``
+    overrides the population (scale-family workloads); it receives the
+    ``"subscriptions"`` RNG stream and the topology, and every
+    ``SystemConfig`` knob still comes from the one config.
     """
     streams = RngStreams(config.seed)
     if topology is None:
@@ -53,11 +65,15 @@ def build_system(
             matcher_backend=config.matcher_backend,
             metrics_backend=config.metrics_backend,
             link_estimator=config.link_estimator,
+            log_spill=config.log_spill,
+            log_chunk_rows=config.log_chunk_rows,
         ),
     )
-    system.subscribe_all(
-        build_subscriptions(config.scenario, streams.get("subscriptions"), topology)
-    )
+    rng = streams.get("subscriptions")
+    if subscription_builder is not None:
+        system.subscribe_all(subscription_builder(rng, topology))
+    else:
+        system.subscribe_all(build_subscriptions(config.scenario, rng, topology))
     return system
 
 

@@ -1,4 +1,4 @@
-"""Delay-requirement scenarios (Section 4.1).
+"""Delay-requirement scenarios (Section 4.1) and the scale family.
 
 * **PSD** — publisher-specified delay: each message carries an allowed
   delay (uniform in [10 s, 30 s] in the evaluation); subscriptions are
@@ -9,16 +9,25 @@
 * **HYBRID** — both specify; the effective bound per (message,
   subscription) pair is the minimum.  The paper notes this extension is
   straightforward; it is implemented and tested here.
+
+The **scale family** (:data:`SCALE_SCENARIOS`) stretches the paper's
+topology to 100k–1M subscribers with *skewed filter popularity* (a
+small shared pool of conjunctive filters drawn Zipf-style, as real
+topic popularity distributes) and *high fanout* (thresholds in the
+upper value range, so most messages reach most of the population) —
+the workload shape the bounded-memory delivery log exists for.
 """
 
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro.network.topology import Topology
+from repro.network.topology import LayeredMeshSpec, Topology
+from repro.pubsub.filters import AndFilter, Predicate
 from repro.pubsub.subscription import Subscription
 from repro.workload.subscriptions import random_conjunctive_filter
 
@@ -95,4 +104,114 @@ def build_subscriptions(
             )
         else:
             out.append(Subscription(subscriber=subscriber, filter=filt))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Scale tier: 100k+-subscriber scenario family.
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleScenarioSpec:
+    """One member of the scale family.
+
+    ``filter_pool`` distinct conjunctive filters are shared by the whole
+    population (dense interning territory for the vector matcher);
+    popularity across the pool follows a Zipf law with exponent
+    ``zipf_exponent``.  ``selectivity_range`` places every threshold in
+    the upper value range, so per-predicate match probability — and with
+    it the fanout the delivery log must absorb — stays high.
+    Deadlines/prices follow the paper's SSD table, keeping scheduling
+    and earning real at scale.
+    """
+
+    name: str
+    subscribers: int
+    filter_pool: int = 64
+    zipf_exponent: float = 1.1
+    selectivity_range: tuple[float, float] = (0.6, 0.95)
+    attributes: tuple[str, ...] = ("A1", "A2")
+    value_range: tuple[float, float] = (0.0, 10.0)
+
+    def __post_init__(self) -> None:
+        if self.subscribers < 1:
+            raise ValueError("subscribers must be positive")
+        if self.filter_pool < 1:
+            raise ValueError("filter_pool must be positive")
+        if self.zipf_exponent <= 0.0:
+            raise ValueError("zipf_exponent must be positive")
+        lo, hi = self.selectivity_range
+        if not 0.0 < lo <= hi <= 1.0:
+            raise ValueError(f"bad selectivity_range {self.selectivity_range}")
+
+    @property
+    def subscribers_per_edge_broker(self) -> int:
+        """Per-edge population on the paper's mesh (the actual total is
+        rounded up to a multiple of the edge-broker count)."""
+        edges = LayeredMeshSpec().layer_sizes[-1]
+        return max(1, -(-self.subscribers // edges))
+
+    def topology_spec(self) -> LayeredMeshSpec:
+        """The paper's layered mesh, stretched to this population."""
+        return LayeredMeshSpec(
+            subscribers_per_edge_broker=self.subscribers_per_edge_broker
+        )
+
+
+#: The scale family: smoke (CI-sized) through 1M subscribers.
+SCALE_SCENARIOS: dict[str, ScaleScenarioSpec] = {
+    "smoke": ScaleScenarioSpec(name="smoke", subscribers=8_000),
+    "100k": ScaleScenarioSpec(name="100k", subscribers=100_000),
+    "250k": ScaleScenarioSpec(name="250k", subscribers=250_000),
+    "1m": ScaleScenarioSpec(name="1m", subscribers=1_000_000),
+}
+
+
+def build_scale_subscriptions(
+    rng: np.random.Generator,
+    topology: Topology,
+    spec: ScaleScenarioSpec,
+) -> list[Subscription]:
+    """One subscription per attached subscriber, filters drawn from the
+    spec's Zipf-skewed shared pool, SSD deadlines/prices.
+
+    All random draws are vectorised (one ``choice`` and one ``integers``
+    call for the whole population) — building 1M subscriptions must not
+    cost 1M RNG round-trips.
+    """
+    lo, hi = spec.value_range
+    s_lo, s_hi = spec.selectivity_range
+    # The shared filter pool: per-attribute thresholds in the high-
+    # selectivity band of the value range.
+    pool_thresholds = lo + rng.uniform(
+        s_lo, s_hi, size=(spec.filter_pool, len(spec.attributes))
+    ) * (hi - lo)
+    pool = [
+        AndFilter([
+            Predicate(attr, "<", float(pool_thresholds[k, j]))
+            for j, attr in enumerate(spec.attributes)
+        ])
+        if len(spec.attributes) > 1
+        else Predicate(spec.attributes[0], "<", float(pool_thresholds[k, 0]))
+        for k in range(spec.filter_pool)
+    ]
+    weights = 1.0 / np.arange(1, spec.filter_pool + 1) ** spec.zipf_exponent
+    weights /= weights.sum()
+
+    names = sorted(topology.subscriber_brokers)
+    picks = rng.choice(spec.filter_pool, size=len(names), p=weights)
+    deadlines = sorted(SSD_PRICE_BY_DEADLINE_MS)
+    dl_picks = rng.integers(0, len(deadlines), size=len(names))
+    out: list[Subscription] = []
+    for name, k, d in zip(names, picks.tolist(), dl_picks.tolist()):
+        dl = deadlines[d]
+        out.append(
+            Subscription(
+                subscriber=name,
+                filter=pool[k],
+                deadline_ms=dl,
+                price=SSD_PRICE_BY_DEADLINE_MS[dl],
+            )
+        )
     return out

@@ -85,6 +85,74 @@ class TestFolds:
         _assert_folds(system, ts)
 
 
+class TestTruncatedHorizon:
+    """Satellite regression: a horizon shorter than the run must *exclude*
+    out-of-horizon events, not clip them into the last window."""
+
+    def _reference(self, system, horizon):
+        """Aggregates over events inside the horizon, computed the direct
+        whole-array way (settle pairs first-arrival-wins, then mask)."""
+        pub_time, interested = system.publication_columns()
+        inside = pub_time <= horizon
+        sub, msg, time, latency, valid = system.delivery_log.columns()
+        keys = msg * np.int64(system.delivery_log.endpoint_count) + sub
+        _, first = np.unique(keys, return_index=True)
+        t, v = time[first], valid[first]
+        in_h = t <= horizon
+        return {
+            "published": int(inside.sum()),
+            "total_interested": int(interested[inside].sum()),
+            "deliveries_valid": int((v & in_h).sum()),
+            "deliveries_late": int((~v & in_h).sum()),
+        }
+
+    def test_truncated_horizon_folds_to_truncated_aggregates(self):
+        config = SimulationConfig(
+            seed=11, scenario=Scenario.SSD, strategy="eb",
+            publishing_rate_per_min=8.0, duration_ms=90_000.0,
+        )
+        system, _ = _run(config, window_ms=20_000.0)
+        horizon = 45_000.0  # half the publication window, far short of the run
+        ts = windowed_metrics(system, 20_000.0, horizon_ms=horizon)
+        totals = ts.totals()
+        ref = self._reference(system, horizon)
+        # There must be something beyond the horizon or this is vacuous.
+        assert system.metrics.published > ref["published"]
+        assert system.metrics.deliveries_valid + system.metrics.deliveries_late > (
+            ref["deliveries_valid"] + ref["deliveries_late"]
+        )
+        for key, want in ref.items():
+            assert totals[key] == want, key
+
+    def test_last_window_not_corrupted_by_out_of_horizon_events(self):
+        """The pre-fix behavior dumped every later event into the final
+        window via np.clip; the final window must now hold only its own."""
+        config = SimulationConfig(
+            seed=11, scenario=Scenario.SSD, strategy="fifo",
+            publishing_rate_per_min=8.0, duration_ms=90_000.0,
+        )
+        system, _ = _run(config, window_ms=20_000.0)
+        horizon = 40_000.0
+        ts = windowed_metrics(system, 20_000.0, horizon_ms=horizon)
+        pub_time, _ = system.publication_columns()
+        in_last = ((pub_time > 20_000.0) & (pub_time <= horizon)).sum()
+        assert ts.published[-1] == in_last
+
+    def test_truncated_horizon_with_queue_sampler(self):
+        config = SimulationConfig(
+            seed=2, scenario=Scenario.SSD, strategy="eb",
+            publishing_rate_per_min=10.0, duration_ms=60_000.0,
+        )
+        system = build_system(config)  # not run: probes injected directly
+        sampler = QueueDepthSampler(system, every_ms=5_000.0, horizon_ms=config.horizon_ms)
+        sampler.times = [0.0, 10_000.0, 30_000.0, 70_000.0]
+        sampler.depths = [1, 2, 3, 99]
+        mean, mx = sampler.bucketed(20_000.0, 2, horizon_ms=40_000.0)
+        # The 70 s probe is beyond the 40 s horizon: excluded, not clipped.
+        assert mx[-1] == 3.0
+        assert mean[0] == 1.5
+
+
 class TestSeriesShape:
     def test_windows_cover_horizon(self):
         config = SimulationConfig(

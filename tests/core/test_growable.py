@@ -1,0 +1,108 @@
+"""GrowableArray: growth, aliasing contract, chunk-sealing helpers.
+
+The view-aliasing semantics pinned here are groundwork for chunk
+sealing: a ``view()`` aliases the *current* buffer — in-place appends
+remain visible through it, while a reallocating grow silently detaches
+it (the view keeps the old buffer).  Snapshot holders must copy; the
+chunked stores rely on ``detach()`` instead, which hands the buffer
+over zero-copy at seal time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.growable import GrowableArray
+
+
+class TestGrowth:
+    def test_append_and_extend(self):
+        g = GrowableArray(np.int64, capacity=2)
+        g.append(1)
+        g.extend(np.array([2, 3, 4], dtype=np.int64))
+        assert len(g) == 4
+        np.testing.assert_array_equal(g.view(), [1, 2, 3, 4])
+
+    def test_extend_scalar_broadcasts(self):
+        g = GrowableArray(np.float64, capacity=2)
+        g.extend_scalar(7.5, 5)
+        g.extend_scalar(1.0, 0)  # no-op
+        g.extend_scalar(2.0, -3)  # no-op
+        np.testing.assert_array_equal(g.view(), [7.5] * 5)
+
+    def test_capacity_doubles(self):
+        g = GrowableArray(np.int64, capacity=4)
+        g.extend(np.arange(9))
+        assert g.capacity >= 9
+        np.testing.assert_array_equal(g.view(), np.arange(9))
+
+
+class TestViewAliasing:
+    """Pin the aliasing contract of ``view()`` (see the class docstring)."""
+
+    def test_view_sees_inplace_appends(self):
+        g = GrowableArray(np.int64, capacity=8)
+        g.extend(np.array([1, 2, 3]))
+        v = g.view()
+        g.append(4)  # fits in place: no reallocation
+        # The old view still aliases the live buffer: the slot it covers
+        # is shared storage (its *length* is frozen at 3, though).
+        assert v.base is g.view().base
+        np.testing.assert_array_equal(g.view()[:3], v)
+
+    def test_view_goes_stale_across_reallocating_grow(self):
+        g = GrowableArray(np.int64, capacity=2)
+        g.extend(np.array([10, 20]))
+        v = g.view()
+        g.extend(np.array([30, 40, 50]))  # forces reallocation
+        # The snapshot kept the OLD buffer: same values as at snapshot
+        # time, no longer the live storage.
+        np.testing.assert_array_equal(v, [10, 20])
+        assert v.base is not g.view().base
+        # Mutations after the grow are invisible through the stale view.
+        g.view()[0] = 99
+        assert v[0] == 10
+
+    def test_snapshot_requires_copy(self):
+        g = GrowableArray(np.float64, capacity=4)
+        g.extend(np.array([1.0, 2.0]))
+        snap = g.view().copy()
+        g.extend(np.arange(100, dtype=np.float64))
+        np.testing.assert_array_equal(snap, [1.0, 2.0])
+
+
+class TestDetach:
+    def test_full_buffer_detaches_zero_copy(self):
+        g = GrowableArray(np.int64, capacity=4)
+        g.extend(np.arange(4))
+        buf = g._data
+        out = g.detach()
+        assert out is buf  # exactly-full: ownership transfer, no copy
+        assert not out.flags.writeable
+        assert len(g) == 0
+        np.testing.assert_array_equal(out, np.arange(4))
+
+    def test_partial_buffer_detaches_a_copy(self):
+        g = GrowableArray(np.int64, capacity=8)
+        g.extend(np.arange(3))
+        out = g.detach()
+        assert out.shape == (3,)
+        assert not out.flags.writeable
+        assert len(g) == 0
+        np.testing.assert_array_equal(out, np.arange(3))
+
+    def test_detached_array_survives_reuse(self):
+        g = GrowableArray(np.int64, capacity=2)
+        g.extend(np.array([5, 6]))
+        sealed = g.detach()
+        g.extend(np.array([7, 8]))
+        np.testing.assert_array_equal(sealed, [5, 6])
+        np.testing.assert_array_equal(g.view(), [7, 8])
+
+    def test_detached_is_immutable(self):
+        g = GrowableArray(np.int64, capacity=2)
+        g.extend(np.array([1, 2]))
+        sealed = g.detach()
+        with pytest.raises(ValueError):
+            sealed[0] = 9

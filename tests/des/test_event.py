@@ -38,3 +38,29 @@ class TestHandle:
         assert handle.cancel()
         assert handle.cancelled
         assert not handle.cancel()
+
+    def test_cancel_after_execution_returns_false(self):
+        """Satellite regression: a stale handle must not claim it prevented
+        an action that already ran, and must leave the event untouched."""
+        event = ev()
+        event.done = True  # what the kernel sets after running the action
+        handle = EventHandle(event)
+        assert handle.done
+        assert handle.cancel() is False
+        assert not event.cancelled  # event left untouched
+        assert not handle.cancelled
+
+    def test_cancel_after_execution_keeps_live_counter_exact(self):
+        """End-to-end through the kernel: cancelling an executed event
+        neither lies about it nor corrupts the live-event accounting."""
+        from repro.des.simulator import Simulator
+
+        sim = Simulator()
+        ran = []
+        handle = sim.schedule(1.0, lambda: ran.append(True))
+        sim.run()
+        assert ran == [True]
+        assert sim.live_events == 0
+        assert handle.cancel() is False
+        assert sim.live_events == 0  # no double decrement
+        assert not handle.cancelled

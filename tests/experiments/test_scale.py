@@ -1,0 +1,46 @@
+"""Scale-tier experiment points: spill A/B identity and accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.workload.scenarios as scenarios
+from repro.experiments.scale import run_scale_point, scale_config
+from repro.workload.scenarios import SCALE_SCENARIOS, ScaleScenarioSpec
+
+TINY = ScaleScenarioSpec(name="tiny", subscribers=64)
+
+
+@pytest.fixture(autouse=True)
+def tiny_family(monkeypatch):
+    monkeypatch.setitem(SCALE_SCENARIOS, "tiny", TINY)
+
+
+class TestRunScalePoint:
+    def test_spill_modes_agree(self):
+        kw = dict(strategy="fifo", seed=3, rate_per_min=6.0, minutes=0.5,
+                  chunk_rows=64)
+        mem = run_scale_point("tiny", spill=False, **kw)
+        disk = run_scale_point("tiny", spill=True, **kw)
+        assert disk.spilled_chunks > 0
+        assert mem.spilled_chunks == 0
+        assert mem.series_sha256 == disk.series_sha256
+        for field in ("published", "deliveries", "deliveries_valid",
+                      "earning", "delivery_rate", "log_rows"):
+            assert getattr(mem, field) == getattr(disk, field), field
+        assert mem.peak_rss_kb > 0
+        record = disk.as_dict()
+        assert record["scenario"] == "scale-tiny"
+        assert record["log_spill"] is True
+        assert record["wall_s"] == pytest.approx(
+            record["build_s"] + record["run_s"] + record["analysis_s"], abs=2e-3
+        )
+
+    def test_scale_config_plumbs_log_knobs(self):
+        config = scale_config(TINY, spill=True, chunk_rows=128)
+        assert config.log_spill and config.log_chunk_rows == 128
+        assert config.scenario is scenarios.Scenario.SSD
+
+    def test_unknown_member_raises(self):
+        with pytest.raises(KeyError):
+            run_scale_point("no-such-size")

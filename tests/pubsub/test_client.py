@@ -2,16 +2,102 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.strategies import FifoStrategy
 from repro.des.rng import RngStreams
 from repro.des.simulator import Simulator
-from repro.pubsub.client import DeliveryRecord, SubscriberHandle
+from repro.pubsub.client import DeliveryLog, DeliveryRecord, SubscriberHandle
 from repro.pubsub.filters import Predicate
 from repro.pubsub.subscription import Subscription
 from repro.pubsub.system import PubSubSystem
 from tests.conftest import make_line_topology
 
 MATCH_ALL = Predicate("A1", "<", 1e9)
+
+
+def _fill_log(log: DeliveryLog, endpoints: int, rows: int, seed: int = 3):
+    """Register endpoints and append a deterministic row mix (batch +
+    scalar appends, so chunk boundaries land mid-batch too)."""
+    ids = [log.register() for _ in range(endpoints)]
+    rng = np.random.default_rng(seed)
+    sub = rng.integers(0, endpoints, rows)
+    msg = rng.integers(0, 50, rows)
+    t = np.sort(rng.uniform(0, 1000, rows))
+    lat = rng.uniform(1, 100, rows)
+    valid = rng.integers(0, 2, rows).astype(bool)
+    i = 0
+    while i < rows:
+        k = min(int(rng.integers(1, 9)), rows - i)
+        if k == 1:
+            log.append(int(sub[i]), int(msg[i]), float(t[i]), float(lat[i]), bool(valid[i]))
+        else:
+            log.append_batch(sub[i : i + k], int(msg[i]), float(t[i]), float(lat[i]), valid[i : i + k])
+            msg[i : i + k] = msg[i]
+            t[i : i + k] = t[i]
+            lat[i : i + k] = lat[i]
+        i += k
+    return ids, (sub, msg, t, lat, valid)
+
+
+class TestDeliveryLogChunked:
+    def test_columns_is_a_stable_snapshot(self):
+        """Satellite pin: ``columns()`` snapshots are copies — they stay
+        valid (and unchanged) across later appends that seal/reallocate
+        chunks.  The pre-chunking zero-copy views did not survive this."""
+        log = DeliveryLog(chunk_rows=4)
+        log.register()
+        for i in range(6):
+            log.append(0, i, float(i), 1.0, True)
+        snap = log.columns()
+        for i in range(6, 40):  # forces several seals past the snapshot
+            log.append(0, i, float(i), 1.0, False)
+        np.testing.assert_array_equal(snap[1], np.arange(6))
+        assert snap[4].all()
+        assert len(log) == 40
+
+    def test_chunked_matches_unchunked(self):
+        big = DeliveryLog()  # one active chunk
+        small = DeliveryLog(chunk_rows=16)
+        _fill_log(big, 5, 200)
+        _fill_log(small, 5, 200)
+        for a, b in zip(big.columns(), small.columns()):
+            assert a.tobytes() == b.tobytes()
+        for sid in range(5):
+            assert big.counts_for(sid) == small.counts_for(sid)
+            for a, b in zip(big.columns_for(sid), small.columns_for(sid)):
+                np.testing.assert_array_equal(a, b)
+
+    def test_spill_matches_memory(self):
+        mem = DeliveryLog(chunk_rows=16)
+        disk = DeliveryLog(chunk_rows=16, spill=True)
+        _fill_log(mem, 4, 150)
+        _fill_log(disk, 4, 150)
+        assert disk.spilled_chunks > 0 and disk.spills
+        assert mem.spilled_chunks == 0 and not mem.spills
+        for a, b in zip(mem.columns(), disk.columns()):
+            assert a.tobytes() == b.tobytes()
+
+    def test_counts_cache_tracks_growth_and_new_endpoints(self):
+        log = DeliveryLog(chunk_rows=8)
+        a = log.register()
+        log.append(a, 1, 1.0, 1.0, True)
+        assert log.counts_for(a) == (1, 1)
+        b = log.register()  # registered after the tallies were cached
+        assert log.counts_for(b) == (0, 0)
+        log.append(b, 2, 2.0, 2.0, False)
+        assert log.counts_for(b) == (1, 0)
+        assert log.counts_for(a) == (1, 1)
+
+    def test_handle_counts_on_chunked_log(self):
+        log = DeliveryLog(chunk_rows=4)
+        h = SubscriberHandle("S1", log=log)
+        other = SubscriberHandle("S2", log=log)
+        for i in range(10):
+            (h if i % 2 else other).record(i, float(i), 1.0, valid=i < 6)
+        assert h.valid_count + h.late_count == 5
+        assert other.valid_count + other.late_count == 5
+        assert h.received_ids() == {1, 3, 5, 7, 9}
 
 
 class TestSubscriberHandle:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -40,6 +41,13 @@ class TestFingerprint:
         ):
             assert config_fingerprint(changed) != base
 
+    def test_result_neutral_log_knobs_share_fingerprints(self):
+        """log_spill/log_chunk_rows change residency, never results, so a
+        spilled sweep must hit the cache a plain sweep populated."""
+        assert config_fingerprint(TINY) == config_fingerprint(
+            TINY.replace(log_spill=True, log_chunk_rows=256)
+        )
+
     def test_fingerprint_is_hex_sha256(self):
         fp = config_fingerprint(TINY)
         assert len(fp) == 64
@@ -70,6 +78,43 @@ class TestPointCache:
         (tmp_path / f"{config_fingerprint(TINY)}.json").write_text(
             json.dumps({"strategy": "eb"})  # missing every other field
         )
+        assert cache.get(TINY) is None
+
+    def test_corrupt_entry_is_deleted_not_poisonous(self, tmp_path):
+        """Satellite regression: a truncated file left by a killed run (or
+        a full disk) must be a cache miss AND be removed, so neither this
+        sweep nor a later one trips over it again."""
+        cache = PointCache(tmp_path)
+        path = tmp_path / f"{config_fingerprint(TINY)}.json"
+        path.write_text('{"strategy": "eb", "scenario"')  # torn mid-write
+        assert cache.get(TINY) is None
+        assert not path.exists()
+        # The slot is immediately reusable.
+        result = run_simulation(TINY)
+        cache.put(TINY, result)
+        assert cache.get(TINY) == result
+
+    def test_undecodable_bytes_entry_is_a_miss(self, tmp_path):
+        cache = PointCache(tmp_path)
+        path = tmp_path / f"{config_fingerprint(TINY)}.json"
+        path.write_bytes(b"\xff\xfe\x00garbage\x80")  # not valid UTF-8
+        assert cache.get(TINY) is None
+        assert not path.exists()
+
+    def test_unreadable_entry_is_a_miss(self, tmp_path, monkeypatch):
+        """An OSError while reading (NFS hiccup, permissions) is a miss,
+        not a sweep abort."""
+        cache = PointCache(tmp_path)
+        path = tmp_path / f"{config_fingerprint(TINY)}.json"
+        path.write_text("{}")
+        real_read = Path.read_text
+
+        def flaky_read(self, *a, **kw):
+            if self == path:
+                raise OSError("I/O error")
+            return real_read(self, *a, **kw)
+
+        monkeypatch.setattr(Path, "read_text", flaky_read)
         assert cache.get(TINY) is None
 
 

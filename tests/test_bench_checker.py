@@ -1,0 +1,92 @@
+"""Bench regression guard: scenario-key mismatches degrade to notes.
+
+Satellite regression for the CI tooling: a baseline or current file
+containing points from a new scenario family (different record shape,
+missing ``strategy``/``subscriptions``/``wall_s``) must be *reported*,
+never crash the guard with a ``KeyError`` — the guard's job is wall-time
+regressions on matching points only.
+
+The checker is a script, not a package module, so it is exercised the
+way CI runs it: as a subprocess.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+CHECKER = Path(__file__).parent.parent / "benchmarks" / "check_bench_regression.py"
+
+META = {"mode": "smoke", "minutes": 0.5, "rate_per_min_per_publisher": 20.0, "seed": 1}
+
+
+def _point(strategy="eb", subs=1008, wall=0.1, **extra):
+    return {
+        "strategy": strategy, "subscriptions": subs, "wall_s": wall,
+        "scenario": "ssd", "matcher_backend": "vector",
+        "metrics_backend": "ledger", **extra,
+    }
+
+
+def run_checker(tmp_path: Path, baseline: dict, current: dict):
+    (tmp_path / "base.json").write_text(json.dumps(baseline))
+    (tmp_path / "cur.json").write_text(json.dumps(current))
+    return subprocess.run(
+        [sys.executable, str(CHECKER),
+         "--baseline", str(tmp_path / "base.json"),
+         "--current", str(tmp_path / "cur.json")],
+        capture_output=True, text=True,
+    )
+
+
+class TestGuard:
+    def test_matching_points_pass(self, tmp_path):
+        base = {"meta": META, "points": [_point(wall=0.1)]}
+        cur = {"meta": META, "points": [_point(wall=0.11)]}
+        proc = run_checker(tmp_path, base, cur)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "within" in proc.stdout
+
+    def test_regression_fails(self, tmp_path):
+        base = {"meta": META, "points": [_point(wall=0.1)]}
+        cur = {"meta": META, "points": [_point(wall=1.0)]}
+        proc = run_checker(tmp_path, base, cur)
+        assert proc.returncode == 1
+        assert "REGRESSED" in proc.stdout
+
+    def test_new_scenario_points_are_notes_not_keyerrors(self, tmp_path):
+        """A current file containing scale-family records (no strategy /
+        subscriptions / wall_s shape) must not crash the guard."""
+        base = {"meta": META, "points": [_point(wall=0.1)]}
+        cur = {
+            "meta": META,
+            "points": [
+                _point(wall=0.1),
+                {"scenario": "scale-smoke", "peak_rss_kb": 123456},  # no key fields
+                _point(strategy="eb", subs=8000, scenario="scale-smoke"),  # new key
+            ],
+        }
+        proc = run_checker(tmp_path, base, cur)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "KeyError" not in proc.stderr
+        assert "not guarded" in proc.stdout
+        assert "new scenario" in proc.stdout
+
+    def test_malformed_baseline_points_are_skipped(self, tmp_path):
+        base = {
+            "meta": META,
+            "points": [_point(wall=0.1), {"scenario": "scale"}, "not-a-dict"],
+        }
+        cur = {"meta": META, "points": [_point(wall=0.1)]}
+        proc = run_checker(tmp_path, base, cur)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "not guarded" in proc.stdout
+
+    def test_no_comparable_points_is_an_error(self, tmp_path):
+        base = {"meta": META, "points": [{"scenario": "scale"}]}
+        cur = {"meta": META, "points": [_point()]}
+        proc = run_checker(tmp_path, base, cur)
+        assert proc.returncode == 2
+        assert "no comparable points" in proc.stdout

@@ -80,3 +80,20 @@ class TestExecution:
             "--minutes", "2", "--window", "30", "--rate", "4", "--strategy", "fifo",
         ]) == 0
         assert "queue" in capsys.readouterr().out
+
+    def test_run_with_log_spill(self, capsys):
+        assert main([
+            "run", "--minutes", "1", "--rate", "5", "--strategy", "fifo",
+            "--log-spill", "--log-chunk", "128",
+        ]) == 0
+        assert "delivery rate" in capsys.readouterr().out
+
+    def test_scale_smoke_point(self, capsys):
+        assert main([
+            "scale", "--size", "smoke", "--minutes", "0.5", "--rate", "4",
+            "--log-spill", "--log-chunk", "4096",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scale-smoke" in out
+        assert "spilled chunks" in out
+        assert "peak RSS" in out

@@ -6,8 +6,11 @@ import numpy as np
 import pytest
 
 from repro.workload.scenarios import (
+    SCALE_SCENARIOS,
     SSD_PRICE_BY_DEADLINE_MS,
     Scenario,
+    ScaleScenarioSpec,
+    build_scale_subscriptions,
     build_subscriptions,
     draw_message_deadline_ms,
 )
@@ -83,6 +86,63 @@ class TestBuildSubscriptions:
     def test_deterministic_per_rng_state(self, topo):
         a = build_subscriptions(Scenario.SSD, np.random.default_rng(1), topo)
         b = build_subscriptions(Scenario.SSD, np.random.default_rng(1), topo)
+        assert [(s.subscriber, s.deadline_ms, str(s.filter)) for s in a] == [
+            (s.subscriber, s.deadline_ms, str(s.filter)) for s in b
+        ]
+
+
+class TestScaleFamily:
+    def test_family_members(self):
+        assert SCALE_SCENARIOS["100k"].subscribers == 100_000
+        assert SCALE_SCENARIOS["250k"].subscribers == 250_000
+        assert SCALE_SCENARIOS["1m"].subscribers == 1_000_000
+        assert SCALE_SCENARIOS["smoke"].subscribers < 20_000  # CI-sized
+
+    def test_topology_spec_covers_population(self):
+        spec = SCALE_SCENARIOS["100k"]
+        topo_spec = spec.topology_spec()
+        edges = topo_spec.layer_sizes[-1]
+        assert edges * topo_spec.subscribers_per_edge_broker >= spec.subscribers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleScenarioSpec(name="bad", subscribers=0)
+        with pytest.raises(ValueError):
+            ScaleScenarioSpec(name="bad", subscribers=10, filter_pool=0)
+        with pytest.raises(ValueError):
+            ScaleScenarioSpec(name="bad", subscribers=10, zipf_exponent=0.0)
+        with pytest.raises(ValueError):
+            ScaleScenarioSpec(name="bad", subscribers=10, selectivity_range=(0.5, 1.5))
+
+    def test_build_skewed_population(self, topo):
+        spec = ScaleScenarioSpec(name="t", subscribers=40, filter_pool=4, zipf_exponent=1.5)
+        subs = build_scale_subscriptions(np.random.default_rng(0), topo, spec)
+        assert len(subs) == 40
+        assert {s.subscriber for s in subs} == set(topo.subscriber_brokers)
+        # Filters come from a shared pool — far fewer distinct filters
+        # than subscribers — with Zipf-skewed popularity.
+        counts: dict[str, int] = {}
+        for s in subs:
+            counts[str(s.filter)] = counts.get(str(s.filter), 0) + 1
+        assert len(counts) <= spec.filter_pool
+        assert max(counts.values()) > min(counts.values())
+        # SSD pricing keeps earning/scheduling real at scale.
+        for s in subs:
+            assert s.price == SSD_PRICE_BY_DEADLINE_MS[s.deadline_ms]
+
+    def test_high_fanout_thresholds(self, topo):
+        spec = ScaleScenarioSpec(name="t", subscribers=40)
+        subs = build_scale_subscriptions(np.random.default_rng(0), topo, spec)
+        lo, hi = spec.value_range
+        s_lo, _ = spec.selectivity_range
+        for s in subs:
+            for pred in getattr(s.filter, "parts", (s.filter,)):
+                assert pred.value >= lo + s_lo * (hi - lo)
+
+    def test_deterministic_per_rng_state(self, topo):
+        spec = SCALE_SCENARIOS["smoke"]
+        a = build_scale_subscriptions(np.random.default_rng(5), topo, spec)
+        b = build_scale_subscriptions(np.random.default_rng(5), topo, spec)
         assert [(s.subscriber, s.deadline_ms, str(s.filter)) for s in a] == [
             (s.subscriber, s.deadline_ms, str(s.filter)) for s in b
         ]
