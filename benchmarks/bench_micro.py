@@ -211,6 +211,37 @@ def test_simulator_event_throughput(benchmark):
     assert benchmark(run_10k_events) == 10_000
 
 
+@pytest.mark.parametrize("engine", ["event", "fused"])
+def test_event_dispatch_engines(benchmark, engine):
+    """Bare dispatch loop, per-event heap pops vs the fused window drain.
+
+    Same 10k chained ticks as above, driven through ``FusedEngine`` in
+    system-less mode (no lookahead work) — isolates the inner drain
+    loop's overhead against ``Simulator.run``.
+    """
+    from repro.pubsub.engine import make_engine
+
+    def run_10k_events():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        eng = make_engine(engine, sim)
+        if eng is None:
+            sim.run()
+        else:
+            eng.run()
+        return count
+
+    assert benchmark(run_10k_events) == 10_000
+
+
 def test_sink_tree_paper_topology(benchmark):
     topo = build_layered_mesh(np.random.default_rng(0))
     sinks = [b for b in topo.brokers if topo.subscribers_of(b)]

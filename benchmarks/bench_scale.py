@@ -45,9 +45,12 @@ def run_child(args: argparse.Namespace, spill: bool) -> dict:
         "--minutes", str(args.minutes),
         "--seed", str(args.seed),
         "--chunk-rows", str(args.chunk_rows),
+        "--engine", args.engine,
     ]
     if spill:
         cmd.append("--spill")
+    if args.profile:
+        cmd.append("--profile")
     env = dict(os.environ)
     src = os.fspath(_REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
@@ -58,13 +61,18 @@ def run_child(args: argparse.Namespace, spill: bool) -> dict:
         raise RuntimeError(
             f"scale child ({'spill' if spill else 'memory'}) failed:\n{proc.stderr}"
         )
+    if args.profile and proc.stderr.strip():
+        print(proc.stderr.strip())
     # The record is the last stdout line (progress prints precede it).
     return json.loads(proc.stdout.strip().splitlines()[-1])
 
 
 def child_main(args: argparse.Namespace) -> int:
+    from repro.core import profiling
     from repro.experiments.scale import run_scale_point
 
+    if args.profile:
+        profiling.enable()
     point = run_scale_point(
         args.size,
         strategy=args.strategy,
@@ -73,7 +81,11 @@ def child_main(args: argparse.Namespace) -> int:
         minutes=args.minutes,
         spill=args.spill,
         chunk_rows=args.chunk_rows,
+        engine=args.engine,
     )
+    if args.profile and profiling.ACTIVE is not None:
+        # Stage table goes to stderr so stdout stays a clean JSON record.
+        print(profiling.disable().format_table(), file=sys.stderr)
     print(json.dumps(point.as_dict()))
     return 0
 
@@ -116,6 +128,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="simulated publication window (default 4.0, smoke 1.0)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--chunk-rows", type=int, default=default_chunk_rows)
+    parser.add_argument("--engine", default="fused", choices=("fused", "event"),
+                        help="execution engine (fused window drain | per-event oracle)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the per-stage hot-loop timer table per mode")
     parser.add_argument("--out", default="BENCH_e2e.json", help="merge results here")
     parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
     parser.add_argument("--spill", action="store_true", help=argparse.SUPPRESS)
@@ -134,8 +150,9 @@ def main(argv: list[str] | None = None) -> int:
         mode = "spill" if spill else "memory"
         record = run_child(args, spill)
         records[mode] = record
-        print(f"{mode:6s} {args.size:>5s}/{args.strategy}: "
+        print(f"{mode:6s} {args.size:>5s}/{args.strategy}/{args.engine}: "
               f"run {record['run_s']:7.2f}s, analysis {record['analysis_s']:6.2f}s, "
+              f"{record.get('deliveries_per_s', 0.0):,.0f} deliveries/s, "
               f"peak RSS {record['peak_rss_kb'] / 1024.0:8.1f} MiB, "
               f"{record['log_rows']} rows, {record['spilled_chunks']} spilled chunks")
 
@@ -164,6 +181,7 @@ def main(argv: list[str] | None = None) -> int:
             "minutes": args.minutes,
             "seed": args.seed,
             "chunk_rows": args.chunk_rows,
+            "engine": args.engine,
             "python": platform.python_version(),
             "machine": platform.machine(),
         },

@@ -65,6 +65,74 @@ def keyed_points(points: list, label: str) -> dict:
     return out
 
 
+def scale_point_key(point: dict) -> tuple | None:
+    """Identity of one scale point (size tier, strategy, engine, mode)."""
+    if not isinstance(point, dict):
+        return None
+    scenario = point.get("scenario")
+    if scenario is None or not isinstance(
+        point.get("deliveries_per_s"), (int, float)
+    ):
+        return None
+    return (
+        scenario,
+        point.get("strategy", "eb"),
+        point.get("engine", "fused"),
+        bool(point.get("log_spill", False)),
+    )
+
+
+def check_scale_throughput(
+    baseline: dict, current: dict, floor: float
+) -> tuple[int, list[str]]:
+    """Minimum-throughput floor on the scale tier's ``deliveries_per_s``.
+
+    The scale points measure the fused hot loop end to end; a silent 2x
+    slowdown there would not move the smoke points' sub-second wall
+    times.  The floor is deliberately loose (default: current must stay
+    above ``floor`` x baseline throughput) because shared runners swing
+    hard; it exists to catch collapses, not jitter.  Missing sections or
+    mismatched workload shapes degrade to notes — the wall_s guard above
+    stays the primary gate.
+    """
+    base_scale = baseline.get("scale") or {}
+    cur_scale = current.get("scale") or {}
+    if not base_scale.get("points") or not cur_scale.get("points"):
+        print("note: no scale sections on both sides — throughput floor skipped")
+        return 0, []
+    shape_fields = ("size", "strategy", "rate_per_min_per_publisher",
+                    "minutes", "seed", "engine")
+    base_shape = {f: base_scale.get("meta", {}).get(f) for f in shape_fields}
+    cur_shape = {f: cur_scale.get("meta", {}).get(f) for f in shape_fields}
+    if base_shape != cur_shape:
+        print(f"note: scale workload shapes differ — baseline {base_shape}, "
+              f"current {cur_shape}; throughput floor skipped")
+        return 0, []
+    base_points = {scale_point_key(p): p for p in base_scale["points"]}
+    cur_points = {scale_point_key(p): p for p in cur_scale["points"]}
+    base_points.pop(None, None)
+    cur_points.pop(None, None)
+    compared = 0
+    failures: list[str] = []
+    for key, base in sorted(base_points.items()):
+        cur = cur_points.get(key)
+        if cur is None:
+            print(f"note: baseline scale point {key} missing from current run")
+            continue
+        compared += 1
+        limit = base["deliveries_per_s"] * floor
+        status = "ok" if cur["deliveries_per_s"] >= limit else "REGRESSED"
+        print(f"{status:9s} scale {key}: baseline "
+              f"{base['deliveries_per_s']:,.0f} del/s, current "
+              f"{cur['deliveries_per_s']:,.0f} del/s (floor {limit:,.0f})")
+        if cur["deliveries_per_s"] < limit:
+            failures.append(
+                f"scale {key}: {cur['deliveries_per_s']:,.0f} deliveries/s "
+                f"below {floor:.0%} of baseline {base['deliveries_per_s']:,.0f}"
+            )
+    return compared, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default="benchmarks/bench_e2e_smoke_baseline.json")
@@ -80,6 +148,12 @@ def main(argv: list[str] | None = None) -> int:
         help="absolute wall_s slack in seconds added on top of the "
              "fractional tolerance; smoke points run ~0.1s, where pure "
              "percentages amplify scheduler noise (default 0.05)",
+    )
+    parser.add_argument(
+        "--scale-floor", type=float,
+        default=float(os.environ.get("BENCH_SCALE_FLOOR", "0.5")),
+        help="scale points must keep at least this fraction of the "
+             "baseline deliveries_per_s (default 0.5)",
     )
     args = parser.parse_args(argv)
 
@@ -120,6 +194,11 @@ def main(argv: list[str] | None = None) -> int:
     for key in sorted(set(cur_points) - set(base_points)):
         print(f"note: new scenario/point {key} not in baseline (not guarded)")
 
+    scale_compared, scale_failures = check_scale_throughput(
+        baseline, current, args.scale_floor
+    )
+    failures.extend(scale_failures)
+
     if compared == 0:
         print("error: no comparable points between baseline and current run")
         return 2
@@ -128,7 +207,9 @@ def main(argv: list[str] | None = None) -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"\nall {compared} guarded points within +{args.tolerance:.0%} of baseline")
+    print(f"\nall {compared} guarded points within +{args.tolerance:.0%} of "
+          f"baseline; {scale_compared} scale point(s) above the "
+          f"{args.scale_floor:.0%} throughput floor")
     return 0
 
 

@@ -20,11 +20,13 @@ import argparse
 import sys
 import time
 
+from repro.core import profiling
 from repro.core.chunked import DEFAULT_CHUNK_ROWS
 from repro.experiments import figure4, figure5, figure6, table1
 from repro.experiments.claims import format_report, run_all
 from repro.experiments.common import ScaleSpec
 from repro.experiments.report import format_series_table
+from repro.pubsub.engine import ENGINE_BACKENDS
 from repro.pubsub.matching import MATCHER_BACKENDS
 from repro.pubsub.metrics import METRICS_BACKENDS
 from repro.sim.config import SimulationConfig
@@ -141,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", choices=list(METRICS_BACKENDS), default="ledger",
         help="accounting backend: array-backed ledger or per-delivery scalar oracle",
     )
+    _add_engine_args(p)
     _add_log_args(p)
 
     p = sub.add_parser(
@@ -156,8 +159,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--minutes", type=float, default=2.0, help="simulated test period")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--window", type=float, default=30.0, help="series bucket (seconds)")
+    _add_engine_args(p)
     _add_log_args(p)
     return parser
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=list(ENGINE_BACKENDS), default="fused",
+        help="event-pipeline driver: fused window drain or the per-event oracle",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="per-stage pipeline timers (pop/match/enqueue/drain/metrics/"
+             "append), printed after the run",
+    )
 
 
 def _add_log_args(parser: argparse.ArgumentParser) -> None:
@@ -246,6 +262,8 @@ def main(argv: list[str] | None = None) -> int:
         print(render_ascii_chart(result))
     elif args.command == "run":
         params = {"r": args.r} if args.strategy == "ebpc" else {}
+        if args.profile:
+            profiling.enable()
         result = run_simulation(
             SimulationConfig(
                 seed=args.seed,
@@ -256,6 +274,7 @@ def main(argv: list[str] | None = None) -> int:
                 duration_ms=args.minutes * 60_000.0,
                 matcher_backend=args.matcher,
                 metrics_backend=args.metrics,
+                engine_backend=args.engine,
                 log_spill=args.log_spill,
                 log_chunk_rows=args.log_chunk,
             )
@@ -268,9 +287,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"message number    : {result.message_number}")
         print(f"pruned            : {result.pruned}")
         print(f"mean latency (ms) : {result.mean_latency_ms:.0f}")
+        if args.profile and profiling.ACTIVE is not None:
+            print()
+            print(profiling.disable().format_table())
     elif args.command == "scale":
         from repro.experiments.scale import run_scale_point
 
+        if args.profile:
+            profiling.enable()
         point = run_scale_point(
             args.size,
             strategy=args.strategy,
@@ -280,6 +304,7 @@ def main(argv: list[str] | None = None) -> int:
             spill=args.log_spill,
             chunk_rows=args.log_chunk,
             window_s=args.window,
+            engine=args.engine,
         )
         print(f"scenario          : scale-{point.scenario}")
         print(f"strategy          : {point.strategy}")
@@ -294,7 +319,11 @@ def main(argv: list[str] | None = None) -> int:
               f" {point.chunk_rows} rows/chunk)")
         print(f"build / run / ana : {point.build_s:.1f}s / {point.run_s:.1f}s"
               f" / {point.analysis_s:.1f}s")
+        print(f"deliveries/s (run): {point.deliveries_per_s:,.0f}")
         print(f"peak RSS          : {point.peak_rss_kb / 1024.0:.0f} MiB")
+        if args.profile and profiling.ACTIVE is not None:
+            print()
+            print(profiling.disable().format_table())
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(2)
 

@@ -373,6 +373,14 @@ class ScheduledQueue:
         if self._prune_index is not None:
             self._prune_index.push(entry)
 
+    def push_many(self, entries: list[QueueEntry]) -> None:
+        """Admit a window's entries in order (the fused engine's batched
+        enqueue).  Admission order is observable — heap tie-breaks and the
+        prune index key on seq — so this is sequenced, not reordered:
+        element ``i`` lands exactly as ``push(entries[i])`` would."""
+        for entry in entries:
+            self.push(entry)
+
     def prune(self, now: float) -> list[QueueEntry]:
         """Delete and return every entry invalid at ``now`` (seq order)."""
         if self._prune_index is None:

@@ -20,7 +20,10 @@ class Event:
     overhead at paper-scale event counts.
     """
 
-    __slots__ = ("time", "priority", "seq", "action", "label", "cancelled", "done")
+    __slots__ = (
+        "time", "priority", "seq", "action", "label", "cancelled", "done",
+        "kind", "payload",
+    )
 
     def __init__(
         self,
@@ -30,6 +33,8 @@ class Event:
         action: Callable[[], None],
         label: str = "",
         cancelled: bool = False,
+        kind: str = "",
+        payload: object = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -38,6 +43,16 @@ class Event:
         self.label = label
         self.cancelled = cancelled
         self.done = False  # set by the kernel once the action has run
+        # Typed-event metadata: ``kind`` names the pipeline stage the
+        # action performs ("" = opaque) and ``payload`` carries its
+        # operands.  The action stays the executable — kind/payload exist
+        # so the fused engine's window lookahead can *inspect* pending
+        # events (batch-match "process" events ahead of time) without
+        # executing them.  Opaque events are automatic barriers: the
+        # lookahead cannot see through them, so dynamics/churn lambdas
+        # need no special casing to stay correct.
+        self.kind = kind
+        self.payload = payload
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)

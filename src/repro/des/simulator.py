@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Callable
 
+from repro.core import profiling
 from repro.des.event import Event, EventHandle
 
 
@@ -64,11 +66,16 @@ class Simulator:
         *,
         priority: int = 0,
         label: str = "",
+        kind: str = "",
+        payload: object = None,
     ) -> EventHandle:
         """Schedule ``action`` to run ``delay`` time units from now."""
         if delay < 0.0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, action, priority=priority, label=label)
+        return self.schedule_at(
+            self._now + delay, action,
+            priority=priority, label=label, kind=kind, payload=payload,
+        )
 
     def schedule_at(
         self,
@@ -77,13 +84,21 @@ class Simulator:
         *,
         priority: int = 0,
         label: str = "",
+        kind: str = "",
+        payload: object = None,
     ) -> EventHandle:
-        """Schedule ``action`` at absolute simulated time ``time``."""
+        """Schedule ``action`` at absolute simulated time ``time``.
+
+        ``kind``/``payload`` are optional typed-event metadata (see
+        :class:`~repro.des.event.Event`): they let the fused engine's
+        lookahead inspect pending work without executing it.  The action
+        remains the sole executable either way.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(float(time), priority, self._seq, action, label)
+        event = Event(float(time), priority, self._seq, action, label, kind=kind, payload=payload)
         self._seq += 1
         heapq.heappush(self._heap, event)
         self._live += 1
@@ -126,10 +141,12 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         executed = 0
+        prof = profiling.ACTIVE
         try:
             while self._heap:
                 if max_events is not None and executed >= max_events:
                     break
+                t0 = perf_counter() if prof is not None else 0.0
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
@@ -142,6 +159,8 @@ class Simulator:
                 executed += 1
                 self._live -= 1
                 head.done = True
+                if prof is not None:
+                    prof.add("pop", perf_counter() - t0)
                 head.action()
             if until is not None and self._now < until and self._live == 0:
                 # Drained early: advance the clock to the horizon so that

@@ -71,6 +71,13 @@ class ScalePointResult:
     analysis_s: float
     peak_rss_kb: int
     series_sha256: str
+    engine: str = "fused"
+
+    @property
+    def deliveries_per_s(self) -> float:
+        """Delivered records per wall-second of the run phase — the
+        scale tier's throughput figure (guarded by the bench floor)."""
+        return self.deliveries / self.run_s if self.run_s > 0.0 else 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -87,9 +94,11 @@ class ScalePointResult:
             "delivery_rate": self.delivery_rate,
             "log_rows": self.log_rows,
             "spilled_chunks": self.spilled_chunks,
+            "engine": self.engine,
             "build_s": round(self.build_s, 3),
             "run_s": round(self.run_s, 3),
             "analysis_s": round(self.analysis_s, 3),
+            "deliveries_per_s": round(self.deliveries_per_s, 1),
             # Total measured wall, matching what wall_s means in every
             # other BENCH_e2e.json record.
             "wall_s": round(self.build_s + self.run_s + self.analysis_s, 4),
@@ -106,6 +115,7 @@ def scale_config(
     minutes: float = 2.0,
     spill: bool = False,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    engine: str = "fused",
 ) -> SimulationConfig:
     """The simulation config of one scale point (small messages keep the
     links fast, so fanout — not transmission — dominates)."""
@@ -120,6 +130,7 @@ def scale_config(
         topology_spec=spec.topology_spec(),
         log_spill=spill,
         log_chunk_rows=chunk_rows,
+        engine_backend=engine,
     )
 
 
@@ -159,6 +170,7 @@ def run_scale_point(
     spill: bool = False,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     window_s: float = 30.0,
+    engine: str = "fused",
 ) -> ScalePointResult:
     """Build, run and analyse one scale point, timing each phase.
 
@@ -170,13 +182,13 @@ def run_scale_point(
     spec = SCALE_SCENARIOS[scenario]
     config = scale_config(
         spec, strategy=strategy, seed=seed, rate_per_min=rate_per_min,
-        minutes=minutes, spill=spill, chunk_rows=chunk_rows,
+        minutes=minutes, spill=spill, chunk_rows=chunk_rows, engine=engine,
     )
     t0 = time.perf_counter()
     system = build_scale_system(spec, config)
     schedule_workload(system, config)
     t1 = time.perf_counter()
-    system.sim.run(until=config.horizon_ms)
+    system.run(until=config.horizon_ms)
     t2 = time.perf_counter()
     ts = windowed_metrics(system, window_s * 1000.0, config.horizon_ms)
     digest = series_digest(ts)
@@ -201,4 +213,5 @@ def run_scale_point(
         analysis_s=t3 - t2,
         peak_rss_kb=peak_rss_kb(),
         series_sha256=digest,
+        engine=engine,
     )

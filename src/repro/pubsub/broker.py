@@ -18,10 +18,12 @@ bottleneck), so processing completes exactly ``PD`` after reception.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
 
+from repro.core import profiling
 from repro.core.context import SchedulingContext
 from repro.core.pruning import DEFAULT_EPSILON, PruningPolicy
 from repro.core.queueing import ScheduledQueue
@@ -130,6 +132,10 @@ class Broker:
         # whenever the table interns new names; lets batched settlement
         # skip per-row name lookups when the collector supports ids.
         self._metrics_sids = _EMPTY_SIDS if hasattr(metrics, "on_delivery_batch_ids") else None
+        #: msg_id -> (table version, match_grouped result), filled by the
+        #: fused engine's window lookahead and consumed by :meth:`_process`
+        #: (stale versions are recomputed, so churn can never skew a match).
+        self._match_memo: dict[int, tuple[int, tuple]] = {}
 
     # ------------------------------------------------------------------ #
     # Wiring.
@@ -181,12 +187,26 @@ class Broker:
             # exist for trace/debug inspection only, and the f-string per
             # event is measurable at ingest rates.
             label=f"{self.name}:process:{message.msg_id}" if self.trace is not None else "",
+            # Typed metadata so the fused engine's window lookahead can
+            # batch-match pending processing steps ahead of execution.
+            kind="process",
+            payload=(self, message),
         )
 
     def _process(self, message: Message) -> None:
         self._size_sum += message.size_kb
         self._size_count += 1
-        local, remote = self.table.match_grouped(message)
+        prof = profiling.ACTIVE
+        t0 = perf_counter() if prof is not None else 0.0
+        memo = self._match_memo.pop(message.msg_id, None)
+        if memo is not None and memo[0] == self.table.version:
+            # Precomputed by the fused engine's window lookahead; the
+            # version check discards results staled by churn in between.
+            local, remote = memo[1]
+        else:
+            local, remote = self.table.match_grouped(message)
+        if prof is not None:
+            prof.add("match", perf_counter() - t0)
         now = self.sim.now
         if len(local):
             # Columnar local delivery: one vectorised validity comparison
@@ -196,6 +216,8 @@ class Broker:
             prices = local.price
             latency = message.hdl(now)
             valid = latency <= effective_deadline_array(local.deadline, message)
+            if prof is not None:
+                t0 = perf_counter()
             if self._metrics_sids is not None:
                 sids = self._metrics_sids
                 names = local.sub_names
@@ -215,8 +237,13 @@ class Broker:
                 self.metrics.on_delivery_batch(
                     message.msg_id, local.subscribers, latency, prices, valid
                 )
+            if prof is not None:
+                t1 = perf_counter()
+                prof.add("metrics", t1 - t0)
             for batch_callback in self.delivery_batch_callbacks:
                 batch_callback(self, local, message, latency, valid)
+            if prof is not None:
+                prof.add("append", perf_counter() - t1)
             if self.delivery_callbacks or self.trace is not None:
                 valid_list = valid.tolist()
                 for i, subscriber in enumerate(local.subscribers):
@@ -234,12 +261,16 @@ class Broker:
         for neighbor, group in remote.items():
             # The group goes in as-is: TableRow objects materialise only
             # if this queue's strategy actually reads ``entry.rows``.
+            if prof is not None:
+                t0 = perf_counter()
             entry = QueueEntry(
                 message, group, enqueue_time=now, seq=self._seq,
                 arrays=group.arrays,
             )
             self._seq += 1
             self.queues[neighbor].sched.push(entry)
+            if prof is not None:
+                prof.add("enqueue", perf_counter() - t0)
             if self.trace is not None:
                 self.trace.record(
                     now, "enqueue", self.name,
@@ -277,6 +308,15 @@ class Broker:
             self.metrics.on_prune(len(pruned))
 
     def _try_send(self, neighbor: str) -> None:
+        prof = profiling.ACTIVE
+        if prof is not None:
+            t0 = perf_counter()
+            self._service(neighbor)
+            prof.add("drain", perf_counter() - t0)
+        else:
+            self._service(neighbor)
+
+    def _service(self, neighbor: str) -> None:
         queue = self.queues[neighbor]
         if queue.link.busy:
             return

@@ -48,6 +48,8 @@ class MatchingEngine(Protocol[K]):
 
     def match(self, attributes: Mapping[str, float]) -> set[K]: ...
 
+    def count(self, attributes: Mapping[str, float]) -> int: ...
+
     def __len__(self) -> int: ...
 
 
@@ -67,6 +69,10 @@ class BruteForceMatcher(Generic[K]):
 
     def match(self, attributes: Mapping[str, float]) -> set[K]:
         return {k for k, f in self._filters.items() if f.matches(attributes)}
+
+    def count(self, attributes: Mapping[str, float]) -> int:
+        """``len(match(...))`` without materialising the key set."""
+        return sum(1 for f in self._filters.values() if f.matches(attributes))
 
     def __contains__(self, key: K) -> bool:
         return key in self._filters
@@ -246,6 +252,10 @@ class CountingIndexMatcher(Generic[K]):
         result.update(self._fallback.match(attributes))
         return result
 
+    def count(self, attributes: Mapping[str, float]) -> int:
+        """``len(match(...))`` — the oracle keeps the straightforward form."""
+        return len(self.match(attributes))
+
     def __len__(self) -> int:
         return len(self._predicate_count) + len(self._fallback)
 
@@ -361,6 +371,11 @@ class VectorCountingMatcher(Generic[K]):
         self._dead_ids: set[int] = set()
         self._dead_entries = 0
         self._total_entries = 0
+        #: True while every key equals its own interned id (the
+        #: subscription table keys rows by the ids it interned in the same
+        #: order, so churn-free tables keep this for the whole run) —
+        #: then matched ids ARE the keys and match_array needs no gather.
+        self._keys_identity = True
 
     # -------------------------------------------------------------- #
     # Mutation.
@@ -371,6 +386,8 @@ class VectorCountingMatcher(Generic[K]):
         self._id_of[key] = id_
         self._required.append(n_predicates if n_predicates > 0 else _NEVER)
         self._required_dirty = True
+        if self._keys_identity and key != id_:
+            self._keys_identity = False
         return id_
 
     def add(self, key: K, filter_: Filter) -> None:
@@ -438,10 +455,35 @@ class VectorCountingMatcher(Generic[K]):
         dead.clear()
         self._required_dirty = True
         self._key_arr = np.empty(0, dtype=np.int64)
+        self._keys_identity = all(k == i for i, k in enumerate(self._keys))
 
     # -------------------------------------------------------------- #
     # Matching.
     # -------------------------------------------------------------- #
+    @property
+    def array_results_sorted(self) -> bool:
+        """True when :meth:`match_array` is guaranteed to return ids in
+        ascending order (the identity fast path: hits come straight from
+        ``flatnonzero``) — callers can then skip their canonical sort."""
+        return self._keys_identity and not self._match_all and not len(self._fallback)
+
+    def warm(self) -> None:
+        """Eagerly build every lazy compiled structure (per-op indexes,
+        predicate totals, key gather).  Matching compiles these on first
+        use anyway; warming just moves the one-time cost out of the
+        simulation's hot loop — reachable state is identical."""
+        for idx in self._indexes.values():
+            if idx.dirty:
+                idx.compile()
+        if self._required_dirty:
+            self._required_arr = np.asarray(self._required, dtype=np.int64)
+            self._required_dirty = False
+        if not self._keys_identity and len(self._key_arr) != len(self._keys):
+            try:
+                self._key_arr = np.asarray(self._keys, dtype=np.int64)
+            except (TypeError, ValueError):
+                pass  # non-int keys never take the array path
+
     def _indexed_hits(self, attributes: Mapping[str, float]) -> np.ndarray:
         """Ids whose predicate count equals their total (sorted ascending)."""
         if self._required_dirty:
@@ -478,6 +520,10 @@ class VectorCountingMatcher(Generic[K]):
         unspecified; callers that need a canonical order sort the result.
         """
         hits = self._indexed_hits(attributes)
+        if self._keys_identity and not self._match_all and not len(self._fallback):
+            # Keys == ids: the hit array (already sorted ascending, as it
+            # comes from flatnonzero) is the answer with no gather.
+            return hits
         if len(self._key_arr) != len(self._keys):
             self._key_arr = np.asarray(self._keys, dtype=np.int64)
         parts = [self._key_arr[hits]] if hits.size else []
@@ -490,6 +536,19 @@ class VectorCountingMatcher(Generic[K]):
         if not parts:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    def count(self, attributes: Mapping[str, float]) -> int:
+        """``len(match(...))`` without materialising the key set.
+
+        Exact because the three categories are disjoint: ``add`` raises on
+        duplicate keys, match-all ids carry a ``_NEVER`` total (never in
+        the indexed hits) and fallback keys are never interned.
+        """
+        return (
+            int(self._indexed_hits(attributes).size)
+            + len(self._match_all)
+            + len(self._fallback.match(attributes))
+        )
 
     def __len__(self) -> int:
         return self._live + len(self._fallback)

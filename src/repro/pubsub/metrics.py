@@ -223,10 +223,16 @@ class _FoldedSum:
     def value(self) -> float:
         n = len(self._log)
         if self._folded < n:
-            acc = self._acc
-            for v in self._log.view()[self._folded:].tolist():
-                acc += v
-            self._acc = acc
+            tail = self._log.view()[self._folded:]
+            # np.add.accumulate is the same sequential left-to-right
+            # chain of float64 additions as the scalar ``acc += v`` loop
+            # (pairwise reassociation applies to reductions, never to
+            # accumulations), so seeding it with the accumulator
+            # reproduces the running sum byte-for-byte without a
+            # Python-level loop over the tail.
+            self._acc = float(
+                np.add.accumulate(np.concatenate(((self._acc,), tail)))[-1]
+            )
             self._folded = n
         return self._acc
 
@@ -404,9 +410,13 @@ class LedgerMetricsCollector:
             np.add.at(tallies, vids, 1)
             self._earn.extend(prices[valid_new])
             self._lat.extend(np.full(nv, latency_ms))
-        merged = np.concatenate((settled, fresh_ids))
-        merged.sort()
-        self._settled[mid] = merged
+        # Both sides sorted (settled by invariant, fresh after its own
+        # small sort) — a positional insert is a linear merge, instead of
+        # re-sorting the whole settled set on every batch.
+        fresh_sorted = np.sort(fresh_ids)
+        self._settled[mid] = np.insert(
+            settled, np.searchsorted(settled, fresh_sorted), fresh_sorted
+        )
 
     # ------------------------------------------------------------------ #
     # Derived metrics.

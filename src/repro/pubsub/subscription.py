@@ -117,9 +117,7 @@ class RowGroup:
     def __init__(self, table: "SubscriptionTable", row_ids: np.ndarray) -> None:
         self.row_ids = row_ids
         self._table = table
-        self._cols = (table._c_nn, table._c_mean, table._c_std,
-                      table._c_deadline, table._c_price, table._c_sub,
-                      table._sub_names)
+        self._cols = (table._c_cols5, table._c_sub, table._sub_names)
         self._arrays: RowArrays | None = None
         self._rows: list[TableRow] | None = None
         self._subscribers: list[str] | None = None
@@ -136,11 +134,13 @@ class RowGroup:
     @property
     def arrays(self) -> "RowArrays":
         if self._arrays is None:
-            nn, mean, std, deadline, price, _, _ = self._cols
+            # Five 1-D gathers over the stacked matrix's contiguous row
+            # views (the generic 2-D advanced-indexing path is slower).
+            cols5 = self._cols[0]
             ids = self.row_ids
             self._arrays = RowArrays(
-                nn=nn[ids], mean=mean[ids], std=std[ids],
-                deadline=deadline[ids], price=price[ids],
+                nn=cols5[0][ids], mean=cols5[1][ids], std=cols5[2][ids],
+                deadline=cols5[3][ids], price=cols5[4][ids],
             )
         return self._arrays
 
@@ -150,34 +150,34 @@ class RowGroup:
         local-delivery path needs just this and ``price``, not the full
         five-column :attr:`arrays` gather."""
         if self._deadline is None:
-            self._deadline = self._cols[3][self.row_ids]
+            self._deadline = self._cols[0][3][self.row_ids]
         return self._deadline
 
     @property
     def price(self) -> np.ndarray:
         """The group's price column alone (1.0 = unspecified)."""
         if self._price is None:
-            self._price = self._cols[4][self.row_ids]
+            self._price = self._cols[0][4][self.row_ids]
         return self._price
 
     @property
     def sub_ids(self) -> np.ndarray:
         """Table-interned subscriber ids, one per row (dense, stable)."""
-        return self._cols[5][self.row_ids]
+        return self._cols[1][self.row_ids]
 
     @property
     def sub_names(self) -> list[str]:
         """The owning table's full interned-name column (append-only):
         ``sub_names[sub_ids[i]]`` is row ``i``'s subscriber.  Callers key
         translation caches on ``len(sub_names)``."""
-        return self._cols[6]
+        return self._cols[2]
 
     @property
     def subscribers(self) -> list[str]:
         """Subscriber names, one per row, via the table's interning
         (``_sub_names`` is append-only, so the capture is a snapshot)."""
         if self._subscribers is None:
-            names = self._cols[6]
+            names = self._cols[2]
             self._subscribers = [names[i] for i in self.sub_ids]
         return self._subscribers
 
@@ -235,15 +235,31 @@ class SubscriptionTable:
         self._sub_id: list[int] = []
         self._min_msg: list[int] = []
         self._sources: list[frozenset[str]] = []
+        #: Source sets interned to dense ids: rows overwhelmingly share a
+        #: handful of distinct sets (one per routed subtree), so the
+        #: per-source provenance mask is a membership probe over the
+        #: distinct sets fancy-indexed through this column — O(distinct)
+        #: instead of a Python frozenset probe per row.
+        self._src_set: list[int] = []
+        self._src_set_id_of: dict[frozenset[str], int] = {}
+        self._src_set_by_id: list[frozenset[str]] = []
         self._hop_names: list[str] = []
         self._hop_id_of: dict[str, int] = {}
         self._sub_names: list[str] = []
         self._sub_id_of: dict[str, int] = {}
+        #: Mutation counter: bumped on every install/uninstall.  The fused
+        #: engine keys its speculative match memo on this, so a result
+        #: computed ahead of time is only consumed if the table has not
+        #: changed since (churn between lookahead and execution recomputes).
+        self._version = 0
         # Compiled views (rebuilt lazily after install/uninstall).
         self._dirty = True
+        self._c_cols5 = np.empty((5, 0))
         self._c_nn = self._c_mean = self._c_std = np.empty(0)
         self._c_deadline = self._c_price = np.empty(0)
         self._c_hop = self._c_sub = self._c_rank = self._c_min_msg = _EMPTY_IDS
+        self._c_src_set = _EMPTY_IDS
+        self._c_rank_identity = False
         #: hop id -> rank in sorted-neighbor-name order (offset by one so
         #: slot 0 holds the local pseudo-hop −1, which must sort first).
         self._c_hop_rank = _EMPTY_IDS
@@ -270,6 +286,10 @@ class SubscriptionTable:
             self._sub_names.append(row.subscriber)
         deadline = row.deadline_ms if row.deadline_ms is not None else np.inf
         price = row.price if row.price is not None else 1.0
+        src_set = self._src_set_id_of.get(row.sources)
+        if src_set is None:
+            src_set = self._src_set_id_of[row.sources] = len(self._src_set_by_id)
+            self._src_set_by_id.append(row.sources)
         if self._free_ids:
             row_id = self._free_ids.pop()
             self._rows_by_id[row_id] = row
@@ -282,6 +302,7 @@ class SubscriptionTable:
             self._sub_id[row_id] = sub
             self._min_msg[row_id] = row.min_msg_id
             self._sources[row_id] = row.sources
+            self._src_set[row_id] = src_set
         else:
             row_id = len(self._rows_by_id)
             self._rows_by_id.append(row)
@@ -294,6 +315,7 @@ class SubscriptionTable:
             self._sub_id.append(sub)
             self._min_msg.append(row.min_msg_id)
             self._sources.append(row.sources)
+            self._src_set.append(src_set)
         self._id_of_key[key] = row_id
         self._ids_of_subscriber.setdefault(row.subscriber, []).append(row_id)
         self._matcher.add(row_id, row.subscription.filter)
@@ -302,6 +324,7 @@ class SubscriptionTable:
         if row.min_msg_id > 0:
             self._has_epoch_rows = True
         self._dirty = True
+        self._version += 1
 
     def uninstall(self, subscriber: str) -> None:
         """Remove every row (any path) of a subscriber."""
@@ -315,10 +338,16 @@ class SubscriptionTable:
             self._matcher.remove(row_id)
             self._free_ids.append(row_id)
         self._dirty = True
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Lookup.
     # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (install/uninstall each bump it)."""
+        return self._version
+
     def __len__(self) -> int:
         return len(self._id_of_key)
 
@@ -334,24 +363,60 @@ class SubscriptionTable:
     # ------------------------------------------------------------------ #
     # Matching.
     # ------------------------------------------------------------------ #
+    def warm(self) -> None:
+        """Build the compiled column views and the matcher's indexes now
+        instead of on the first match.  Purely a latency move: the state
+        reached is exactly what the first match would have built."""
+        self._compile()
+        warm = getattr(self._matcher, "warm", None)
+        if warm is not None:
+            warm()
+
     def _compile(self) -> None:
         if not self._dirty:
             return
-        self._c_nn = np.asarray(self._nn)
-        self._c_mean = np.asarray(self._mean)
-        self._c_std = np.asarray(self._std)
-        self._c_deadline = np.asarray(self._deadline)
-        self._c_price = np.asarray(self._price)
+        # The five scoring columns live as rows of one (5, n) matrix; the
+        # per-column views share its memory, and a matched group gathers
+        # all five with a single fancy index (``_c_cols5[:, ids]``).
+        n_rows = len(self._nn)
+        cols5 = np.empty((5, n_rows))
+        cols5[0] = self._nn
+        cols5[1] = self._mean
+        cols5[2] = self._std
+        cols5[3] = self._deadline
+        cols5[4] = self._price
+        self._c_cols5 = cols5
+        self._c_nn = cols5[0]
+        self._c_mean = cols5[1]
+        self._c_std = cols5[2]
+        self._c_deadline = cols5[3]
+        self._c_price = cols5[4]
         self._c_hop = np.asarray(self._hop_id, dtype=np.int64)
         self._c_sub = np.asarray(self._sub_id, dtype=np.int64)
         self._c_min_msg = np.asarray(self._min_msg, dtype=np.int64)
+        self._c_src_set = np.asarray(self._src_set, dtype=np.int64)
         # Rank = position in sorted (subscriber, path_id) order, the
         # canonical match order (dead ids keep a stale rank; the matcher
-        # never returns them).
-        rank = np.zeros(len(self._rows_by_id), dtype=np.int64)
-        for r, key in enumerate(sorted(self._id_of_key)):
-            rank[self._id_of_key[key]] = r
+        # never returns them).  np.lexsort over (path_id, name) gives
+        # exactly sorted-tuple order — numpy compares unicode by code
+        # point, same as Python str — without a Python loop over the keys.
+        n = len(self._rows_by_id)
+        rank = np.zeros(n, dtype=np.int64)
+        live = len(self._id_of_key)
+        if live:
+            keys = list(self._id_of_key)
+            ids = np.fromiter(self._id_of_key.values(), dtype=np.int64, count=live)
+            names = np.asarray([k[0] for k in keys])
+            paths = np.fromiter((k[1] for k in keys), dtype=np.int64, count=live)
+            order = np.lexsort((paths, names))
+            rank[ids[order]] = np.arange(live, dtype=np.int64)
         self._c_rank = rank
+        # Frozen worlds install in sorted order, making the rank the
+        # identity — then canonical ordering is a plain sort of the
+        # matched ids, no rank gather or argsort.
+        self._c_rank_identity = live == n and bool(
+            np.array_equal(rank, np.arange(n, dtype=np.int64))
+        )
         # Neighbor-name rank per hop id (local −1 ranks below every name),
         # so grouping can emit neighbor groups already name-sorted — the
         # broker's deterministic enqueue order without a per-message sort.
@@ -368,10 +433,14 @@ class SubscriptionTable:
     def _source_mask(self, source_broker: str) -> np.ndarray:
         mask = self._c_source_masks.get(source_broker)
         if mask is None:
-            n = len(self._sources)
-            mask = np.fromiter(
-                (source_broker in s for s in self._sources), dtype=bool, count=n
-            ) if n else np.empty(0, dtype=bool)
+            # Membership over the distinct interned source sets, spread to
+            # rows through the set-id column — O(distinct sets) Python
+            # work however many rows share them.
+            sets = self._src_set_by_id
+            hit = np.fromiter(
+                (source_broker in s for s in sets), dtype=bool, count=len(sets)
+            )
+            mask = hit[self._c_src_set] if len(sets) else np.empty(0, dtype=bool)
             self._c_source_masks[source_broker] = mask
         return mask
 
@@ -382,9 +451,11 @@ class SubscriptionTable:
         matcher = self._matcher
         if hasattr(matcher, "match_array"):
             ids = matcher.match_array(message.attributes)
+            ascending = getattr(matcher, "array_results_sorted", False)
         else:
             keys = matcher.match(message.attributes)
             ids = np.fromiter(keys, dtype=np.int64, count=len(keys))
+            ascending = False
         if ids.size == 0:
             return ids
         ids = ids[self._source_mask(message.source_broker)[ids]]
@@ -393,7 +464,13 @@ class SubscriptionTable:
             # joined (ids are publish-ordered); frozen tables skip this.
             ids = ids[self._c_min_msg[ids] <= message.msg_id]
         if ids.size:
-            ids = ids[np.argsort(self._c_rank[ids], kind="stable")]
+            if self._c_rank_identity:
+                # Boolean filters above preserve order, so ids that came
+                # out of the matcher ascending are still ascending here.
+                if not ascending:
+                    ids = np.sort(ids)
+            else:
+                ids = ids[np.argsort(self._c_rank[ids], kind="stable")]
         return ids
 
     def match(self, message: Message) -> list[TableRow]:
@@ -446,6 +523,19 @@ class SubscriptionTable:
                 remote[self._hop_names[self._hop_by_rank[r]]] = group
             start = stop
         return local, remote
+
+    def match_grouped_many(
+        self, messages: list[Message]
+    ) -> list[tuple[RowGroup, dict[str, RowGroup]]]:
+        """Batch form of :meth:`match_grouped` for the fused engine's
+        window lookahead: compile once, then match the window's messages
+        against the same compiled columns (per-source provenance masks are
+        built once and shared across the batch).  Matching itself is a
+        pure per-message reduction — each message's result is exactly
+        ``match_grouped(message)``, which the differential suite asserts.
+        """
+        self._compile()
+        return [self.match_grouped(m) for m in messages]
 
 
 @dataclass(frozen=True)

@@ -66,8 +66,21 @@ class SimulationConfig:
     #: Rows per sealed log chunk (the spill granularity and the memory
     #: high-water mark of the log under spill).
     log_chunk_rows: int = DEFAULT_CHUNK_ROWS
+    #: Event-pipeline driver: "fused" drains the heap in event-time
+    #: windows with batched match lookahead; "event" is the per-event
+    #: kernel kept as the differential oracle.  Byte-identical outputs.
+    engine_backend: str = "fused"
+    #: Fused engine's event-time window (ms).  Any positive value is
+    #: decision-neutral — it only controls execution micro-batching.
+    engine_window_ms: float = 50.0
 
     def __post_init__(self) -> None:
+        if self.engine_backend not in ("fused", "event"):
+            raise ValueError(
+                f"engine_backend must be 'fused' or 'event', got {self.engine_backend!r}"
+            )
+        if self.engine_window_ms <= 0.0:
+            raise ValueError("engine_window_ms must be positive")
         if self.log_chunk_rows < 1:
             raise ValueError("log_chunk_rows must be >= 1")
         if self.publishing_rate_per_min < 0.0:

@@ -67,6 +67,8 @@ def build_system(
             link_estimator=config.link_estimator,
             log_spill=config.log_spill,
             log_chunk_rows=config.log_chunk_rows,
+            engine_backend=config.engine_backend,
+            engine_window_ms=config.engine_window_ms,
         ),
     )
     rng = streams.get("subscriptions")
@@ -74,6 +76,8 @@ def build_system(
         system.subscribe_all(subscription_builder(rng, topology))
     else:
         system.subscribe_all(build_subscriptions(config.scenario, rng, topology))
+    # Compile tables/matchers now so first-match cost is a build cost.
+    system.warm()
     return system
 
 
@@ -135,7 +139,7 @@ def run_simulation(
     system = build_system(config, topology)
     schedule_workload(system, config)
     schedule_dynamics(system, config)
-    executed = system.sim.run(until=config.horizon_ms)
+    executed = system.run(until=config.horizon_ms)
     return SimulationResult.from_metrics(
         system.metrics,
         strategy=config.strategy_label(),

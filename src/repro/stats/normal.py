@@ -16,6 +16,8 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.fastpath import erf_array
+
 _SQRT2 = math.sqrt(2.0)
 
 
@@ -48,6 +50,16 @@ def normal_cdf_vec(x: np.ndarray, mean: np.ndarray, std: np.ndarray) -> np.ndarr
     std = np.asarray(std, dtype=np.float64)
     if np.any(std < 0.0):
         raise ValueError("std must be non-negative")
+    if not (std == 0.0).any():
+        # Hot path: no degenerate stds (the overwhelmingly common case on
+        # the scoring kernels) — same operations, fewer array passes and
+        # no where/broadcast scaffolding.  In-place arithmetic on the
+        # freshly allocated intermediates changes no result bits.
+        z = (x - mean) / (std * _SQRT2)
+        out = _erf_vec(z)
+        out += 1.0
+        out *= 0.5
+        return out
     out = np.empty(np.broadcast_shapes(x.shape, mean.shape, std.shape), dtype=np.float64)
     x, mean, std = np.broadcast_arrays(x, mean, std)
     degenerate = std == 0.0
@@ -58,13 +70,11 @@ def normal_cdf_vec(x: np.ndarray, mean: np.ndarray, std: np.ndarray) -> np.ndarr
     return out
 
 
-_ERF_UFUNC = np.frompyfunc(math.erf, 1, 1)
-
-
-def _erf_vec(z: np.ndarray) -> np.ndarray:
-    # math.erf is scalar-only; a frompyfunc ufunc avoids importing scipy on
-    # the hot path (object dtype cast back to float64).
-    return _ERF_UFUNC(z).astype(np.float64)
+# Elementwise erf lives in core.fastpath: portable frompyfunc wrapper (or
+# the numba-compiled ufunc under the [fast] extra), with the verified
+# saturation cut that skips per-element calls for |z| >= 6.  math.erf is
+# scalar-only, and scipy.special.erf is NOT bit-compatible with it.
+_erf_vec = erf_array
 
 
 @dataclass(frozen=True, slots=True)
