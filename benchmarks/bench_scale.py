@@ -34,7 +34,9 @@ from pathlib import Path
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def run_child(args: argparse.Namespace, spill: bool) -> dict:
+def run_child(
+    args: argparse.Namespace, spill: bool, checkpoint_every_s: float | None = None
+) -> dict:
     """Run one measured point in a fresh interpreter; returns its record."""
     cmd = [
         sys.executable, os.fspath(Path(__file__).resolve()),
@@ -49,6 +51,8 @@ def run_child(args: argparse.Namespace, spill: bool) -> dict:
     ]
     if spill:
         cmd.append("--spill")
+    if checkpoint_every_s is not None:
+        cmd += ["--checkpoint-every", str(checkpoint_every_s)]
     if args.profile:
         cmd.append("--profile")
     env = dict(os.environ)
@@ -68,21 +72,34 @@ def run_child(args: argparse.Namespace, spill: bool) -> dict:
 
 
 def child_main(args: argparse.Namespace) -> int:
+    import tempfile
+
     from repro.core import profiling
     from repro.experiments.scale import run_scale_point
 
     if args.profile:
         profiling.enable()
-    point = run_scale_point(
-        args.size,
-        strategy=args.strategy,
-        seed=args.seed,
-        rate_per_min=args.rate,
-        minutes=args.minutes,
-        spill=args.spill,
-        chunk_rows=args.chunk_rows,
-        engine=args.engine,
-    )
+    with tempfile.TemporaryDirectory(prefix="bench-ck-") as ck_tmp:
+        checkpoint = None
+        if args.checkpoint_every is not None:
+            from repro.sim.runner import CheckpointPolicy
+
+            checkpoint = CheckpointPolicy(
+                Path(ck_tmp) / "ck",
+                every_ms=args.checkpoint_every * 1000.0,
+                keep=2,
+            )
+        point = run_scale_point(
+            args.size,
+            strategy=args.strategy,
+            seed=args.seed,
+            rate_per_min=args.rate,
+            minutes=args.minutes,
+            spill=args.spill,
+            chunk_rows=args.chunk_rows,
+            engine=args.engine,
+            checkpoint=checkpoint,
+        )
     if args.profile and profiling.ACTIVE is not None:
         # Stage table goes to stderr so stdout stays a clean JSON record.
         print(profiling.disable().format_table(), file=sys.stderr)
@@ -133,6 +150,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="print the per-stage hot-loop timer table per mode")
     parser.add_argument("--out", default="BENCH_e2e.json", help="merge results here")
+    parser.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="SECONDS",
+        help="also measure a checkpointing run at this simulated-time "
+             "cadence (default: minutes*60/4, i.e. ~4 snapshots)")
+    parser.add_argument("--no-checkpoint-bench", action="store_true",
+                        help="skip the checkpoint-cost measurement")
     parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
     parser.add_argument("--spill", action="store_true", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
@@ -165,12 +188,57 @@ def main(argv: list[str] | None = None) -> int:
                 f"scale modes diverged on {field}: "
                 f"memory={records['memory'][field]} spill={records['spill'][field]}"
             )
+    # The guarded throughput points must be checkpoint-free: a non-zero
+    # count here would mean snapshot writes leaked into run_s and the
+    # floor comparison (check_bench_regression.py asserts this too).
+    for mode, record in records.items():
+        if record.get("checkpoints", 0) != 0:
+            raise AssertionError(
+                f"{mode} point unexpectedly wrote {record['checkpoints']} "
+                "checkpoint(s); the throughput floor assumes none"
+            )
     mem_kb = records["memory"]["peak_rss_kb"]
     spill_kb = records["spill"]["peak_rss_kb"]
     saving = 1.0 - spill_kb / mem_kb if mem_kb else 0.0
     print(f"peak-RSS saving with spill: {saving:.1%} "
           f"({mem_kb / 1024.0:.1f} -> {spill_kb / 1024.0:.1f} MiB), "
           f"series byte-identical")
+
+    # Checkpoint-cost measurement: one more run with snapshots at a
+    # ~4-per-run cadence.  Its record stays OUT of `points` (same
+    # (scenario, strategy, engine, spill) identity as the memory point —
+    # it would collide in the throughput guard) and lands under its own
+    # "checkpoint" key: write cost is a separate budget, not a throughput
+    # datum.
+    checkpoint_payload = None
+    if not args.no_checkpoint_bench:
+        every_s = args.checkpoint_every or args.minutes * 60.0 / 4.0
+        record = run_child(args, spill=False, checkpoint_every_s=every_s)
+        for field in ("published", "deliveries", "deliveries_valid",
+                      "earning", "log_rows", "series_sha256"):
+            if record[field] != records["memory"][field]:
+                raise AssertionError(
+                    f"checkpointed run diverged on {field}: "
+                    f"memory={records['memory'][field]} checkpointed={record[field]}"
+                )
+        snapshots = record.get("checkpoints", 0)
+        if snapshots <= 0:
+            raise AssertionError(
+                f"checkpoint bench wrote no snapshots at every={every_s:g}s"
+            )
+        per_snap_s = record["checkpoint_write_s"] / snapshots
+        print(f"ckpt   {args.size:>5s}/{args.strategy}/{args.engine}: "
+              f"{snapshots} snapshots, {per_snap_s:.2f}s/snapshot, "
+              f"{record['checkpoint_mb']:.1f} MB latest, "
+              f"series byte-identical")
+        checkpoint_payload = {
+            "every_s": every_s,
+            "snapshots": snapshots,
+            "write_s_total": round(record["checkpoint_write_s"], 3),
+            "write_s_per_snapshot": round(per_snap_s, 3),
+            "snapshot_mb": record["checkpoint_mb"],
+            "record": record,
+        }
 
     payload = {
         "meta": {
@@ -189,6 +257,8 @@ def main(argv: list[str] | None = None) -> int:
         "peak_rss_saving": round(saving, 4),
         "series_identical": True,
     }
+    if checkpoint_payload is not None:
+        payload["checkpoint"] = checkpoint_payload
     out = Path(args.out)
     merge_out(out, payload)
     print(f"merged scale results into {out}")

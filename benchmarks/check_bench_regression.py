@@ -133,6 +133,45 @@ def check_scale_throughput(
     return compared, failures
 
 
+def check_checkpoint_cost(current: dict) -> list[str]:
+    """Checkpointing must be free when disabled and accounted when on.
+
+    Two invariants: (a) the guarded throughput ``points`` were produced
+    with checkpointing disabled (``checkpoints`` 0/absent) — a snapshot
+    cadence leaking into those records would corrupt the deliveries/s
+    floor while *looking* like an engine regression; (b) when the bench
+    ran the separate checkpoint-cost measurement, the checkpointed run's
+    series digest must equal the plain run's (a snapshot is a residency
+    pause, never a result knob) and its per-snapshot write cost is
+    surfaced here so the artifact trail records it per CI run.
+    """
+    scale = current.get("scale") or {}
+    failures: list[str] = []
+    for point in scale.get("points") or []:
+        if isinstance(point, dict) and point.get("checkpoints", 0) != 0:
+            failures.append(
+                f"scale point {scale_point_key(point)} wrote "
+                f"{point['checkpoints']} checkpoint(s); guarded throughput "
+                "points must run with checkpointing disabled"
+            )
+    ck = scale.get("checkpoint")
+    if not isinstance(ck, dict):
+        return failures
+    record = ck.get("record") or {}
+    points = {scale_point_key(p): p for p in scale.get("points") or []}
+    plain = points.get(scale_point_key(record))
+    if plain is not None and record.get("series_sha256") != plain.get("series_sha256"):
+        failures.append(
+            "checkpointed scale run's series digest differs from the plain "
+            f"run ({record.get('series_sha256')} vs {plain.get('series_sha256')})"
+        )
+    print(f"note: checkpoint cost at {ck.get('every_s', '?')}s cadence: "
+          f"{ck.get('snapshots', '?')} snapshot(s), "
+          f"{ck.get('write_s_per_snapshot', '?')}s/snapshot, "
+          f"{ck.get('snapshot_mb', '?')} MB latest")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default="benchmarks/bench_e2e_smoke_baseline.json")
@@ -198,6 +237,7 @@ def main(argv: list[str] | None = None) -> int:
         baseline, current, args.scale_floor
     )
     failures.extend(scale_failures)
+    failures.extend(check_checkpoint_cost(current))
 
     if compared == 0:
         print("error: no comparable points between baseline and current run")

@@ -1,0 +1,177 @@
+"""Kill-and-resume smoke: SIGTERM a checkpointing run, resume, diff.
+
+The crash-safety acceptance check, end to end through the real CLI:
+
+1. run the CI-sized scale point uninterrupted and record its metrics
+   (including the windowed-series sha256 — the byte-level identity probe);
+2. start the same point with ``--checkpoint-every``, wait for the first
+   snapshot to land, and SIGTERM the process — it must drain the current
+   window, write a final checkpoint, and exit with code 3 and a resume
+   hint on stderr;
+3. ``--resume`` from the checkpoint root and assert the resumed run's
+   metrics and series digest are identical to the uninterrupted run.
+
+Usage (from the repo root)::
+
+    python benchmarks/kill_resume_smoke.py
+    python benchmarks/kill_resume_smoke.py --minutes 2 --every 10
+
+Exits non-zero (with a diff on stderr) on any divergence; designed to run
+as a CI job with no arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Output lines that must be identical between the uninterrupted and the
+#: resumed run.  Timing lines (build/run/ana, deliveries/s, RSS) and the
+#: checkpoint accounting line legitimately differ.
+_IDENTITY_PREFIXES = (
+    "scenario", "strategy", "subscribers", "published", "deliveries",
+    "delivery rate", "total earning", "log rows", "series sha256",
+)
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = os.fspath(_REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _scale_cmd(args: argparse.Namespace, extra: list[str]) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "scale",
+        "--size", args.size,
+        "--minutes", str(args.minutes),
+        "--seed", str(args.seed),
+        *extra,
+    ]
+
+
+def _identity_lines(stdout: str) -> dict[str, str]:
+    lines = {}
+    for line in stdout.splitlines():
+        if ":" not in line:
+            continue
+        key, _, value = line.partition(":")
+        if key.strip() in _IDENTITY_PREFIXES:
+            lines[key.strip()] = value.strip()
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", default="smoke")
+    parser.add_argument("--minutes", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--every", type=float, default=5.0,
+                        help="checkpoint cadence in simulated seconds")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-phase subprocess timeout (wall seconds)")
+    args = parser.parse_args(argv)
+    env = _env()
+
+    # Phase 1: the uninterrupted reference.
+    print(f"[1/3] reference run ({args.size}, {args.minutes:g} min)...", flush=True)
+    ref = subprocess.run(
+        _scale_cmd(args, []), capture_output=True, text=True, env=env,
+        timeout=args.timeout,
+    )
+    if ref.returncode != 0:
+        print(f"FAIL: reference run exited {ref.returncode}:\n{ref.stderr}",
+              file=sys.stderr)
+        return 1
+    expected = _identity_lines(ref.stdout)
+    if "series sha256" not in expected:
+        print("FAIL: reference run printed no series sha256", file=sys.stderr)
+        return 1
+    print(f"      series sha256 = {expected['series sha256'][:16]}…", flush=True)
+
+    with tempfile.TemporaryDirectory(prefix="kill-resume-") as tmp:
+        ck_root = Path(tmp) / "ck"
+
+        # Phase 2: same run with checkpoints; SIGTERM after the first
+        # snapshot publishes.
+        print(f"[2/3] checkpointing run, SIGTERM after first snapshot...",
+              flush=True)
+        proc = subprocess.Popen(
+            _scale_cmd(args, [
+                "--checkpoint-every", str(args.every),
+                "--checkpoint-dir", os.fspath(ck_root),
+            ]),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        deadline = time.time() + args.timeout
+        try:
+            while time.time() < deadline:
+                if list(ck_root.glob("ckpt-*/MANIFEST.json")):
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.02)
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=args.timeout)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        if proc.returncode != 3:
+            print(
+                f"FAIL: interrupted run exited {proc.returncode}, expected 3 "
+                f"(SIGTERM landed too late, or the handler did not engage)\n"
+                f"stderr:\n{err}", file=sys.stderr,
+            )
+            return 1
+        if "resume with" not in err:
+            print(f"FAIL: exit-3 stderr carries no resume hint:\n{err}",
+                  file=sys.stderr)
+            return 1
+        snapshots = sorted(ck_root.glob("ckpt-*"))
+        print(f"      exit 3 after {len(snapshots)} snapshot(s); "
+              f"final: {snapshots[-1].name}", flush=True)
+
+        # Phase 3: resume and diff.
+        print(f"[3/3] resuming from {ck_root}...", flush=True)
+        res = subprocess.run(
+            _scale_cmd(args, ["--resume", os.fspath(ck_root)]),
+            capture_output=True, text=True, env=env, timeout=args.timeout,
+        )
+        if res.returncode != 0:
+            print(f"FAIL: resumed run exited {res.returncode}:\n{res.stderr}",
+                  file=sys.stderr)
+            return 1
+        resumed = _identity_lines(res.stdout)
+        diverged = {
+            key: (expected.get(key), resumed.get(key))
+            for key in _IDENTITY_PREFIXES
+            if expected.get(key) != resumed.get(key)
+        }
+        if diverged:
+            print("FAIL: resumed run diverged from the uninterrupted run:",
+                  file=sys.stderr)
+            for key, (want, got) in diverged.items():
+                print(f"  {key}: uninterrupted={want!r} resumed={got!r}",
+                      file=sys.stderr)
+            return 1
+
+    print("kill-and-resume smoke PASSED: resumed metrics and series digest "
+          "identical to the uninterrupted run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

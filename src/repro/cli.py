@@ -30,7 +30,7 @@ from repro.pubsub.engine import ENGINE_BACKENDS
 from repro.pubsub.matching import MATCHER_BACKENDS
 from repro.pubsub.metrics import METRICS_BACKENDS
 from repro.sim.config import SimulationConfig
-from repro.sim.runner import run_simulation
+from repro.sim.runner import CheckpointInterrupted, run_simulation
 from repro.workload.scenarios import SCALE_SCENARIOS, Scenario
 
 _FIGURES = {
@@ -127,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--estimator", choices=["welford", "window", "ewma"], default="welford",
         help="ESTIMATED-mode estimator (window/ewma track runtime rate changes)",
     )
+    _add_checkpoint_args(p)
 
     p = sub.add_parser("run", help="run one custom simulation point")
     p.add_argument("--scenario", choices=[s.value for s in Scenario], default="psd")
@@ -145,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_args(p)
     _add_log_args(p)
+    _add_checkpoint_args(p)
 
     p = sub.add_parser(
         "scale",
@@ -161,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window", type=float, default=30.0, help="series bucket (seconds)")
     _add_engine_args(p)
     _add_log_args(p)
+    _add_checkpoint_args(p)
     return parser
 
 
@@ -173,6 +176,41 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="per-stage pipeline timers (pop/match/enqueue/drain/metrics/"
              "append), printed after the run",
+    )
+
+
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="SECONDS",
+        help="snapshot the full engine state every N simulated seconds "
+             "(atomic write-then-rename; versioned, fingerprinted manifest)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default="checkpoints", metavar="DIR",
+        help="checkpoint root directory (default: ./checkpoints)",
+    )
+    parser.add_argument(
+        "--checkpoint-keep", type=_positive_int, default=3, metavar="K",
+        help="retain the newest K snapshots (default 3)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from a snapshot (or the newest one under a checkpoint "
+             "root); the other flags must rebuild the same config, or the "
+             "snapshot refuses with a fingerprint mismatch",
+    )
+
+
+def _checkpoint_policy(args: argparse.Namespace):
+    """CheckpointPolicy from CLI flags (None when checkpointing is off)."""
+    if args.checkpoint_every is None:
+        return None
+    from repro.sim.runner import CheckpointPolicy
+
+    return CheckpointPolicy(
+        directory=args.checkpoint_dir,
+        every_ms=args.checkpoint_every * 1000.0,
+        keep=args.checkpoint_keep,
     )
 
 
@@ -192,7 +230,19 @@ def _add_log_args(parser: argparse.ArgumentParser) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     start = time.perf_counter()
+    try:
+        return _dispatch(args, start)
+    except CheckpointInterrupted as stop:
+        print(
+            f"\ninterrupted: final checkpoint written after "
+            f"{stop.executed} events\n"
+            f"resume with: --resume {stop.checkpoint}",
+            file=sys.stderr,
+        )
+        return 3
 
+
+def _dispatch(args: argparse.Namespace, start: float) -> int:
     if args.command in _FIGURES:
         result = _FIGURES[args.command](
             ScaleSpec(scale=args.scale, seed=args.seed),
@@ -256,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
             strategies=tuple(args.strategy) if args.strategy else ALL_STRATEGIES,
             measurement=args.measurement,
             link_estimator=args.estimator,
+            checkpoint=_checkpoint_policy(args),
+            resume=args.resume,
         )
         print(format_series_table(result))
         print()
@@ -277,7 +329,9 @@ def main(argv: list[str] | None = None) -> int:
                 engine_backend=args.engine,
                 log_spill=args.log_spill,
                 log_chunk_rows=args.log_chunk,
-            )
+            ),
+            checkpoint=_checkpoint_policy(args),
+            resume=args.resume,
         )
         print(f"strategy          : {result.strategy}")
         print(f"scenario          : {result.scenario}")
@@ -305,6 +359,8 @@ def main(argv: list[str] | None = None) -> int:
             chunk_rows=args.log_chunk,
             window_s=args.window,
             engine=args.engine,
+            checkpoint=_checkpoint_policy(args),
+            resume=args.resume,
         )
         print(f"scenario          : scale-{point.scenario}")
         print(f"strategy          : {point.strategy}")
@@ -321,6 +377,11 @@ def main(argv: list[str] | None = None) -> int:
               f" / {point.analysis_s:.1f}s")
         print(f"deliveries/s (run): {point.deliveries_per_s:,.0f}")
         print(f"peak RSS          : {point.peak_rss_kb / 1024.0:.0f} MiB")
+        print(f"series sha256     : {point.series_sha256}")
+        if point.checkpoints:
+            print(f"checkpoints       : {point.checkpoints}"
+                  f" ({point.checkpoint_write_s:.2f}s total,"
+                  f" {point.checkpoint_mb:.1f} MB latest)")
         if args.profile and profiling.ACTIVE is not None:
             print()
             print(profiling.disable().format_table())

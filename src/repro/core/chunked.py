@@ -26,8 +26,12 @@ byte-compatible with the old whole-array gathers.
 
 from __future__ import annotations
 
+import shutil
 import tempfile
+import time
 import weakref
+import zipfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Sequence
 
@@ -39,6 +43,146 @@ from repro.core.growable import GrowableArray
 #: a ~2.5 MB working set — big enough to amortise seal overhead, small
 #: enough that the active chunk is cache-friendly.
 DEFAULT_CHUNK_ROWS = 65_536
+
+
+# ---------------------------------------------------------------------- #
+# Hardened chunk I/O.
+# ---------------------------------------------------------------------- #
+class SpillError(RuntimeError):
+    """A spill-ring chunk could not be written or read back.
+
+    Carries the offending ``path`` and ``chunk_id`` so a failed marathon
+    run points straight at the bad file (ENOSPC, truncated/corrupt
+    ``.npz``) instead of surfacing a raw numpy/zipfile traceback from
+    deep inside a reduction.
+    """
+
+    def __init__(self, message: str, *, path: Path | str, chunk_id: int) -> None:
+        super().__init__(message)
+        self.path = Path(path)
+        self.chunk_id = chunk_id
+
+
+#: Save/load indirections: tests inject failing-filesystem shims here.
+_SAVEZ = np.savez
+_LOAD = np.load
+_COPY = shutil.copy2
+
+#: Bounded retry for transient I/O (EINTR, NFS hiccups).  Attempt ``k``
+#: sleeps ``_SPILL_BACKOFF_S * 2**k`` before retrying; persistent errors
+#: (ENOSPC never heals in 0.15 s, but the caller gets a typed error
+#: naming the file either way) surface as :class:`SpillError`.
+_SPILL_ATTEMPTS = 3
+_SPILL_BACKOFF_S = 0.05
+
+#: Errors that mean "this chunk is corrupt", not "the fs is flaky" —
+#: retrying cannot help, so they convert to SpillError immediately.
+_CORRUPT_ERRORS = (ValueError, KeyError, EOFError, zipfile.BadZipFile)
+
+
+def _chunk_id_of(path: Path) -> int:
+    """Chunk ordinal encoded in the ring file name (-1 if foreign)."""
+    try:
+        return int(Path(path).stem.rsplit("-", 1)[-1])
+    except ValueError:
+        return -1
+
+
+def _retrying(op: str, path: Path, fn):
+    """Run ``fn`` with bounded retry-with-backoff on OSError; convert
+    corrupt-chunk errors immediately and exhausted retries finally into
+    :class:`SpillError`."""
+    last: OSError | None = None
+    for attempt in range(_SPILL_ATTEMPTS):
+        try:
+            return fn()
+        except _CORRUPT_ERRORS as exc:
+            raise SpillError(
+                f"corrupt spill chunk ({op} {path}): {exc!r}",
+                path=path, chunk_id=_chunk_id_of(path),
+            ) from exc
+        except OSError as exc:
+            last = exc
+            if attempt + 1 < _SPILL_ATTEMPTS:
+                time.sleep(_SPILL_BACKOFF_S * (2 ** attempt))
+    raise SpillError(
+        f"failed to {op} spill chunk {path} after {_SPILL_ATTEMPTS} "
+        f"attempts: {last!r}",
+        path=path, chunk_id=_chunk_id_of(path),
+    ) from last
+
+
+def _write_chunk(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    _retrying("write", path, lambda: _SAVEZ(path, **arrays))
+
+
+def _read_chunk(path: Path, names: Sequence[str]) -> tuple[np.ndarray, ...]:
+    def _load() -> tuple[np.ndarray, ...]:
+        with _LOAD(path, allow_pickle=False) as zf:
+            # npz members load lazily per key: a reduction that needs two
+            # of five columns reads only those two from disk.
+            return tuple(zf[n] for n in names)
+
+    return _retrying("read", path, _load)
+
+
+def _copy_chunk(src: Path, dst: Path) -> None:
+    _retrying("copy", src, lambda: _COPY(src, dst))
+
+
+# ---------------------------------------------------------------------- #
+# Spill-file transfer (checkpoint save/restore).
+# ---------------------------------------------------------------------- #
+class SpillTransfer:
+    """File-level transfer channel for spilled chunks during (un)pickling.
+
+    Pickling a spilling store without a transfer context inlines every
+    spilled chunk into the byte stream — correct, but it re-buys the RAM
+    the spill ring exists to avoid.  Inside a :func:`spill_transfer`
+    context the store instead *copies* each spilled ``.npz`` file into
+    ``root`` (namespaced per store object, so the delivery and
+    publication logs never collide) and pickles a relative reference.
+    Unpickling under a context rooted at the same directory copies the
+    files back into a fresh private ring.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self._keys: dict[int, str] = {}
+
+    def _store_key(self, store: "ChunkedColumnStore") -> str:
+        key = self._keys.get(id(store))
+        if key is None:
+            key = f"store-{len(self._keys):03d}"
+            self._keys[id(store)] = key
+        return key
+
+    def export(self, store: "ChunkedColumnStore", path: Path) -> str:
+        """Copy a spilled chunk file under ``root``; return its relative
+        reference string."""
+        rel = f"{self._store_key(store)}/{path.name}"
+        dst = self.root / rel
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        _copy_chunk(path, dst)
+        return rel
+
+    def resolve(self, rel: str) -> Path:
+        return self.root / rel
+
+
+_SPILL_TRANSFER: list[SpillTransfer] = []
+
+
+@contextmanager
+def spill_transfer(root: Path | str) -> Iterator[SpillTransfer]:
+    """Activate a :class:`SpillTransfer` rooted at ``root`` for the
+    duration of a pickle/unpickle of spilling stores."""
+    ctx = SpillTransfer(root)
+    _SPILL_TRANSFER.append(ctx)
+    try:
+        yield ctx
+    finally:
+        _SPILL_TRANSFER.pop()
 
 
 def sorted_contains(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
@@ -90,10 +234,7 @@ class _SealedChunk:
     def load(self, names: Sequence[str]) -> tuple[np.ndarray, ...]:
         if self.arrays is not None:
             return tuple(self.arrays[n] for n in names)
-        with np.load(self.path, allow_pickle=False) as zf:  # type: ignore[arg-type]
-            # npz members load lazily per key: a reduction that needs two
-            # of five columns reads only those two from disk.
-            return tuple(zf[n] for n in names)
+        return _read_chunk(self.path, names)  # type: ignore[arg-type]
 
 
 class ChunkedColumnStore:
@@ -108,8 +249,9 @@ class ChunkedColumnStore:
     """
 
     __slots__ = (
-        "_names", "_dtypes", "_chunk_rows", "_spill", "_spill_dir",
-        "_active", "_sealed", "_rows_sealed", "_finalizer", "__weakref__",
+        "_names", "_dtypes", "_chunk_rows", "_spill", "_spill_prefix",
+        "_spill_dir", "_active", "_sealed", "_rows_sealed", "_finalizer",
+        "__weakref__",
     )
 
     def __init__(
@@ -127,6 +269,7 @@ class ChunkedColumnStore:
         self._dtypes = tuple(np.dtype(dt) for _, dt in schema)
         self._chunk_rows = chunk_rows
         self._spill = spill
+        self._spill_prefix = spill_prefix
         self._spill_dir: Path | None = None
         self._finalizer = None
         if spill:
@@ -183,7 +326,7 @@ class ChunkedColumnStore:
                     self, _remove_tree, str(self._spill_dir)
                 )
             path = self._spill_dir / f"chunk-{len(self._sealed):06d}.npz"
-            np.savez(path, **arrays)
+            _write_chunk(path, arrays)
             self._sealed.append(_SealedChunk(rows, None, path))
         else:
             self._sealed.append(_SealedChunk(rows, arrays, None))
@@ -256,6 +399,82 @@ class ChunkedColumnStore:
             np.concatenate([p[i] for p in parts]) if len(parts) > 1 else parts[0][i].copy()
             for i in range(len(cols))
         )
+
+    # ------------------------------------------------------------------ #
+    # Serialization.
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Snapshot the store.  In-memory chunks and the active prefix
+        pickle by value; spilled chunks export through the ambient
+        :func:`spill_transfer` context as file references, or — without
+        one — inline into the stream (correct, but O(log) memory)."""
+        transfer = _SPILL_TRANSFER[-1] if _SPILL_TRANSFER else None
+        sealed: list[tuple[str, int, object]] = []
+        for chunk in self._sealed:
+            if chunk.path is None:
+                sealed.append(("mem", chunk.rows, chunk.arrays))
+            elif transfer is not None:
+                sealed.append(("ref", chunk.rows, transfer.export(self, chunk.path)))
+            else:
+                arrays = dict(zip(self._names, chunk.load(self._names)))
+                sealed.append(("mem", chunk.rows, arrays))
+        return {
+            "names": self._names,
+            "dtypes": self._dtypes,
+            "chunk_rows": self._chunk_rows,
+            "spill": self._spill,
+            "spill_prefix": self._spill_prefix,
+            "rows_sealed": self._rows_sealed,
+            "active": self._active,
+            "sealed": sealed,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._names = state["names"]
+        self._dtypes = state["dtypes"]
+        self._chunk_rows = state["chunk_rows"]
+        self._spill = state["spill"]
+        self._spill_prefix = state["spill_prefix"]
+        self._rows_sealed = state["rows_sealed"]
+        self._active = state["active"]
+        self._spill_dir = None
+        self._finalizer = None
+        if self._spill:
+            # A fresh private ring: restored stores never write into (or
+            # depend on the continued existence of) the checkpoint dir.
+            tmp = tempfile.mkdtemp(prefix=f"{self._spill_prefix}-")
+            self._spill_dir = Path(tmp)
+            self._finalizer = weakref.finalize(self, _remove_tree, tmp)
+        transfer = _SPILL_TRANSFER[-1] if _SPILL_TRANSFER else None
+        sealed: list[_SealedChunk] = []
+        for kind, rows, payload in state["sealed"]:
+            path = (
+                None if self._spill_dir is None
+                else self._spill_dir / f"chunk-{len(sealed):06d}.npz"
+            )
+            if kind == "mem":
+                if path is not None:
+                    # Re-spill inline chunks so the restored store keeps
+                    # the bounded-memory property it was built with.
+                    _write_chunk(path, payload)
+                    sealed.append(_SealedChunk(rows, None, path))
+                else:
+                    sealed.append(_SealedChunk(rows, payload, None))
+            elif kind == "ref":
+                if transfer is None or path is None:
+                    raise SpillError(
+                        f"cannot restore spilled chunk reference {payload!r} "
+                        "outside a spill_transfer() context",
+                        path=str(payload), chunk_id=len(sealed),
+                    )
+                _copy_chunk(transfer.resolve(payload), path)
+                sealed.append(_SealedChunk(rows, None, path))
+            else:  # pragma: no cover - forward-compat guard
+                raise SpillError(
+                    f"unknown sealed-chunk encoding {kind!r}",
+                    path="", chunk_id=len(sealed),
+                )
+        self._sealed = sealed
 
     # ------------------------------------------------------------------ #
     # Lifecycle.

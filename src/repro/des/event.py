@@ -64,6 +64,20 @@ class Event:
 
     __hash__ = None  # mutable record ordered by key; keep it unhashable
 
+    def __getstate__(self) -> tuple:
+        """Compact tuple state: ``__slots__`` classes get no free pickle
+        support, and checkpoints serialize one Event per pending callback."""
+        return (
+            self.time, self.priority, self.seq, self.action, self.label,
+            self.cancelled, self.done, self.kind, self.payload,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.time, self.priority, self.seq, self.action, self.label,
+            self.cancelled, self.done, self.kind, self.payload,
+        ) = state
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         flag = " cancelled" if self.cancelled else ""
         return f"<Event t={self.time} p={self.priority} #{self.seq}{flag} {self.label!r}>"
@@ -85,6 +99,12 @@ class EventHandle:
     ) -> None:
         self._event = event
         self._on_cancel = on_cancel
+
+    def __getstate__(self) -> tuple:
+        return (self._event, self._on_cancel)
+
+    def __setstate__(self, state: tuple) -> None:
+        self._event, self._on_cancel = state
 
     @property
     def time(self) -> float:

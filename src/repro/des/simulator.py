@@ -34,6 +34,16 @@ class Simulator:
         self._live = 0
 
     # ------------------------------------------------------------------ #
+    # Serialization.
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Checkpoints snapshot the kernel *between* events — capturing a
+        heap mid-``run()`` would freeze a half-executed action."""
+        if self._running:
+            raise SimulationError("cannot snapshot a running simulator")
+        return self.__dict__.copy()
+
+    # ------------------------------------------------------------------ #
     # Clock.
     # ------------------------------------------------------------------ #
     @property

@@ -12,16 +12,25 @@ series table).
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.analysis.timeseries import MetricsTimeSeries, QueueDepthSampler, windowed_metrics
+from repro.core.checkpoint import latest_checkpoint
 from repro.des.rng import RngStreams
 from repro.experiments.common import FigureResult
 from repro.network.topology import build_layered_mesh
 from repro.sim.config import SimulationConfig
-from repro.sim.runner import build_system, schedule_dynamics, schedule_workload
+from repro.sim.runner import (
+    CheckpointPolicy,
+    build_system,
+    resume_run,
+    run_checkpointed,
+    schedule_dynamics,
+    schedule_workload,
+)
 from repro.workload.dynamics import PRESETS
 from repro.workload.scenarios import Scenario
 
@@ -41,22 +50,36 @@ def run_dynamics_point(
     config: SimulationConfig,
     window_ms: float,
     sample_queue: bool = True,
+    checkpoint: CheckpointPolicy | None = None,
+    resume: Path | str | None = None,
 ) -> MetricsTimeSeries:
     """One instrumented run: build, script, run, bucket.
 
     Windows cover the full horizon (publication window + grace), so
     deliveries resolving in the grace period fold into the totals exactly
-    like the aggregate metrics count them.
+    like the aggregate metrics count them.  The queue-depth sampler is
+    checkpointed alongside the system (its pending sampling events and
+    accumulated samples are part of the run's state), so a resumed run
+    buckets exactly what the uninterrupted one would.
     """
-    system = build_system(config)
-    schedule_workload(system, config)
-    schedule_dynamics(system, config)
-    sampler = (
-        QueueDepthSampler(system, every_ms=window_ms / 4.0, horizon_ms=config.horizon_ms)
-        if sample_queue
-        else None
-    )
-    system.sim.run(until=config.horizon_ms)
+    if resume is not None:
+        system, config, extras = resume_run(resume, config=config)
+        sampler = extras.get("queue_sampler")
+    else:
+        system = build_system(config)
+        schedule_workload(system, config)
+        schedule_dynamics(system, config)
+        sampler = (
+            QueueDepthSampler(system, every_ms=window_ms / 4.0, horizon_ms=config.horizon_ms)
+            if sample_queue
+            else None
+        )
+    if checkpoint is not None:
+        run_checkpointed(
+            system, config, checkpoint, extras={"queue_sampler": sampler}
+        )
+    else:
+        system.sim.run(until=config.horizon_ms)
     return windowed_metrics(
         system, window_ms, horizon_ms=config.horizon_ms, queue_sampler=sampler
     )
@@ -73,12 +96,17 @@ def run_dynamics_comparison(
     strategies: Sequence[str] = ALL_STRATEGIES,
     measurement: str = "oracle",
     link_estimator: str = "welford",
+    checkpoint: CheckpointPolicy | None = None,
+    resume: Path | str | None = None,
 ) -> FigureResult:
     """All strategies under one preset script, as windowed series.
 
     The preset is compiled against the same topology every run sees
     (identical seed → identical wiring), so e.g. ``degrade-worst-link``
-    names the same link in every strategy's world.
+    names the same link in every strategy's world.  With ``checkpoint``
+    each strategy snapshots under its own subdirectory of the policy
+    root; ``resume`` points back at that root and picks up whichever
+    strategy was in flight (finished strategies simply re-run).
     """
     if preset not in PRESETS:
         raise ValueError(f"unknown preset {preset!r}; choose from {sorted(PRESETS)}")
@@ -112,7 +140,23 @@ def run_dynamics_comparison(
             measurement_mode=MeasurementMode(measurement),
             link_estimator=link_estimator,
         )
-        ts = run_dynamics_point(config, window_ms, sample_queue=metric == "queue-depth")
+        sub_ck = None
+        if checkpoint is not None:
+            sub_ck = CheckpointPolicy(
+                Path(checkpoint.directory) / config.strategy_label(),
+                checkpoint.every_ms,
+                checkpoint.keep,
+            )
+        sub_resume = None
+        if resume is not None:
+            cand = Path(resume) / config.strategy_label()
+            if latest_checkpoint(cand) is not None:
+                sub_resume = cand
+        ts = run_dynamics_point(
+            config, window_ms,
+            sample_queue=metric == "queue-depth",
+            checkpoint=sub_ck, resume=sub_resume,
+        )
         if not result.x_values:
             result.x_values = [t / 60_000.0 for t in ts.centers_ms.tolist()]
         result.series[config.strategy_label()] = extract(ts).tolist()

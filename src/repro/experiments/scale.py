@@ -18,6 +18,7 @@ import hashlib
 import sys
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -25,7 +26,13 @@ from repro.analysis.timeseries import windowed_metrics
 from repro.core.chunked import DEFAULT_CHUNK_ROWS
 from repro.pubsub.system import PubSubSystem
 from repro.sim.config import SimulationConfig
-from repro.sim.runner import build_system, schedule_workload
+from repro.sim.runner import (
+    CheckpointPolicy,
+    build_system,
+    resume_run,
+    run_checkpointed,
+    schedule_workload,
+)
 from repro.workload.scenarios import (
     SCALE_SCENARIOS,
     Scenario,
@@ -72,6 +79,10 @@ class ScalePointResult:
     peak_rss_kb: int
     series_sha256: str
     engine: str = "fused"
+    checkpoints: int = 0
+    checkpoint_write_s: float = 0.0
+    checkpoint_mb: float = 0.0
+    resumed: bool = False
 
     @property
     def deliveries_per_s(self) -> float:
@@ -104,6 +115,10 @@ class ScalePointResult:
             "wall_s": round(self.build_s + self.run_s + self.analysis_s, 4),
             "peak_rss_kb": self.peak_rss_kb,
             "series_sha256": self.series_sha256,
+            "checkpoints": self.checkpoints,
+            "checkpoint_write_s": round(self.checkpoint_write_s, 3),
+            "checkpoint_mb": round(self.checkpoint_mb, 2),
+            "resumed": self.resumed,
         }
 
 
@@ -171,13 +186,19 @@ def run_scale_point(
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     window_s: float = 30.0,
     engine: str = "fused",
+    checkpoint: CheckpointPolicy | None = None,
+    resume: Path | str | None = None,
 ) -> ScalePointResult:
     """Build, run and analyse one scale point, timing each phase.
 
     The analysis phase intentionally exercises the streaming reductions
     (windowed series over the possibly-spilled log) — at this tier the
     *analysis* is as memory-dangerous as the run, and the point of the
-    chunked spine is that both stay bounded.
+    chunked spine is that both stay bounded.  ``checkpoint`` snapshots
+    the run on a simulated-time cadence; ``resume`` restores a snapshot
+    (config-fingerprint-checked against the flags given here) and runs
+    it to the horizon.  Checkpoint write time is accounted separately
+    from ``run_s`` so the throughput floor stays comparable.
     """
     spec = SCALE_SCENARIOS[scenario]
     config = scale_config(
@@ -185,10 +206,18 @@ def run_scale_point(
         minutes=minutes, spill=spill, chunk_rows=chunk_rows, engine=engine,
     )
     t0 = time.perf_counter()
-    system = build_scale_system(spec, config)
-    schedule_workload(system, config)
+    if resume is not None:
+        system, config, _ = resume_run(resume, config=config)
+    else:
+        system = build_scale_system(spec, config)
+        schedule_workload(system, config)
     t1 = time.perf_counter()
-    system.run(until=config.horizon_ms)
+    ck_count, ck_write_s, ck_bytes = 0, 0.0, 0
+    if checkpoint is not None:
+        stats = run_checkpointed(system, config, checkpoint)
+        ck_count, ck_write_s, ck_bytes = stats.snapshots, stats.write_s, stats.bytes
+    else:
+        system.run(until=config.horizon_ms)
     t2 = time.perf_counter()
     ts = windowed_metrics(system, window_s * 1000.0, config.horizon_ms)
     digest = series_digest(ts)
@@ -209,9 +238,13 @@ def run_scale_point(
         log_rows=len(system.delivery_log),
         spilled_chunks=system.delivery_log.spilled_chunks,
         build_s=t1 - t0,
-        run_s=t2 - t1,
+        run_s=(t2 - t1) - ck_write_s,
         analysis_s=t3 - t2,
         peak_rss_kb=peak_rss_kb(),
         series_sha256=digest,
         engine=engine,
+        checkpoints=ck_count,
+        checkpoint_write_s=ck_write_s,
+        checkpoint_mb=ck_bytes / 1e6,
+        resumed=resume is not None,
     )

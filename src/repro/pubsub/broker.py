@@ -18,6 +18,7 @@ bottleneck), so processing completes exactly ``PD`` after reception.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from time import perf_counter
 from typing import Callable
 
@@ -182,7 +183,9 @@ class Broker:
             self.trace.record(self.sim.now, "receive", self.name, msg=message.msg_id)
         self.sim.schedule(
             self.processing_delay_ms,
-            lambda: self._process(message),
+            # A partial of the bound method (not a lambda) so the pending
+            # event pickles by reference inside a checkpoint's object graph.
+            partial(self._process, message),
             # Label construction is skipped when tracing is off: labels
             # exist for trace/debug inspection only, and the f-string per
             # event is measurable at ingest rates.
@@ -335,7 +338,7 @@ class Broker:
             )
         self.sim.schedule(
             duration,
-            lambda: self._complete_send(neighbor, entry),
+            partial(self._complete_send, neighbor, entry),
             label=f"{self.name}->{neighbor}:{entry.message.msg_id}" if self.trace is not None else "",
         )
 
@@ -344,6 +347,18 @@ class Broker:
         queue.link.release()
         queue.deliver(entry.message)
         self._try_send(neighbor)
+
+    # ------------------------------------------------------------------ #
+    # Serialization.
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Checkpoint support: the match memo is a pure cache (recomputed
+        by the fused engine's lookahead, version-checked by
+        :meth:`_process`), so snapshots drop its contents instead of
+        serializing speculative results."""
+        state = self.__dict__.copy()
+        state["_match_memo"] = {}
+        return state
 
     # ------------------------------------------------------------------ #
     # Introspection.

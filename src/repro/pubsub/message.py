@@ -34,6 +34,17 @@ class Message:
         # queue copies on different brokers.
         object.__setattr__(self, "attributes", MappingProxyType(dict(self.attributes)))
 
+    def __getstate__(self) -> dict:
+        """MappingProxyType is unpicklable; ship a plain dict and rebuild
+        the read-only proxy on restore."""
+        state = self.__dict__.copy()
+        state["attributes"] = dict(self.attributes)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        object.__setattr__(self, "attributes", MappingProxyType(self.__dict__["attributes"]))
+
     def hdl(self, now: float) -> float:
         """Delay already incurred (``hdl(m)`` in Section 5.1)."""
         return now - self.publish_time

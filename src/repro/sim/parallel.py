@@ -20,6 +20,7 @@ import enum
 import hashlib
 import json
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -70,6 +71,11 @@ def config_fingerprint(config: SimulationConfig) -> str:
 class PointCache:
     """One JSON file per finished simulation point, keyed by fingerprint."""
 
+    #: Orphaned ``*.tmp`` files older than this are swept on open; younger
+    #: ones may belong to a concurrent sweep's in-flight write (unlinking
+    #: those would make its atomic replace fail), so age gates the sweep.
+    _TMP_ORPHAN_AGE_S = 60.0
+
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         if self.root.exists() and not self.root.is_dir():
@@ -77,6 +83,17 @@ class PointCache:
                 f"point cache path {self.root} exists and is not a directory"
             )
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_orphans()
+
+    def _sweep_orphans(self) -> None:
+        """Remove stale ``*.tmp`` files left by crashed writers."""
+        cutoff = time.time() - self._TMP_ORPHAN_AGE_S
+        for tmp in self.root.glob("*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink(missing_ok=True)
+            except OSError:
+                pass  # already gone, or unreadable — never abort a sweep
 
     def _path(self, config: SimulationConfig) -> Path:
         return self.root / f"{config_fingerprint(config)}.json"
@@ -102,10 +119,15 @@ class PointCache:
             return None
 
     def put(self, config: SimulationConfig, result: SimulationResult) -> None:
-        # Writer-unique tmp name + atomic replace: a concurrent reader (or a
-        # second sweep sharing the cache) never sees a torn file.
+        # Writer-unique tmp name + fsync + atomic replace: a concurrent
+        # reader (or a second sweep sharing the cache) never sees a torn
+        # file, and a machine crash right after the replace cannot leave
+        # the published name pointing at unflushed bytes.
         tmp = self._path(config).with_suffix(f".{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(result_to_dict(result), sort_keys=True))
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(result_to_dict(result), sort_keys=True))
+            fh.flush()
+            os.fsync(fh.fileno())
         tmp.replace(self._path(config))
 
     def __len__(self) -> int:
@@ -117,20 +139,81 @@ def _run_point(config: SimulationConfig) -> SimulationResult:
     return run_simulation(config)
 
 
+#: Per-point retry budget: attempts = retries + 1.  Deterministic errors
+#: (a bad config) just fail faster through the same path.
+_POINT_RETRIES = 2
+_POINT_BACKOFF_S = 0.05
+
+
+def _run_point_retrying(
+    config: SimulationConfig,
+    retries: int = _POINT_RETRIES,
+    backoff_s: float = _POINT_BACKOFF_S,
+) -> SimulationResult:
+    """Worker-side entry: bounded retry-with-backoff around one point.
+
+    Transient failures (a flaky filesystem under a spilling run, memory
+    pressure that clears) get ``retries`` more attempts; a persistent
+    error re-raises and keeps the historic propagate-to-caller contract.
+    Looks ``_run_point`` up dynamically so test monkeypatches apply.
+    """
+    attempt = 0
+    while True:
+        try:
+            return _run_point(config)
+        except Exception:
+            attempt += 1
+            if attempt > retries:
+                raise
+            time.sleep(backoff_s * (2 ** (attempt - 1)))
+
+
+@dataclasses.dataclass(frozen=True)
+class PointFailure:
+    """Placeholder result for a point lost to repeated worker crashes.
+
+    A sweep whose pool kept dying (OOM killer, a segfaulting extension)
+    completes with these in place of the unrecoverable points instead of
+    aborting — callers can count, report, and re-run just the holes.
+    """
+
+    config: SimulationConfig
+    error: str
+    attempts: int
+
+
 class ParallelPointRunner:
     """Run independent points over a :class:`ProcessPoolExecutor`.
 
     ``jobs=1`` (or a single pending point) degrades to the serial path;
     a pool that cannot start (restricted sandboxes) falls back to serial
-    with a warning rather than failing the sweep.  Results are always
+    with a warning rather than failing the sweep.  A pool whose workers
+    *die* mid-sweep (``BrokenProcessPool``) is respawned and the lost
+    points resubmitted, up to ``max_respawns`` times; points still
+    unfinished after the last respawn come back as :class:`PointFailure`
+    entries rather than poisoning the whole sweep.  Results are always
     returned in submission order.
     """
 
-    def __init__(self, jobs: int, cache: PointCache | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int,
+        cache: PointCache | None = None,
+        retries: int = _POINT_RETRIES,
+        backoff_s: float = _POINT_BACKOFF_S,
+        max_respawns: int = 3,
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {max_respawns}")
         self.jobs = jobs
         self.cache = cache
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_respawns = max_respawns
 
     def __call__(self, configs: Sequence[SimulationConfig]) -> list[SimulationResult]:
         results: list[SimulationResult | None] = [None] * len(configs)
@@ -147,7 +230,9 @@ class ParallelPointRunner:
 
     def _store(self, i: int, config: SimulationConfig, result, results: list) -> None:
         results[i] = result
-        if self.cache is not None:
+        # PointFailure placeholders must never enter the cache: the hole
+        # should be recomputed, not replayed, on the next sweep.
+        if self.cache is not None and isinstance(result, SimulationResult):
             self.cache.put(config, result)
 
     def _execute(
@@ -161,25 +246,74 @@ class ParallelPointRunner:
         # finished points' cache entries; only reassembly is deferred.
         if self.jobs == 1 or len(pending) == 1:
             for i in pending:
-                self._store(i, configs[i], _run_point(configs[i]), results)
+                self._store(
+                    i, configs[i],
+                    _run_point_retrying(configs[i], self.retries, self.backoff_s),
+                    results,
+                )
             return
-        # Only pool failures fall back to serial execution: OSError here
-        # covers pool *creation* (restricted sandboxes), BrokenProcessPool
-        # covers workers dying mid-run.  An error from the point itself
-        # (bad config) or from a cache write (full disk) propagates.
-        try:
-            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
-        except OSError as exc:
-            self._fallback_serial(configs, pending, results, exc)
-            return
-        try:
+        # Pool-creation OSError (restricted sandboxes) falls back to
+        # serial.  BrokenProcessPool (a worker died: OOM kill, segfault)
+        # respawns the pool and resubmits the lost points, boundedly.
+        # An error raised by the point itself — after its worker-side
+        # retries — or by a cache write (full disk) still propagates.
+        remaining = list(pending)
+        respawns = 0
+        while remaining:
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(remaining))
+                )
+            except OSError as exc:
+                self._fallback_serial(configs, remaining, results, exc)
+                return
+            broken: BrokenProcessPool | None = None
             with pool:
-                futures = {pool.submit(_run_point, configs[i]): i for i in pending}
+                futures = {
+                    pool.submit(
+                        _run_point_retrying, configs[i], self.retries, self.backoff_s
+                    ): i
+                    for i in remaining
+                }
                 for future in as_completed(futures):
                     i = futures[future]
-                    self._store(i, configs[i], future.result(), results)
-        except BrokenProcessPool as exc:
-            self._fallback_serial(configs, pending, results, exc)
+                    try:
+                        self._store(i, configs[i], future.result(), results)
+                    except BrokenProcessPool as exc:
+                        # Consume every future (continue, not break):
+                        # points that finished before the crash must
+                        # still be stored and cached.
+                        broken = exc
+                        continue
+            if broken is None:
+                return
+            remaining = [i for i in remaining if results[i] is None]
+            respawns += 1
+            if respawns > self.max_respawns:
+                for i in remaining:
+                    self._store(
+                        i, configs[i],
+                        PointFailure(
+                            config=configs[i],
+                            error=repr(broken),
+                            attempts=respawns,
+                        ),
+                        results,
+                    )
+                warnings.warn(
+                    f"process pool died {respawns} times; marking "
+                    f"{len(remaining)} unrecoverable point(s) as failed",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return
+            warnings.warn(
+                f"process pool died ({broken}); respawning "
+                f"({respawns}/{self.max_respawns}) to retry "
+                f"{len(remaining)} lost point(s)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _fallback_serial(
         self,
@@ -195,7 +329,11 @@ class ParallelPointRunner:
         )
         for i in pending:
             if results[i] is None:
-                self._store(i, configs[i], _run_point(configs[i]), results)
+                self._store(
+                    i, configs[i],
+                    _run_point_retrying(configs[i], self.retries, self.backoff_s),
+                    results,
+                )
 
 
 def make_point_runner(

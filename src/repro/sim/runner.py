@@ -9,10 +9,22 @@ figures compare strategies.
 
 from __future__ import annotations
 
-from typing import Callable
+import shutil
+import signal
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.core.checkpoint import (
+    CheckpointError,
+    latest_checkpoint,
+    load_checkpoint,
+    timed_save,
+)
 from repro.core.registry import make_strategy
 from repro.des.rng import RngStreams
 from repro.des.simulator import Simulator
@@ -108,9 +120,14 @@ def schedule_workload(system: PubSubSystem, config: SimulationConfig) -> int:
     for pub in publications:
         system.sim.schedule_at(
             pub.time_ms,
-            # Bind loop variable via default argument.
-            lambda p=pub: system.publish(
-                p.publisher, p.attributes, size_kb=p.size_kb, deadline_ms=p.deadline_ms
+            # partial (not a closure) so pending publications serialize
+            # by reference inside a checkpoint's object graph.
+            partial(
+                system.publish,
+                pub.publisher,
+                pub.attributes,
+                size_kb=pub.size_kb,
+                deadline_ms=pub.deadline_ms,
             ),
             label=f"publish:{pub.publisher}" if trace_on else "",
         )
@@ -131,15 +148,226 @@ def schedule_dynamics(system: PubSubSystem, config: SimulationConfig) -> Dynamic
     return driver
 
 
+# ---------------------------------------------------------------------- #
+# Checkpointed execution.
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """How a run snapshots itself: a root directory, a simulated-time
+    cadence, and how many snapshots to retain."""
+
+    directory: Path
+    every_ms: float
+    keep: int = 3
+
+    def __post_init__(self) -> None:
+        if self.every_ms <= 0.0:
+            raise ValueError(f"every_ms must be positive, got {self.every_ms}")
+        if self.keep < 1:
+            raise ValueError(f"keep must be >= 1, got {self.keep}")
+        object.__setattr__(self, "directory", Path(self.directory))
+
+
+@dataclass
+class CheckpointStats:
+    """Accounting for the snapshots one run wrote."""
+
+    snapshots: int = 0
+    write_s: float = 0.0
+    bytes: int = 0
+    paths: list[Path] = field(default_factory=list)
+
+    def note(self, path: Path, seconds: float, size: int) -> None:
+        self.snapshots += 1
+        self.write_s += seconds
+        self.bytes = size  # latest snapshot size (they supersede each other)
+        self.paths.append(path)
+
+
+class CheckpointInterrupted(RuntimeError):
+    """SIGTERM/SIGINT arrived: the current window was drained and a final
+    checkpoint written; ``checkpoint`` names the snapshot to resume from."""
+
+    def __init__(self, checkpoint: Path, executed: int) -> None:
+        super().__init__(
+            f"interrupted; resume from checkpoint {checkpoint}"
+        )
+        self.checkpoint = checkpoint
+        self.executed = executed
+
+
+@contextmanager
+def _interrupt_flag() -> Iterator[Callable[[], bool]]:
+    """Install SIGTERM/SIGINT handlers that *request* a graceful stop.
+
+    The DES loop cannot be torn down mid-event: the handler only raises a
+    flag, and the checkpoint loop acts on it at the next window boundary.
+    Outside the main thread (where ``signal.signal`` refuses) the flag
+    simply never fires.
+    """
+    hit = False
+
+    def _handler(signum, frame):  # pragma: no cover - signal delivery
+        nonlocal hit
+        hit = True
+
+    previous: list[tuple[int, object]] = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous.append((signum, signal.signal(signum, _handler)))
+        except ValueError:  # not the main thread
+            pass
+    try:
+        yield lambda: hit
+    finally:
+        for signum, old in previous:
+            signal.signal(signum, old)
+
+
+def save_run_checkpoint(
+    system: PubSubSystem,
+    config: SimulationConfig,
+    directory: Path | str,
+    *,
+    name: str | None = None,
+    extras: dict | None = None,
+) -> tuple[Path, float, int]:
+    """Snapshot a (paused) run under ``directory``; returns
+    ``(path, seconds, bytes)``.
+
+    Snapshots are named by cumulative executed events so lexicographic
+    order is execution order and :func:`repro.core.checkpoint.latest_checkpoint`
+    needs no timestamps.  ``extras`` ride along in the state for callers
+    with run-side objects outside the system graph (e.g. the dynamics
+    queue-depth sampler).
+    """
+    # Lazy import: parallel.py imports this module at top level.
+    from repro.sim.parallel import config_fingerprint
+
+    name = name or f"ckpt-{system.sim.executed_events:012d}"
+    return timed_save(
+        {"system": system, "config": config, "extras": dict(extras or {})},
+        Path(directory) / name,
+        fingerprints={"config": config_fingerprint(config)},
+        meta={
+            "sim_now_ms": system.sim.now,
+            "executed_events": system.sim.executed_events,
+            "strategy": config.strategy_label(),
+            "scenario": config.scenario.value,
+            "seed": config.seed,
+            "horizon_ms": config.horizon_ms,
+        },
+        overwrite=True,
+    )
+
+
+def resume_run(
+    path: Path | str,
+    *,
+    config: SimulationConfig | None = None,
+    allow_code_mismatch: bool = False,
+) -> tuple[PubSubSystem, SimulationConfig, dict]:
+    """Restore ``(system, config, extras)`` from a snapshot (or the
+    newest one under a checkpoint root).
+
+    When the caller supplies a ``config`` (a CLI rebuild from flags), its
+    fingerprint must match the snapshot's — resuming under different
+    decisions would silently break the identity guarantee, so it refuses
+    with :class:`~repro.core.checkpoint.CheckpointMismatch` instead.
+    Result-neutral knobs (spill settings) are excluded from the
+    fingerprint; the restored system keeps its original spill mode.
+    """
+    path = Path(path)
+    if path.is_dir() and not (path / "MANIFEST.json").exists():
+        newest = latest_checkpoint(path)
+        if newest is None:
+            raise CheckpointError(f"no checkpoints under {path}")
+        path = newest
+    fingerprints = None
+    if config is not None:
+        from repro.sim.parallel import config_fingerprint
+
+        fingerprints = {"config": config_fingerprint(config)}
+    state, _ = load_checkpoint(
+        path, fingerprints=fingerprints, allow_code_mismatch=allow_code_mismatch
+    )
+    return state["system"], state["config"], state.get("extras") or {}
+
+
+def _prune_checkpoints(directory: Path, keep: int) -> None:
+    snaps = sorted(p for p in directory.glob("ckpt-*") if p.is_dir())
+    for old in snaps[:-keep] if keep else snaps:
+        shutil.rmtree(old, ignore_errors=True)
+
+
+def run_checkpointed(
+    system: PubSubSystem,
+    config: SimulationConfig,
+    policy: CheckpointPolicy,
+    *,
+    extras: dict | None = None,
+) -> CheckpointStats:
+    """Run to the horizon, snapshotting every ``policy.every_ms`` of
+    simulated time.
+
+    The window-drain engine is segment-invariant (proven by the engine
+    differential tests), so splitting ``run(until=horizon)`` at snapshot
+    boundaries cannot change any decision.  On SIGTERM/SIGINT the current
+    segment finishes, a final checkpoint is written, and
+    :class:`CheckpointInterrupted` carries its path to the caller.
+    """
+    stats = CheckpointStats()
+    horizon = config.horizon_ms
+    every = policy.every_ms
+    with _interrupt_flag() as interrupted:
+        # Boundary index, not `now + every`: when every remaining event
+        # lies beyond the next boundary the clock stalls below it, and a
+        # time-derived target would re-run a zero-event segment forever.
+        k = int(system.sim.now // every) + 1
+        while True:
+            target = min(horizon, k * every)
+            k += 1
+            system.run(until=target)
+            if interrupted():
+                path, seconds, size = save_run_checkpoint(
+                    system, config, policy.directory, extras=extras
+                )
+                stats.note(path, seconds, size)
+                raise CheckpointInterrupted(path, system.sim.executed_events)
+            if target >= horizon:
+                return stats
+            path, seconds, size = save_run_checkpoint(
+                system, config, policy.directory, extras=extras
+            )
+            stats.note(path, seconds, size)
+            _prune_checkpoints(policy.directory, policy.keep)
+
+
 def run_simulation(
     config: SimulationConfig,
     topology: Topology | None = None,
+    *,
+    checkpoint: CheckpointPolicy | None = None,
+    resume: Path | str | None = None,
 ) -> SimulationResult:
-    """Run one experiment point to completion and collect the metrics."""
-    system = build_system(config, topology)
-    schedule_workload(system, config)
-    schedule_dynamics(system, config)
-    executed = system.run(until=config.horizon_ms)
+    """Run one experiment point to completion and collect the metrics.
+
+    ``checkpoint`` enables periodic snapshots; ``resume`` restores a
+    snapshot (verifying the config fingerprint) and continues to the
+    horizon.  Both together give crash-safe marathon runs.
+    """
+    if resume is not None:
+        if topology is not None:
+            raise ValueError("resume restores its own topology; cannot override")
+        system, config, _ = resume_run(resume, config=config)
+    else:
+        system = build_system(config, topology)
+        schedule_workload(system, config)
+        schedule_dynamics(system, config)
+    if checkpoint is not None:
+        run_checkpointed(system, config, checkpoint)
+    else:
+        system.run(until=config.horizon_ms)
     return SimulationResult.from_metrics(
         system.metrics,
         strategy=config.strategy_label(),
@@ -147,5 +375,7 @@ def run_simulation(
         seed=config.seed,
         publishing_rate_per_min=config.publishing_rate_per_min,
         residual_queued=system.total_queued(),
-        executed_events=executed,
+        # Cumulative, not per-call: a resumed run must report the same
+        # total as the uninterrupted one.
+        executed_events=system.sim.executed_events,
     )

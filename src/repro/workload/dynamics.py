@@ -27,8 +27,8 @@ paired comparison.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Sequence, Union
 
 from repro.pubsub.filters import Predicate
@@ -221,7 +221,9 @@ class DynamicsDriver:
         self.value_range = value_range
         self.price_table = dict(price_table or SSD_PRICE_BY_DEADLINE_MS)
         self._rng = system.streams.get("dynamics")
-        self._names = (f"D{i}" for i in itertools.count(1))
+        # Plain int counter (not a generator expression) so a pending
+        # driver pickles inside a checkpoint; emits D1, D2, ...
+        self._name_counter = 0
         self.applied = 0
 
     # ------------------------------------------------------------------ #
@@ -232,15 +234,15 @@ class DynamicsDriver:
         count (0 for an empty script — nothing is touched)."""
         count = 0
         for item in script.timed:
-            self.system.sim.schedule_at(item.at_ms, self._applier(item))
+            # partial of the bound method: interventions are frozen
+            # dataclasses, so the scheduled event is fully picklable.
+            self.system.sim.schedule_at(item.at_ms, partial(self.apply, item))
             count += 1
         return count
 
-    def _applier(self, item: Intervention) -> Callable[[], None]:
-        def apply() -> None:
-            self.apply(item)
-
-        return apply
+    def _next_name(self) -> str:
+        self._name_counter += 1
+        return f"D{self._name_counter}"
 
     # ------------------------------------------------------------------ #
     # Application.
@@ -288,7 +290,7 @@ class DynamicsDriver:
             edges = self._edge_brokers()
             for k in range(wave.join):
                 filt = random_conjunctive_filter(self._rng, self.attributes, self.value_range)
-                self._subscribe(next(self._names), edges[k % len(edges)], filt)
+                self._subscribe(self._next_name(), edges[k % len(edges)], filt)
 
     def _flash_crowd(self, crowd: FlashCrowd) -> None:
         lo, hi = self.value_range
@@ -297,7 +299,7 @@ class DynamicsDriver:
         broad = Predicate(self.attributes[0], "<", hi + (hi - lo))
         edges = [crowd.broker] if crowd.broker is not None else self._edge_brokers()
         for k in range(crowd.count):
-            self._subscribe(next(self._names), edges[k % len(edges)], broad)
+            self._subscribe(self._next_name(), edges[k % len(edges)], broad)
 
 
 # ---------------------------------------------------------------------- #

@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 import gc
+import zipfile
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.core.chunked import ChunkedColumnStore
+from repro.core import chunked
+from repro.core.chunked import ChunkedColumnStore, SpillError
 
 SCHEMA = (("a", np.int64), ("b", np.float64), ("flag", np.bool_))
 
@@ -138,3 +140,81 @@ class TestSpill:
         store.append_batch(25, np.arange(25, 50), 0.5, False)
         np.testing.assert_array_equal(np.concatenate(seen), np.arange(25))
         np.testing.assert_array_equal(store.gather(("a",))[0], np.arange(50))
+
+
+class TestSpillFaults:
+    """Injected failing-filesystem shims: bounded retry, typed errors."""
+
+    @pytest.fixture(autouse=True)
+    def _fast_backoff(self, monkeypatch):
+        monkeypatch.setattr(chunked, "_SPILL_BACKOFF_S", 0.0)
+
+    def test_persistent_write_failure_is_typed_after_retries(self, monkeypatch):
+        calls = []
+
+        def enospc(path, **arrays):
+            calls.append(path)
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(chunked, "_SAVEZ", enospc)
+        store = ChunkedColumnStore(SCHEMA, chunk_rows=4, spill=True)
+        with pytest.raises(SpillError) as info:
+            store.append_batch(8, np.arange(8), 0.0, False)
+        assert len(calls) == chunked._SPILL_ATTEMPTS
+        assert info.value.chunk_id == 0
+        assert info.value.path.name == "chunk-000000.npz"
+        assert "No space left" in str(info.value)
+
+    def test_transient_write_failure_heals_within_retry_budget(self, monkeypatch):
+        real = np.savez
+        failures = iter([True, True])  # first two attempts fail
+
+        def flaky(path, **arrays):
+            if next(failures, False):
+                raise OSError(4, "Interrupted system call")
+            real(path, **arrays)
+
+        monkeypatch.setattr(chunked, "_SAVEZ", flaky)
+        store = ChunkedColumnStore(SCHEMA, chunk_rows=4, spill=True)
+        store.append_batch(8, np.arange(8), 0.5, True)
+        assert store.spilled_chunks == 2
+        np.testing.assert_array_equal(store.gather(("a",))[0], np.arange(8))
+
+    def test_corrupt_chunk_read_fails_immediately(self, monkeypatch):
+        store = ChunkedColumnStore(SCHEMA, chunk_rows=4, spill=True)
+        store.append_batch(8, np.arange(8), 0.5, True)
+        calls = []
+
+        def corrupt(path, **kwargs):
+            calls.append(path)
+            raise zipfile.BadZipFile("truncated central directory")
+
+        monkeypatch.setattr(chunked, "_LOAD", corrupt)
+        with pytest.raises(SpillError, match="corrupt") as info:
+            store.gather()
+        assert len(calls) == 1  # corruption never retries
+        assert info.value.chunk_id == 0
+
+    def test_truncated_chunk_file_names_the_file(self):
+        store = ChunkedColumnStore(SCHEMA, chunk_rows=4, spill=True)
+        store.append_batch(8, np.arange(8), 0.5, True)
+        victim = sorted(store._spill_dir.glob("chunk-*.npz"))[1]
+        victim.write_bytes(b"\x00" * 16)
+        with pytest.raises(SpillError) as info:
+            store.gather()
+        assert info.value.path == victim
+        assert info.value.chunk_id == 1
+
+    def test_transient_read_failure_heals(self, monkeypatch):
+        store = ChunkedColumnStore(SCHEMA, chunk_rows=4, spill=True)
+        store.append_batch(8, np.arange(8), 0.5, True)
+        real = np.load
+        failures = iter([True])
+
+        def flaky(path, **kwargs):
+            if next(failures, False):
+                raise OSError(4, "Interrupted system call")
+            return real(path, **kwargs)
+
+        monkeypatch.setattr(chunked, "_LOAD", flaky)
+        np.testing.assert_array_equal(store.gather(("a",))[0], np.arange(8))

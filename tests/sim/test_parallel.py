@@ -205,6 +205,158 @@ class TestSweepIntegration:
         )
 
 
+class TestPointRetry:
+    @pytest.fixture(autouse=True)
+    def _fast_backoff(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_POINT_BACKOFF_S", 0.0)
+
+    def test_transient_failure_heals(self, monkeypatch):
+        attempts = []
+
+        def flaky(config):
+            attempts.append(config)
+            if len(attempts) < 3:
+                raise OSError("transient spill hiccup")
+            return run_simulation(config)
+
+        monkeypatch.setattr(parallel, "_run_point", flaky)
+        result = parallel._run_point_retrying(TINY, retries=2, backoff_s=0.0)
+        assert result == run_simulation(TINY)
+        assert len(attempts) == 3
+
+    def test_persistent_failure_propagates_after_budget(self, monkeypatch):
+        attempts = []
+
+        def always(config):
+            attempts.append(config)
+            raise RuntimeError("deterministic failure")
+
+        monkeypatch.setattr(parallel, "_run_point", always)
+        with pytest.raises(RuntimeError, match="deterministic"):
+            parallel._run_point_retrying(TINY, retries=2, backoff_s=0.0)
+        assert len(attempts) == 3  # retries + 1
+
+    def test_zero_retries_is_single_shot(self, monkeypatch):
+        attempts = []
+
+        def always(config):
+            attempts.append(config)
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(parallel, "_run_point", always)
+        with pytest.raises(RuntimeError):
+            parallel._run_point_retrying(TINY, retries=0, backoff_s=0.0)
+        assert len(attempts) == 1
+
+    def test_runner_validation(self):
+        with pytest.raises(ValueError):
+            ParallelPointRunner(jobs=1, retries=-1)
+        with pytest.raises(ValueError):
+            ParallelPointRunner(jobs=1, max_respawns=-1)
+
+    def test_serial_path_retries(self, tmp_path, monkeypatch):
+        """jobs=1 goes through the same bounded-retry entry as the pool."""
+        attempts = []
+
+        def flaky(config):
+            attempts.append(config)
+            if len(attempts) == 1:
+                raise OSError("transient")
+            return run_simulation(config)
+
+        monkeypatch.setattr(parallel, "_run_point", flaky)
+        runner = ParallelPointRunner(jobs=1, cache=PointCache(tmp_path))
+        results = runner([TINY])
+        assert results == [run_simulation(TINY)]
+        assert len(attempts) == 2
+        assert runner.cache.get(TINY) is not None
+
+
+class TestBrokenPoolRecovery:
+    """Worker death (os._exit — bypasses worker-side retry entirely) must
+    respawn the pool and recover the lost points, not abort the sweep.
+
+    The pool start method on Linux is fork, so monkeypatching
+    ``parallel._run_point`` in the parent is inherited by the workers.
+    """
+
+    def test_sweep_survives_one_worker_crash(self, tmp_path, monkeypatch):
+        import os
+
+        sentinel = tmp_path / "crashed-once"
+
+        def crash_once(config):
+            if config.seed == 1 and not sentinel.exists():
+                sentinel.write_text("x")
+                os._exit(1)  # hard kill: BrokenProcessPool in the parent
+            return run_simulation(config)
+
+        monkeypatch.setattr(parallel, "_run_point", crash_once)
+        configs = [TINY.replace(seed=s) for s in range(3)]
+        runner = ParallelPointRunner(jobs=2, max_respawns=2)
+        with pytest.warns(RuntimeWarning, match="respawning"):
+            results = runner(configs)
+        assert sentinel.exists()
+        assert results == run_points_serial(configs)
+
+    def test_unrecoverable_points_marked_failed_not_fatal(self, tmp_path, monkeypatch):
+        import os
+        import time
+
+        cache = PointCache(tmp_path / "cache")
+        good, bad = TINY.replace(seed=0), TINY.replace(seed=1)
+        good_entry = cache.root / f"{config_fingerprint(good)}.json"
+
+        def crash_after_good(config):
+            if config.seed == 1:
+                # Die only once the good point's result is cached (the
+                # parent caches completions as they arrive), so exactly
+                # one point is unrecoverable — deterministically.
+                deadline = time.time() + 30.0
+                while not good_entry.exists() and time.time() < deadline:
+                    time.sleep(0.01)
+                os._exit(1)
+            return run_simulation(config)
+
+        monkeypatch.setattr(parallel, "_run_point", crash_after_good)
+        runner = ParallelPointRunner(jobs=2, cache=cache, max_respawns=1)
+        # Both the respawn warning and the final unrecoverable warning
+        # fire; pytest.warns swallows all recorded RuntimeWarnings.
+        with pytest.warns(RuntimeWarning) as recorded:
+            results = runner([good, bad])
+        assert any("unrecoverable" in str(w.message) for w in recorded)
+        assert results[0] == run_simulation(good)
+        failure = results[1]
+        assert isinstance(failure, parallel.PointFailure)
+        assert failure.config.seed == 1
+        assert failure.attempts == 2  # initial pool + 1 respawn
+        # The survivor was cached; the placeholder must never be.
+        assert cache.get(good) is not None
+        assert cache.get(bad) is None
+
+
+class TestCacheDurability:
+    def test_put_is_atomic_no_tmp_residue(self, tmp_path):
+        cache = PointCache(tmp_path)
+        cache.put(TINY, run_simulation(TINY))
+        assert not list(tmp_path.glob("*.tmp"))
+        assert cache.get(TINY) is not None
+
+    def test_old_orphan_tmp_swept_on_open(self, tmp_path):
+        import os
+        import time
+
+        old = tmp_path / "deadbeef.12345.tmp"
+        old.write_text("torn write from a killed sweep")
+        stale = time.time() - 2 * PointCache._TMP_ORPHAN_AGE_S
+        os.utime(old, (stale, stale))
+        fresh = tmp_path / "cafebabe.6789.tmp"
+        fresh.write_text("concurrent writer, in flight")
+        PointCache(tmp_path)
+        assert not old.exists()  # stale orphan reaped
+        assert fresh.exists()  # young file untouched (may be mid-replace)
+
+
 class TestCliJobs:
     def test_jobs_flag_parsed(self):
         from repro.cli import build_parser
