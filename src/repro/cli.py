@@ -127,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--estimator", choices=["welford", "window", "ewma"], default="welford",
         help="ESTIMATED-mode estimator (window/ewma track runtime rate changes)",
     )
+    _add_sentinel_args(p)
     _add_checkpoint_args(p)
 
     p = sub.add_parser("run", help="run one custom simulation point")
@@ -146,6 +147,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_args(p)
     _add_log_args(p)
+    _add_sentinel_args(p)
+    _add_script_args(p)
     _add_checkpoint_args(p)
 
     p = sub.add_parser(
@@ -163,8 +166,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window", type=float, default=30.0, help="series bucket (seconds)")
     _add_engine_args(p)
     _add_log_args(p)
+    _add_sentinel_args(p)
+    _add_script_args(p)
     _add_checkpoint_args(p)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="search fault-scenario space for invariant violations and "
+             "strategy-ranking inversions",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="the CI campaign: fixed small budget, short runs",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--budget", type=_positive_int, default=12, metavar="N",
+        help="random fault scripts to try (ignored with --smoke)",
+    )
+    p.add_argument("--rate", type=float, default=20.0, help="msgs/min/publisher")
+    p.add_argument("--minutes", type=float, default=2.0, help="simulated test period")
+    p.add_argument(
+        "--out", default="fuzz-findings", metavar="DIR",
+        help="write shrunk counterexample scripts here (default: fuzz-findings)",
+    )
     return parser
+
+
+def _add_sentinel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sentinel", action="store_true",
+        help="run the invariant sentinel at window boundaries (decision-"
+             "neutral; raises InvariantViolation the moment an identity breaks)",
+    )
+
+
+def _add_script_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--script", default=None, metavar="PATH",
+        help="play a fault/intervention script file (JSON written by the "
+             "fuzzer or repro.workload.registry.save_script)",
+    )
+
+
+def _load_script(args: argparse.Namespace):
+    if getattr(args, "script", None) is None:
+        return None
+    from repro.workload.registry import load_script
+
+    return load_script(args.script)
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
@@ -306,6 +356,7 @@ def _dispatch(args: argparse.Namespace, start: float) -> int:
             strategies=tuple(args.strategy) if args.strategy else ALL_STRATEGIES,
             measurement=args.measurement,
             link_estimator=args.estimator,
+            sentinel=args.sentinel,
             checkpoint=_checkpoint_policy(args),
             resume=args.resume,
         )
@@ -316,20 +367,25 @@ def _dispatch(args: argparse.Namespace, start: float) -> int:
         params = {"r": args.r} if args.strategy == "ebpc" else {}
         if args.profile:
             profiling.enable()
+        script = _load_script(args)
+        config = SimulationConfig(
+            seed=args.seed,
+            scenario=Scenario(args.scenario),
+            strategy=args.strategy,
+            strategy_params=params,
+            publishing_rate_per_min=args.rate,
+            duration_ms=args.minutes * 60_000.0,
+            matcher_backend=args.matcher,
+            metrics_backend=args.metrics,
+            engine_backend=args.engine,
+            log_spill=args.log_spill,
+            log_chunk_rows=args.log_chunk,
+            sentinel=args.sentinel,
+        )
+        if script is not None:
+            config = config.replace(dynamics=script)
         result = run_simulation(
-            SimulationConfig(
-                seed=args.seed,
-                scenario=Scenario(args.scenario),
-                strategy=args.strategy,
-                strategy_params=params,
-                publishing_rate_per_min=args.rate,
-                duration_ms=args.minutes * 60_000.0,
-                matcher_backend=args.matcher,
-                metrics_backend=args.metrics,
-                engine_backend=args.engine,
-                log_spill=args.log_spill,
-                log_chunk_rows=args.log_chunk,
-            ),
+            config,
             checkpoint=_checkpoint_policy(args),
             resume=args.resume,
         )
@@ -359,6 +415,8 @@ def _dispatch(args: argparse.Namespace, start: float) -> int:
             chunk_rows=args.log_chunk,
             window_s=args.window,
             engine=args.engine,
+            sentinel=args.sentinel,
+            script=_load_script(args),
             checkpoint=_checkpoint_policy(args),
             resume=args.resume,
         )
@@ -385,6 +443,24 @@ def _dispatch(args: argparse.Namespace, start: float) -> int:
         if args.profile and profiling.ACTIVE is not None:
             print()
             print(profiling.disable().format_table())
+    elif args.command == "fuzz":
+        from repro.experiments.fuzz import FuzzSpec, format_report, run_fuzz
+
+        if args.smoke:
+            spec = FuzzSpec.smoke(seed=args.seed, out_dir=args.out)
+        else:
+            spec = FuzzSpec(
+                seed=args.seed,
+                budget=args.budget,
+                duration_ms=args.minutes * 60_000.0,
+                rate_per_min=args.rate,
+                out_dir=args.out,
+            )
+        report = run_fuzz(spec)
+        print(format_report(report))
+        if not report.ok:
+            print(f"\n[{time.perf_counter() - start:.1f}s]", file=sys.stderr)
+            return 1
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(2)
 

@@ -405,6 +405,28 @@ class ScheduledQueue:
             self._prune_index.compact(self._live)
         return pruned
 
+    def drain_aged(self, now: float, max_age_ms: float) -> list[QueueEntry]:
+        """Delete and return every entry enqueued ``max_age_ms`` or more
+        ago (seq order) — the dead-letter sweep for a hard-down link.
+
+        Orthogonal to :meth:`prune`: pruning removes entries that can no
+        longer be *useful*; this removes entries the channel could not
+        carry within the fault-tolerance window, regardless of validity.
+        Stale heap/prune-index records left behind are reclaimed the same
+        way pruning reclaims them.
+        """
+        aged = [
+            e for e in self._live.values() if now - e.enqueue_time >= max_age_ms
+        ]
+        if aged:
+            for entry in aged:
+                del self._live[entry.seq]
+            aged.sort(key=lambda e: e.seq)
+            self._backend.compact()
+            if self._prune_index is not None:
+                self._prune_index.compact(self._live)
+        return aged
+
     def pop_best(self, ctx: SchedulingContext) -> QueueEntry:
         """Remove and return the entry the strategy would send next."""
         if self.validate and self._live:

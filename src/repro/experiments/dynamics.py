@@ -26,8 +26,10 @@ from repro.sim.config import SimulationConfig
 from repro.sim.runner import (
     CheckpointPolicy,
     build_system,
+    make_sentinel,
     resume_run,
     run_checkpointed,
+    run_to_horizon,
     schedule_dynamics,
     schedule_workload,
 )
@@ -74,12 +76,16 @@ def run_dynamics_point(
             if sample_queue
             else None
         )
+    sentinel = make_sentinel(system, config)
     if checkpoint is not None:
         run_checkpointed(
-            system, config, checkpoint, extras={"queue_sampler": sampler}
+            system, config, checkpoint,
+            extras={"queue_sampler": sampler}, sentinel=sentinel,
         )
+        if sentinel is not None:
+            sentinel.final()
     else:
-        system.sim.run(until=config.horizon_ms)
+        run_to_horizon(system, config, sentinel)
     return windowed_metrics(
         system, window_ms, horizon_ms=config.horizon_ms, queue_sampler=sampler
     )
@@ -96,6 +102,7 @@ def run_dynamics_comparison(
     strategies: Sequence[str] = ALL_STRATEGIES,
     measurement: str = "oracle",
     link_estimator: str = "welford",
+    sentinel: bool = False,
     checkpoint: CheckpointPolicy | None = None,
     resume: Path | str | None = None,
 ) -> FigureResult:
@@ -139,6 +146,7 @@ def run_dynamics_comparison(
             dynamics=script,
             measurement_mode=MeasurementMode(measurement),
             link_estimator=link_estimator,
+            sentinel=sentinel,
         )
         sub_ck = None
         if checkpoint is not None:

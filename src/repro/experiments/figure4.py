@@ -14,7 +14,7 @@ from typing import Sequence
 
 from repro.experiments.common import FIGURE4_R_VALUES, FigureResult, ScaleSpec, paper_base_config
 from repro.sim.parallel import make_point_runner
-from repro.sim.sweep import sweep_r_weight
+from repro.sim.sweep import failure_notes, sweep_r_weight
 from repro.workload.scenarios import Scenario
 
 
@@ -38,7 +38,8 @@ def run_panel_a(
         y_label="total earning",
         x_values=list(r_values),
         series={label: sweep.metric(label, lambda r: r.earning) for label in ("ebpc", "eb", "pc")},
-        notes=[f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"],
+        notes=[f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"]
+        + failure_notes(sweep),
     )
 
 
@@ -65,5 +66,6 @@ def run_panel_b(
             label: sweep.metric(label, lambda r: r.delivery_rate)
             for label in ("ebpc", "eb", "pc")
         },
-        notes=[f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"],
+        notes=[f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"]
+        + failure_notes(sweep),
     )

@@ -16,7 +16,7 @@ from typing import Sequence
 
 from repro.experiments.common import FIGURE56_RATES, FigureResult, ScaleSpec, paper_base_config
 from repro.sim.parallel import make_point_runner
-from repro.sim.sweep import sweep_publishing_rate
+from repro.sim.sweep import failure_notes, sweep_publishing_rate
 from repro.workload.scenarios import Scenario
 
 STRATEGIES: tuple[str, ...] = ("eb", "pc", "fifo", "rl")
@@ -35,7 +35,8 @@ def run_both_panels(
         paper_base_config(Scenario.SSD, scale), rates, STRATEGIES, seeds=seeds,
         point_runner=make_point_runner(jobs, cache_dir),
     )
-    note = f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"
+    notes = [f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"]
+    notes += failure_notes(sweep)
     panel_a = FigureResult(
         figure_id="fig5a",
         title="Fig 5(a) — SSD: total earning vs publishing rate",
@@ -43,7 +44,7 @@ def run_both_panels(
         y_label="total earning",
         x_values=list(rates),
         series={s: sweep.metric(s, lambda r: r.earning) for s in STRATEGIES},
-        notes=[note],
+        notes=list(notes),
     )
     panel_b = FigureResult(
         figure_id="fig5b",
@@ -52,7 +53,7 @@ def run_both_panels(
         y_label="message number (broker receptions)",
         x_values=list(rates),
         series={s: sweep.metric(s, lambda r: float(r.message_number)) for s in STRATEGIES},
-        notes=[note],
+        notes=list(notes),
     )
     return panel_a, panel_b
 

@@ -14,7 +14,7 @@ from typing import Sequence
 
 from repro.experiments.common import FIGURE56_RATES, FigureResult, ScaleSpec, paper_base_config
 from repro.sim.parallel import make_point_runner
-from repro.sim.sweep import sweep_publishing_rate
+from repro.sim.sweep import failure_notes, sweep_publishing_rate
 from repro.workload.scenarios import Scenario
 
 STRATEGIES: tuple[str, ...] = ("eb", "pc", "fifo", "rl")
@@ -33,7 +33,8 @@ def run_both_panels(
         paper_base_config(Scenario.PSD, scale), rates, STRATEGIES, seeds=seeds,
         point_runner=make_point_runner(jobs, cache_dir),
     )
-    note = f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"
+    notes = [f"scale={scale.scale:g} of the paper's 2-hour period, seed={scale.seed}"]
+    notes += failure_notes(sweep)
     panel_a = FigureResult(
         figure_id="fig6a",
         title="Fig 6(a) — PSD: delivery rate vs publishing rate",
@@ -41,7 +42,7 @@ def run_both_panels(
         y_label="delivery rate",
         x_values=list(rates),
         series={s: sweep.metric(s, lambda r: r.delivery_rate) for s in STRATEGIES},
-        notes=[note],
+        notes=list(notes),
     )
     panel_b = FigureResult(
         figure_id="fig6b",
@@ -50,7 +51,7 @@ def run_both_panels(
         y_label="message number (broker receptions)",
         x_values=list(rates),
         series={s: sweep.metric(s, lambda r: float(r.message_number)) for s in STRATEGIES},
-        notes=[note],
+        notes=list(notes),
     )
     return panel_a, panel_b
 

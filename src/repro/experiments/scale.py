@@ -29,10 +29,14 @@ from repro.sim.config import SimulationConfig
 from repro.sim.runner import (
     CheckpointPolicy,
     build_system,
+    make_sentinel,
     resume_run,
     run_checkpointed,
+    run_to_horizon,
+    schedule_dynamics,
     schedule_workload,
 )
+from repro.workload.dynamics import ScenarioScript
 from repro.workload.scenarios import (
     SCALE_SCENARIOS,
     Scenario,
@@ -131,6 +135,8 @@ def scale_config(
     spill: bool = False,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     engine: str = "fused",
+    sentinel: bool = False,
+    script: ScenarioScript | None = None,
 ) -> SimulationConfig:
     """The simulation config of one scale point (small messages keep the
     links fast, so fanout — not transmission — dominates)."""
@@ -146,6 +152,8 @@ def scale_config(
         log_spill=spill,
         log_chunk_rows=chunk_rows,
         engine_backend=engine,
+        sentinel=sentinel,
+        dynamics=script if script is not None else ScenarioScript(),
     )
 
 
@@ -186,6 +194,8 @@ def run_scale_point(
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     window_s: float = 30.0,
     engine: str = "fused",
+    sentinel: bool = False,
+    script: ScenarioScript | None = None,
     checkpoint: CheckpointPolicy | None = None,
     resume: Path | str | None = None,
 ) -> ScalePointResult:
@@ -204,6 +214,7 @@ def run_scale_point(
     config = scale_config(
         spec, strategy=strategy, seed=seed, rate_per_min=rate_per_min,
         minutes=minutes, spill=spill, chunk_rows=chunk_rows, engine=engine,
+        sentinel=sentinel, script=script,
     )
     t0 = time.perf_counter()
     if resume is not None:
@@ -211,13 +222,17 @@ def run_scale_point(
     else:
         system = build_scale_system(spec, config)
         schedule_workload(system, config)
+        schedule_dynamics(system, config)
     t1 = time.perf_counter()
+    run_sentinel = make_sentinel(system, config)
     ck_count, ck_write_s, ck_bytes = 0, 0.0, 0
     if checkpoint is not None:
-        stats = run_checkpointed(system, config, checkpoint)
+        stats = run_checkpointed(system, config, checkpoint, sentinel=run_sentinel)
         ck_count, ck_write_s, ck_bytes = stats.snapshots, stats.write_s, stats.bytes
+        if run_sentinel is not None:
+            run_sentinel.final()
     else:
-        system.run(until=config.horizon_ms)
+        run_to_horizon(system, config, run_sentinel)
     t2 = time.perf_counter()
     ts = windowed_metrics(system, window_s * 1000.0, config.horizon_ms)
     digest = series_digest(ts)

@@ -11,6 +11,7 @@ whoever is listening (the measurement substrate).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -18,6 +19,21 @@ import numpy as np
 
 from repro.stats.normal import Normal
 from repro.stats.sampling import sample_positive_normal
+
+#: Smallest per-KB rate mean (ms/KB) a link may be driven to.  Failure
+#: scripts that push a rate toward zero are clamped here instead of
+#: producing zero-duration transmissions (rate 0 would mean an infinitely
+#: fast link, and downstream per-KB arithmetic must never divide by it).
+RATE_FLOOR_MS_PER_KB = 1e-6
+
+
+def _validate_rate(rate: Normal) -> Normal:
+    """Reject nonsense rates, clamp near-zero means up to the floor."""
+    if not math.isfinite(rate.mean) or not math.isfinite(rate.variance):
+        raise ValueError(f"link rate must be finite, got {rate}")
+    if rate.mean < RATE_FLOOR_MS_PER_KB:
+        return Normal(RATE_FLOOR_MS_PER_KB, rate.variance)
+    return rate
 
 
 @dataclass
@@ -44,16 +60,17 @@ class DirectedLink:
     """
 
     __slots__ = (
-        "src", "dst", "true_rate", "_rng", "busy", "stats", "_observers",
+        "src", "dst", "true_rate", "_rng", "busy", "up", "stats", "_observers",
         "_rate_listeners",
     )
 
     def __init__(self, src: str, dst: str, true_rate: Normal, rng: np.random.Generator) -> None:
         self.src = src
         self.dst = dst
-        self.true_rate = true_rate
+        self.true_rate = _validate_rate(true_rate)
         self._rng = rng
         self.busy = False
+        self.up = True
         self.stats = LinkStats()
         self._observers: list[Callable[[float, float], None]] = []
         self._rate_listeners: list[Callable[[Normal], None]] = []
@@ -74,10 +91,29 @@ class DirectedLink:
     def set_true_rate(self, rate: Normal) -> None:
         """Runtime rate change: the channel samples the new distribution
         from the next transmission on, and rate listeners (the measurement
-        layer) are notified so pinned oracle caches can't go stale."""
+        layer) are notified so pinned oracle caches can't go stale.
+
+        Rates at or below :data:`RATE_FLOOR_MS_PER_KB` are clamped to the
+        floor — a failure script degrading a link toward zero gets an
+        absurdly fast link, never a divide-by-zero or a zero-duration send.
+        """
+        rate = _validate_rate(rate)
         self.true_rate = rate
         for listener in self._rate_listeners:
             listener(rate)
+
+    def fail(self) -> None:
+        """Hard-down this direction: no new transmission may start.
+
+        An in-flight transmission (``busy``) is allowed to complete — TCP
+        delivers the segment it already pushed; the fault bites on the
+        *next* send attempt.  Idempotent.
+        """
+        self.up = False
+
+    def restore(self) -> None:
+        """Bring this direction back up.  Idempotent."""
+        self.up = True
 
     def draw_transmission_time(self, size_kb: float) -> float:
         """Sample the time (ms) to push ``size_kb`` through this direction.

@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 from typing import Callable
 
-from repro.network.link import DirectedLink
+from repro.network.link import RATE_FLOOR_MS_PER_KB, DirectedLink
 from repro.stats.estimators import (
     EwmaEstimator,
     RateEstimator,
@@ -107,7 +107,16 @@ class LinkMonitor:
         if self._estimator.count < self.min_samples:
             return self.prior
         if self._observed != self._estimate_cache_count:
-            self._estimate_cache = Normal(self._estimator.mean, self._estimator.variance)
+            # Floor-guard the estimate: a link driven near rate 0 by a
+            # failure script must never surface a non-positive (or NaN)
+            # mean to schedulers, whose scoring divides by path rates.
+            mean = self._estimator.mean
+            variance = self._estimator.variance
+            if not (mean >= RATE_FLOOR_MS_PER_KB):  # catches NaN too
+                mean = RATE_FLOOR_MS_PER_KB
+            if not (variance >= 0.0):
+                variance = 0.0
+            self._estimate_cache = Normal(mean, variance)
             self._estimate_cache_count = self._observed
         return self._estimate_cache
 

@@ -34,6 +34,7 @@ from repro.des.simulator import Simulator
 from repro.des.trace import TraceRecorder
 from repro.network.link import DirectedLink
 from repro.network.measurement import LinkMonitor
+from repro.pubsub.faults import DeadLetterRecord, FaultLedger
 from repro.pubsub.message import Message
 from repro.pubsub.metrics import MetricsCollector
 from repro.pubsub.subscription import SubscriptionTable, TableRow
@@ -92,11 +93,19 @@ class Broker:
         queue_backend: str = "auto",
         queue_validate: bool = False,
         matcher_backend: str = "vector",
+        faults: FaultLedger | None = None,
+        fault_retry_backoff_ms: float = 1_000.0,
+        fault_retry_max_backoff_ms: float = 8_000.0,
+        dead_letter_timeout_ms: float = 30_000.0,
     ) -> None:
         if processing_delay_ms < 0.0:
             raise ValueError("processing_delay_ms must be non-negative")
         if scheduling_slack_per_hop_ms < 0.0:
             raise ValueError("scheduling_slack_per_hop_ms must be non-negative")
+        if fault_retry_backoff_ms <= 0.0 or fault_retry_max_backoff_ms < fault_retry_backoff_ms:
+            raise ValueError("retry backoff must be positive and <= its cap")
+        if dead_letter_timeout_ms <= 0.0:
+            raise ValueError("dead_letter_timeout_ms must be positive")
         self.name = name
         self.sim = sim
         self.strategy = strategy
@@ -118,6 +127,15 @@ class Broker:
         self.table = SubscriptionTable(matcher_backend=matcher_backend)
         self.queues: dict[str, OutputQueue] = {}
         self.trace = trace
+        # Fault layer: shared conservation ledger plus per-neighbour retry
+        # state.  With every link up none of this schedules anything — the
+        # no-faults run stays byte-identical.
+        self.faults = faults if faults is not None else FaultLedger()
+        self.fault_retry_backoff_ms = fault_retry_backoff_ms
+        self.fault_retry_max_backoff_ms = fault_retry_max_backoff_ms
+        self.dead_letter_timeout_ms = dead_letter_timeout_ms
+        self._retry_pending: set[str] = set()
+        self._retry_backoff: dict[str, float] = {}
         self._seq = 0
         self._size_sum = 0.0
         self._size_count = 0
@@ -272,6 +290,7 @@ class Broker:
             )
             self._seq += 1
             self.queues[neighbor].sched.push(entry)
+            self.faults.on_enqueue(len(entry.arrays))
             if prof is not None:
                 prof.add("enqueue", perf_counter() - t0)
             if self.trace is not None:
@@ -309,6 +328,9 @@ class Broker:
                         msg=entry.message.msg_id, neighbor=queue.neighbor,
                     )
             self.metrics.on_prune(len(pruned))
+            self.faults.on_prune(
+                len(pruned), sum(len(e.arrays) for e in pruned)
+            )
 
     def _try_send(self, neighbor: str) -> None:
         prof = profiling.ACTIVE
@@ -323,11 +345,18 @@ class Broker:
         queue = self.queues[neighbor]
         if queue.link.busy:
             return
+        if not queue.link.up:
+            # Hard-down link: keep the queue, retry with bounded backoff,
+            # dead-letter entries that age past the tolerance window.
+            if queue.sched:
+                self._schedule_retry(neighbor)
+            return
         self._prune(queue)
         if not queue.sched:
             return
         ctx = self._context_for(queue)
         entry = queue.sched.pop_best(ctx)
+        self.faults.on_send(len(entry.arrays))
         duration = queue.link.draw_transmission_time(entry.message.size_kb)
         queue.link.acquire()
         self.metrics.on_transmission()
@@ -340,12 +369,70 @@ class Broker:
             duration,
             partial(self._complete_send, neighbor, entry),
             label=f"{self.name}->{neighbor}:{entry.message.msg_id}" if self.trace is not None else "",
+            # Typed metadata: lets the sentinel count in-flight pairs by
+            # scanning the heap (the fused engine executes non-"process"
+            # kinds opaquely, so this is decision-neutral).
+            kind="transmit",
+            payload=(self, neighbor, entry),
         )
 
     def _complete_send(self, neighbor: str, entry: QueueEntry) -> None:
         queue = self.queues[neighbor]
         queue.link.release()
         queue.deliver(entry.message)
+        self._try_send(neighbor)
+
+    # ------------------------------------------------------------------ #
+    # Fault handling: retry + dead-letter for hard-down links.
+    # ------------------------------------------------------------------ #
+    def _schedule_retry(self, neighbor: str) -> None:
+        """Arm (at most) one pending retry event for a down link."""
+        if neighbor in self._retry_pending:
+            return
+        backoff = self._retry_backoff.get(neighbor, self.fault_retry_backoff_ms)
+        self._retry_backoff[neighbor] = min(
+            backoff * 2.0, self.fault_retry_max_backoff_ms
+        )
+        self._retry_pending.add(neighbor)
+        self.sim.schedule(
+            backoff,
+            partial(self._retry_link, neighbor),
+            label=f"{self.name}->{neighbor}:retry" if self.trace is not None else "",
+            kind="retry",
+        )
+
+    def _retry_link(self, neighbor: str) -> None:
+        """Retry event: send if the link recovered, otherwise dead-letter
+        aged entries and re-arm with doubled (capped) backoff."""
+        self._retry_pending.discard(neighbor)
+        queue = self.queues[neighbor]
+        self.faults.on_retry()
+        if queue.link.up:
+            self._retry_backoff.pop(neighbor, None)
+            self._try_send(neighbor)
+            return
+        now = self.sim.now
+        for entry in queue.sched.drain_aged(now, self.dead_letter_timeout_ms):
+            self.faults.on_dead_letter(DeadLetterRecord(
+                broker=self.name,
+                neighbor=neighbor,
+                msg_id=entry.message.msg_id,
+                pairs=len(entry.arrays),
+                enqueue_ms=entry.enqueue_time,
+                dead_ms=now,
+                reason="link_down",
+            ))
+            if self.trace is not None:
+                self.trace.record(
+                    now, "dead_letter", self.name,
+                    msg=entry.message.msg_id, neighbor=neighbor,
+                )
+        if queue.sched:
+            self._schedule_retry(neighbor)
+
+    def on_link_up(self, neighbor: str) -> None:
+        """System hook fired when this direction transitions down → up."""
+        self._retry_backoff.pop(neighbor, None)
         self._try_send(neighbor)
 
     # ------------------------------------------------------------------ #

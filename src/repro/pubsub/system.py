@@ -41,6 +41,7 @@ from repro.network.topology import Topology, TopologyError
 from repro.pubsub.broker import Broker
 from repro.pubsub.client import DeliveryLog, PublisherHandle, SubscriberHandle
 from repro.pubsub.engine import ENGINE_BACKENDS, make_engine
+from repro.pubsub.faults import FaultLedger
 from repro.pubsub.matching import MATCHER_BACKENDS, MatchingEngine, make_matcher
 from repro.pubsub.message import Message
 from repro.pubsub.metrics import METRICS_BACKENDS, MetricsCollector, make_metrics
@@ -131,8 +132,22 @@ class SystemConfig:
     #: Fused engine's event-time window (ms); decision-neutral execution
     #: micro-batching granularity.
     engine_window_ms: float = 50.0
+    #: Fault layer (graceful degradation on hard-down links): initial and
+    #: maximum retry backoff, and the per-entry age past which queued
+    #: traffic for a dead link is dead-lettered.  Inert (no events, no
+    #: decisions) unless a fault script actually downs a link or broker.
+    fault_retry_backoff_ms: float = 1_000.0
+    fault_retry_max_backoff_ms: float = 8_000.0
+    dead_letter_timeout_ms: float = 30_000.0
 
     def __post_init__(self) -> None:
+        if (
+            self.fault_retry_backoff_ms <= 0.0
+            or self.fault_retry_max_backoff_ms < self.fault_retry_backoff_ms
+        ):
+            raise ValueError("retry backoff must be positive and <= its cap")
+        if self.dead_letter_timeout_ms <= 0.0:
+            raise ValueError("dead_letter_timeout_ms must be positive")
         if self.engine_backend not in ENGINE_BACKENDS:
             raise ValueError(
                 f"engine_backend must be one of {ENGINE_BACKENDS}, "
@@ -214,6 +229,20 @@ class PubSubSystem:
         #: Build-time link distributions, keyed ``(a, b)`` with a < b —
         #: the restore point for degrade/recover interventions.
         self._built_rates: dict[tuple[str, str], Normal] = {}
+        #: Shared conservation/dead-letter ledger (see :mod:`repro.pubsub.
+        #: faults`); all brokers write into this one instance.
+        self.faults = FaultLedger()
+        #: Hard-failed links, keyed ``(a, b)`` with a < b, and brokers
+        #: currently down; per-direction ``DirectedLink.up`` is derived
+        #: from these (a link is up iff it isn't failed and neither
+        #: endpoint broker is down).
+        self._failed_links: set[tuple[str, str]] = set()
+        self._down_brokers: set[str] = set()
+        #: Mid-run unsubscribe count.  Joins are watermarked and safe, but
+        #: a leave can orphan in-flight pairs, which breaks the exact
+        #: pair-conservation identity; the sentinel consults this to know
+        #: whether that deep check is applicable.
+        self.unsubscribe_count = 0
         #: Price per endpoint log id, fixed at subscribe time (what the
         #: metrics layer bills for that endpoint's valid deliveries);
         #: lets the windowed time-series fold earnings without a join.
@@ -258,6 +287,10 @@ class PubSubSystem:
                 queue_backend=self.config.queue_backend,
                 queue_validate=self.config.queue_validate,
                 matcher_backend=self.config.matcher_backend,
+                faults=self.faults,
+                fault_retry_backoff_ms=self.config.fault_retry_backoff_ms,
+                fault_retry_max_backoff_ms=self.config.fault_retry_max_backoff_ms,
+                dead_letter_timeout_ms=self.config.dead_letter_timeout_ms,
             )
             broker.delivery_batch_callbacks.append(self._on_local_delivery_batch)
             self.brokers[name] = broker
@@ -436,6 +469,7 @@ class PubSubSystem:
         del self._subscriptions[subscriber]
         self._population.remove(subscriber)
         self._patch_endpoint_ids(subscriber, -1)
+        self.unsubscribe_count += 1
         return self.subscribers.pop(subscriber)
 
     @property
@@ -471,6 +505,13 @@ class PubSubSystem:
         interested = self._population.count(message.attributes)
         self.metrics.on_publish(message.msg_id, interested)
         self._pub_log.append_row(message.publish_time, interested)
+        if source in self._down_brokers:
+            # The source broker is offline: the publication still counts
+            # against the interested population (those subscribers really
+            # did miss it) but never enters the overlay.  Fully accounted
+            # in the dead-letter ledger, so conservation balances.
+            self.faults.on_publish_drop(interested)
+            return message
         self.brokers[source].receive(message)
         return message
 
@@ -546,6 +587,108 @@ class PubSubSystem:
             return self._built_rates[(min(a, b), max(a, b))]
         except KeyError:
             raise TopologyError(f"no link {a!r}-{b!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Hard faults: link failures, broker outages, partitions.
+    # ------------------------------------------------------------------ #
+    def _link_key(self, a: str, b: str) -> tuple[str, str]:
+        key = (min(a, b), max(a, b))
+        if key not in self._built_rates:
+            raise TopologyError(f"no link {a!r}-{b!r}")
+        return key
+
+    def _refresh_link(self, a: str, b: str) -> None:
+        """Derive both directions' ``up`` flags from the fault state and
+        fire the owning broker's retry hook on a down → up transition."""
+        key = (min(a, b), max(a, b))
+        should_up = (
+            key not in self._failed_links
+            and a not in self._down_brokers
+            and b not in self._down_brokers
+        )
+        for src, dst in ((a, b), (b, a)):
+            link = self.monitors[(src, dst)].link
+            was_up = link.up
+            if should_up:
+                link.restore()
+                if not was_up:
+                    self.brokers[src].on_link_up(dst)
+            else:
+                link.fail()
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Hard-down link ``a–b`` (both directions).  An in-flight
+        transmission completes; the next send attempt enters the broker's
+        retry/dead-letter path.  Idempotent."""
+        self._failed_links.add(self._link_key(a, b))
+        self._refresh_link(a, b)
+
+    def restore_link_up(self, a: str, b: str) -> None:
+        """Undo :meth:`fail_link` (the link may stay down if an endpoint
+        broker is itself down).  Idempotent."""
+        self._failed_links.discard(self._link_key(a, b))
+        self._refresh_link(a, b)
+
+    def fail_broker(self, name: str) -> None:
+        """Take a broker offline: every adjacent link direction goes down
+        and publications sourced at it are dropped (and accounted).
+        Messages already *inside* the broker keep processing and
+        delivering locally — a degraded island, as a real broker process
+        losing its uplinks would.  Idempotent."""
+        if name not in self.brokers:
+            raise TopologyError(f"no broker {name!r}")
+        self._down_brokers.add(name)
+        for neighbor in self.brokers[name].queues:
+            self._refresh_link(name, neighbor)
+
+    def recover_broker(self, name: str) -> None:
+        """Bring a broker back online; adjacent links come back up unless
+        independently failed.  Idempotent."""
+        if name not in self.brokers:
+            raise TopologyError(f"no broker {name!r}")
+        self._down_brokers.discard(name)
+        for neighbor in self.brokers[name].queues:
+            self._refresh_link(name, neighbor)
+
+    def partition(self, group: frozenset[str] | set[str]) -> list[tuple[str, str]]:
+        """Fail every link with exactly one endpoint in ``group`` — a
+        network partition isolating the group.  Returns the failed keys
+        (sorted) so the heal can be exact."""
+        unknown = set(group) - set(self.brokers)
+        if unknown:
+            raise TopologyError(f"unknown brokers in partition group: {sorted(unknown)}")
+        crossing = sorted(
+            key for key in self._built_rates
+            if (key[0] in group) != (key[1] in group)
+        )
+        for a, b in crossing:
+            self.fail_link(a, b)
+        return crossing
+
+    def heal_partition(self, group: frozenset[str] | set[str]) -> None:
+        """Restore every link :meth:`partition` would fail for ``group``."""
+        for a, b in self.partition_links(group):
+            self.restore_link_up(a, b)
+
+    def partition_links(self, group: frozenset[str] | set[str]) -> list[tuple[str, str]]:
+        """The crossing-link keys for ``group`` (no state change)."""
+        return sorted(
+            key for key in self._built_rates
+            if (key[0] in group) != (key[1] in group)
+        )
+
+    def link_up(self, a: str, b: str) -> bool:
+        """True iff both directions of ``a–b`` are up."""
+        self._link_key(a, b)
+        return self.monitors[(a, b)].link.up and self.monitors[(b, a)].link.up
+
+    @property
+    def down_brokers(self) -> frozenset[str]:
+        return frozenset(self._down_brokers)
+
+    @property
+    def failed_links(self) -> frozenset[tuple[str, str]]:
+        return frozenset(self._failed_links)
 
     # ------------------------------------------------------------------ #
     # Introspection.

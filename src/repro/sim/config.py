@@ -73,8 +73,33 @@ class SimulationConfig:
     #: Fused engine's event-time window (ms).  Any positive value is
     #: decision-neutral — it only controls execution micro-batching.
     engine_window_ms: float = 50.0
+    #: Run the invariant sentinel (analysis/sentinel.py) at window
+    #: boundaries during the run.  Decision-neutral: the sentinel only
+    #: reads, so results are byte-identical with it on or off.  The
+    #: ``REPRO_SENTINEL`` env var ("1" or "deep") forces it on.
+    sentinel: bool = False
+    #: Sentinel boundary cadence (simulated ms between check sweeps).
+    sentinel_every_ms: float = 20_000.0
+    #: Run the deep pair-conservation heap scan at every boundary instead
+    #: of only at end of run (slow; differential tests and the fuzzer).
+    sentinel_deep: bool = False
+    #: Fault layer: retry backoff bounds and the per-entry age past which
+    #: traffic queued for a hard-down link is dead-lettered.  Inert
+    #: unless the dynamics script downs a link or broker.
+    fault_retry_backoff_ms: float = 1_000.0
+    fault_retry_max_backoff_ms: float = 8_000.0
+    dead_letter_timeout_ms: float = 30_000.0
 
     def __post_init__(self) -> None:
+        if self.sentinel_every_ms <= 0.0:
+            raise ValueError("sentinel_every_ms must be positive")
+        if (
+            self.fault_retry_backoff_ms <= 0.0
+            or self.fault_retry_max_backoff_ms < self.fault_retry_backoff_ms
+        ):
+            raise ValueError("retry backoff must be positive and <= its cap")
+        if self.dead_letter_timeout_ms <= 0.0:
+            raise ValueError("dead_letter_timeout_ms must be positive")
         if self.engine_backend not in ("fused", "event"):
             raise ValueError(
                 f"engine_backend must be 'fused' or 'event', got {self.engine_backend!r}"

@@ -31,7 +31,15 @@ from repro.sim.config import SimulationConfig
 from repro.sim.io import result_from_dict, result_to_dict
 from repro.sim.results import SimulationResult
 from repro.sim.runner import run_simulation
-from repro.sim.sweep import PointRunner, run_points_serial
+from repro.sim.sweep import PointFailure, PointRunner, run_points_serial
+
+__all__ = [
+    "ParallelPointRunner",
+    "PointCache",
+    "PointFailure",  # historic home; canonical definition lives in sweep.py
+    "config_fingerprint",
+    "make_point_runner",
+]
 
 #: Bump when result semantics change so stale cache entries cannot leak
 #: into new runs.
@@ -51,10 +59,15 @@ def _jsonable(value):
 
 
 #: Config fields that change *residency*, never results (the chunked-log
-#: knobs are proven decision- and byte-neutral): excluded from the
-#: fingerprint so equal-result configs share cache entries — which also
-#: keeps fingerprints of pre-existing caches valid.
-_RESULT_NEUTRAL_FIELDS = frozenset({"log_spill", "log_chunk_rows"})
+#: knobs are proven decision- and byte-neutral, and the sentinel only
+#: reads): excluded from the fingerprint so equal-result configs share
+#: cache entries — which also keeps fingerprints of pre-existing caches
+#: valid.  The fault knobs (retry backoff, dead-letter timeout) stay in
+#: the fingerprint: they change results whenever the script downs a link.
+_RESULT_NEUTRAL_FIELDS = frozenset({
+    "log_spill", "log_chunk_rows",
+    "sentinel", "sentinel_every_ms", "sentinel_deep",
+})
 
 
 def config_fingerprint(config: SimulationConfig) -> str:
@@ -166,20 +179,6 @@ def _run_point_retrying(
             if attempt > retries:
                 raise
             time.sleep(backoff_s * (2 ** (attempt - 1)))
-
-
-@dataclasses.dataclass(frozen=True)
-class PointFailure:
-    """Placeholder result for a point lost to repeated worker crashes.
-
-    A sweep whose pool kept dying (OOM killer, a segfaulting extension)
-    completes with these in place of the unrecoverable points instead of
-    aborting — callers can count, report, and re-run just the holes.
-    """
-
-    config: SimulationConfig
-    error: str
-    attempts: int
 
 
 class ParallelPointRunner:

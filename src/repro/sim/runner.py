@@ -9,6 +9,7 @@ figures compare strategies.
 
 from __future__ import annotations
 
+import os
 import shutil
 import signal
 from contextlib import contextmanager
@@ -25,6 +26,7 @@ from repro.core.checkpoint import (
     load_checkpoint,
     timed_save,
 )
+from repro.analysis.sentinel import InvariantSentinel
 from repro.core.registry import make_strategy
 from repro.des.rng import RngStreams
 from repro.des.simulator import Simulator
@@ -81,6 +83,9 @@ def build_system(
             log_chunk_rows=config.log_chunk_rows,
             engine_backend=config.engine_backend,
             engine_window_ms=config.engine_window_ms,
+            fault_retry_backoff_ms=config.fault_retry_backoff_ms,
+            fault_retry_max_backoff_ms=config.fault_retry_max_backoff_ms,
+            dead_letter_timeout_ms=config.dead_letter_timeout_ms,
         ),
     )
     rng = streams.get("subscriptions")
@@ -146,6 +151,71 @@ def schedule_dynamics(system: PubSubSystem, config: SimulationConfig) -> Dynamic
     driver = DynamicsDriver(system, scenario=config.scenario)
     driver.schedule(config.dynamics)
     return driver
+
+
+# ---------------------------------------------------------------------- #
+# Sentinel wiring.
+# ---------------------------------------------------------------------- #
+def make_sentinel(
+    system: PubSubSystem, config: SimulationConfig
+) -> InvariantSentinel | None:
+    """The run's sentinel, or None when disabled.
+
+    Enabled by ``config.sentinel`` or by the ``REPRO_SENTINEL`` env var
+    ("1" = boundary checks + final pair conservation, "deep" = pair
+    conservation at every boundary too).  The env override is how the
+    test suite and CI force invariant checking onto every run without
+    threading a flag through each call site.
+    """
+    env = os.environ.get("REPRO_SENTINEL", "")
+    if not config.sentinel and env in ("", "0"):
+        return None
+    deep = config.sentinel_deep or env == "deep"
+    return InvariantSentinel(system, deep=deep)
+
+
+def _run_with_sentinel(
+    system: PubSubSystem,
+    horizon_ms: float,
+    sentinel: InvariantSentinel,
+    every_ms: float,
+) -> None:
+    """Drive to the horizon in boundary-sized segments, checking at each.
+
+    The engine is segment-invariant (the checkpoint-identity suite proves
+    splitting ``run(until=...)`` changes nothing), and the sentinel only
+    reads — so this loop executes the exact same events as one
+    uninterrupted ``run(until=horizon)``.
+    """
+    k = int(system.sim.now // every_ms) + 1
+    while True:
+        target = min(horizon_ms, k * every_ms)
+        k += 1
+        system.run(until=target)
+        sentinel.check()
+        if target >= horizon_ms:
+            return
+
+
+def run_to_horizon(
+    system: PubSubSystem,
+    config: SimulationConfig,
+    sentinel: InvariantSentinel | None,
+) -> None:
+    """Run an assembled system to the horizon, sentinel-aware.
+
+    The shared non-checkpointed execution path for every harness (the
+    runner, the dynamics family, the scale tier): plain ``run`` when no
+    sentinel is armed, the boundary-check loop plus the final
+    pair-conservation pass when one is.
+    """
+    if sentinel is None:
+        system.run(until=config.horizon_ms)
+    else:
+        _run_with_sentinel(
+            system, config.horizon_ms, sentinel, config.sentinel_every_ms
+        )
+        sentinel.final()
 
 
 # ---------------------------------------------------------------------- #
@@ -306,6 +376,7 @@ def run_checkpointed(
     policy: CheckpointPolicy,
     *,
     extras: dict | None = None,
+    sentinel: InvariantSentinel | None = None,
 ) -> CheckpointStats:
     """Run to the horizon, snapshotting every ``policy.every_ms`` of
     simulated time.
@@ -328,6 +399,8 @@ def run_checkpointed(
             target = min(horizon, k * every)
             k += 1
             system.run(until=target)
+            if sentinel is not None:
+                sentinel.check()
             if interrupted():
                 path, seconds, size = save_run_checkpoint(
                     system, config, policy.directory, extras=extras
@@ -364,10 +437,13 @@ def run_simulation(
         system = build_system(config, topology)
         schedule_workload(system, config)
         schedule_dynamics(system, config)
+    sentinel = make_sentinel(system, config)
     if checkpoint is not None:
-        run_checkpointed(system, config, checkpoint)
+        run_checkpointed(system, config, checkpoint, sentinel=sentinel)
+        if sentinel is not None:
+            sentinel.final()
     else:
-        system.run(until=config.horizon_ms)
+        run_to_horizon(system, config, sentinel)
     return SimulationResult.from_metrics(
         system.metrics,
         strategy=config.strategy_label(),

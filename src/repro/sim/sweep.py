@@ -16,6 +16,7 @@ results because :func:`run_simulation` is deterministic per config.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -24,7 +25,28 @@ from repro.sim.results import SimulationResult, aggregate_results
 from repro.sim.runner import run_simulation
 
 #: Executes a batch of independent simulation points, preserving order.
+#: Runners that tolerate worker loss (see :mod:`repro.sim.parallel`) may
+#: substitute :class:`PointFailure` placeholders for unrecoverable points.
 PointRunner = Callable[[Sequence[SimulationConfig]], list[SimulationResult]]
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """Placeholder result for a point lost to repeated worker crashes.
+
+    A sweep whose pool kept dying (OOM killer, a segfaulting extension)
+    completes with these in place of the unrecoverable points instead of
+    aborting — callers can count, report, and re-run just the holes.
+    """
+
+    config: SimulationConfig
+    error: str
+    attempts: int
+
+    @property
+    def reason(self) -> str:
+        """Short human label for sweep summaries."""
+        return f"{self.config.strategy_label()} seed={self.config.seed}: {self.error}"
 
 
 def run_points_serial(configs: Sequence[SimulationConfig]) -> list[SimulationResult]:
@@ -34,17 +56,54 @@ def run_points_serial(configs: Sequence[SimulationConfig]) -> list[SimulationRes
 
 @dataclass
 class SweepResult:
-    """A family of series over one x axis."""
+    """A family of series over one x axis.
+
+    Series slots normally hold :class:`SimulationResult`; a fault-tolerant
+    point runner may leave :class:`PointFailure` placeholders instead.
+    :meth:`metric` maps those to ``NaN`` (plots show a gap, stats skip
+    them) and :meth:`failures` enumerates them for summaries.
+    """
 
     x_label: str
     x_values: list[float]
     series: dict[str, list[SimulationResult]] = field(default_factory=dict)
 
     def metric(self, label: str, extract: Callable[[SimulationResult], float]) -> list[float]:
-        return [extract(r) for r in self.series[label]]
+        return [
+            extract(r) if isinstance(r, SimulationResult) else math.nan
+            for r in self.series[label]
+        ]
 
     def table(self, extract: Callable[[SimulationResult], float]) -> dict[str, list[float]]:
         return {label: self.metric(label, extract) for label in self.series}
+
+    def failures(self) -> list[tuple[str, float, PointFailure]]:
+        """Every failed point as ``(series_label, x_value, failure)``."""
+        out: list[tuple[str, float, PointFailure]] = []
+        for label, runs in self.series.items():
+            for x, r in zip(self.x_values, runs):
+                if isinstance(r, PointFailure):
+                    out.append((label, x, r))
+        return out
+
+
+def failure_notes(sweep: SweepResult) -> list[str]:
+    """Human-readable summary of a sweep's failed points (empty if none).
+
+    One leading count line plus one line per hole — figure harnesses
+    append these to their notes so a sweep that survived worker crashes
+    says so in its rendered table instead of silently plotting gaps.
+    """
+    failed = sweep.failures()
+    if not failed:
+        return []
+    lines = [f"{len(failed)} point(s) failed after worker crashes (values are NaN)"]
+    for label, x, failure in failed:
+        lines.append(
+            f"failed point: {label} @ {sweep.x_label}={x:g} "
+            f"({failure.attempts} attempt(s)): {failure.error}"
+        )
+    return lines
 
 
 def _strategy_points(strategies: Sequence[str | tuple[str, dict[str, Any]]]):
@@ -63,7 +122,13 @@ def _label(name: str, params: dict[str, Any]) -> str:
 
 
 def _collapse(per_seed: list[SimulationResult]) -> SimulationResult:
-    return per_seed[0] if len(per_seed) == 1 else _mean_result(per_seed)
+    # Failed replicas (PointFailure placeholders from a crash-tolerant
+    # runner) are dropped before averaging; a point with no surviving
+    # replica stays a PointFailure so summaries can report the hole.
+    alive = [r for r in per_seed if isinstance(r, SimulationResult)]
+    if not alive:
+        return per_seed[0]
+    return alive[0] if len(alive) == 1 else _mean_result(alive)
 
 
 def sweep_publishing_rate(

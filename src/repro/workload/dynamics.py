@@ -131,10 +131,131 @@ class FlashCrowd:
             raise ValueError(f"count must be >= 1, got {self.count}")
 
 
-Intervention = Union[RateBurst, LinkDegrade, LinkRecover, ChurnWave, FlashCrowd]
+@dataclass(frozen=True, slots=True)
+class LinkFailure:
+    """At ``at_ms``, hard-down link ``a–b`` (both directions): no new
+    transmission may start.  Queued traffic is retried with bounded
+    backoff and dead-lettered past the per-entry timeout — a *failure*,
+    not the :class:`LinkDegrade` slow-down."""
+
+    at_ms: float
+    a: str
+    b: str
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be non-negative, got {self.at_ms}")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkRestore:
+    """At ``at_ms``, undo a :class:`LinkFailure` on link ``a–b``."""
+
+    at_ms: float
+    a: str
+    b: str
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be non-negative, got {self.at_ms}")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkPartition:
+    """At ``at_ms``, fail every link with exactly one endpoint in
+    ``group`` — a network partition isolating the group — healing at
+    ``heal_ms`` (None = never)."""
+
+    at_ms: float
+    group: tuple[str, ...]
+    heal_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be non-negative, got {self.at_ms}")
+        if not self.group:
+            raise ValueError("partition group must name at least one broker")
+        if self.heal_ms is not None and self.heal_ms <= self.at_ms:
+            raise ValueError(f"heal_ms {self.heal_ms} must be after at_ms {self.at_ms}")
+
+
+@dataclass(frozen=True, slots=True)
+class BrokerOutage:
+    """At ``at_ms``, take ``broker`` offline: all adjacent link directions
+    go down and publications sourced there are dropped (and accounted in
+    the dead-letter ledger)."""
+
+    at_ms: float
+    broker: str
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be non-negative, got {self.at_ms}")
+
+
+@dataclass(frozen=True, slots=True)
+class BrokerRecover:
+    """At ``at_ms``, bring ``broker`` back online."""
+
+    at_ms: float
+    broker: str
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be non-negative, got {self.at_ms}")
+
+
+@dataclass(frozen=True, slots=True)
+class CascadeOutage:
+    """At ``at_ms``, ``origin`` goes down and the failure spreads along
+    topology edges in waves every ``step_ms``: each still-up neighbour of
+    the previous wave fails with probability
+    ``spread_prob * decay**(depth-1)`` (the propagation kernel), up to
+    ``max_depth`` waves.  Brokers recover ``recover_after_ms`` after
+    their own failure (None = stay down).  All draws come from the
+    ``"dynamics"`` RNG stream in sorted-neighbour order, so a cascade is
+    reproducible and identical across the strategies of a paired sweep.
+    """
+
+    at_ms: float
+    origin: str
+    spread_prob: float = 0.6
+    decay: float = 0.5
+    max_depth: int = 3
+    step_ms: float = 5_000.0
+    recover_after_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise ValueError(f"at_ms must be non-negative, got {self.at_ms}")
+        if not 0.0 <= self.spread_prob <= 1.0:
+            raise ValueError(f"spread_prob must be in [0, 1], got {self.spread_prob}")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {self.decay}")
+        if self.max_depth < 0:
+            raise ValueError(f"max_depth must be non-negative, got {self.max_depth}")
+        if self.step_ms <= 0.0:
+            raise ValueError(f"step_ms must be positive, got {self.step_ms}")
+        if self.recover_after_ms is not None and self.recover_after_ms <= 0.0:
+            raise ValueError("recover_after_ms must be positive (or None)")
+
+
+Intervention = Union[
+    RateBurst, LinkDegrade, LinkRecover, ChurnWave, FlashCrowd,
+    LinkFailure, LinkRestore, LinkPartition, BrokerOutage, BrokerRecover,
+    CascadeOutage,
+]
 
 #: Interventions applied as DES events (everything but rate shaping).
-_TIMED_TYPES = (LinkDegrade, LinkRecover, ChurnWave, FlashCrowd)
+_TIMED_TYPES = (
+    LinkDegrade, LinkRecover, ChurnWave, FlashCrowd,
+    LinkFailure, LinkRestore, LinkPartition, BrokerOutage, BrokerRecover,
+    CascadeOutage,
+)
+
+#: Interventions that can down a link or broker (used by callers that
+#: need to know whether a script exercises the fault layer at all).
+FAULT_TYPES = (LinkFailure, LinkPartition, BrokerOutage, CascadeOutage)
 
 
 @dataclass(frozen=True, slots=True)
@@ -257,6 +378,22 @@ class DynamicsDriver:
             self._churn(item)
         elif isinstance(item, FlashCrowd):
             self._flash_crowd(item)
+        elif isinstance(item, LinkFailure):
+            self.system.fail_link(item.a, item.b)
+        elif isinstance(item, LinkRestore):
+            self.system.restore_link_up(item.a, item.b)
+        elif isinstance(item, LinkPartition):
+            self.system.partition(frozenset(item.group))
+            if item.heal_ms is not None:
+                self.system.sim.schedule_at(
+                    item.heal_ms, partial(self._heal, item.group)
+                )
+        elif isinstance(item, BrokerOutage):
+            self.system.fail_broker(item.broker)
+        elif isinstance(item, BrokerRecover):
+            self.system.recover_broker(item.broker)
+        elif isinstance(item, CascadeOutage):
+            self._cascade_start(item)
         else:
             raise TypeError(f"not a timed intervention: {item!r}")
         self.applied += 1
@@ -291,6 +428,48 @@ class DynamicsDriver:
             for k in range(wave.join):
                 filt = random_conjunctive_filter(self._rng, self.attributes, self.value_range)
                 self._subscribe(self._next_name(), edges[k % len(edges)], filt)
+
+    # ------------------------------------------------------------------ #
+    # Fault interventions.
+    # ------------------------------------------------------------------ #
+    def _heal(self, group: tuple[str, ...]) -> None:
+        self.system.heal_partition(frozenset(group))
+
+    def _fail_with_recovery(self, item: CascadeOutage, broker: str) -> None:
+        self.system.fail_broker(broker)
+        if item.recover_after_ms is not None:
+            self.system.sim.schedule(
+                item.recover_after_ms,
+                partial(self.system.recover_broker, broker),
+            )
+
+    def _cascade_start(self, item: CascadeOutage) -> None:
+        self._fail_with_recovery(item, item.origin)
+        if item.max_depth >= 1:
+            self.system.sim.schedule(
+                item.step_ms, partial(self._cascade_wave, item, (item.origin,), 1)
+            )
+
+    def _cascade_wave(
+        self, item: CascadeOutage, frontier: tuple[str, ...], depth: int
+    ) -> None:
+        """One propagation wave: each still-up neighbour of the frontier
+        fails with the depth-attenuated kernel probability.  Candidates
+        are visited in sorted order with one RNG draw each, keeping the
+        cascade deterministic under a fixed seed."""
+        system = self.system
+        down = system.down_brokers
+        candidates = sorted(
+            {n for b in frontier for n in system.brokers[b].queues} - down
+        )
+        p = item.spread_prob * item.decay ** (depth - 1)
+        next_frontier = tuple(c for c in candidates if self._rng.random() < p)
+        for broker in next_frontier:
+            self._fail_with_recovery(item, broker)
+        if next_frontier and depth < item.max_depth:
+            system.sim.schedule(
+                item.step_ms, partial(self._cascade_wave, item, next_frontier, depth + 1)
+            )
 
     def _flash_crowd(self, crowd: FlashCrowd) -> None:
         lo, hi = self.value_range
@@ -348,10 +527,77 @@ def churn_burst(topology: "Topology", duration_ms: float) -> ScenarioScript:
     ))
 
 
+def _busiest_edge_broker(topology: "Topology") -> str:
+    """The broker hosting the most subscribers (ties break by name) —
+    where downing something hurts the most deliveries."""
+    hosts = sorted(topology.subscriber_brokers.values())
+    if not hosts:
+        raise ValueError("topology hosts no subscribers")
+    counts: dict[str, int] = {}
+    for h in hosts:
+        counts[h] = counts.get(h, 0) + 1
+    return max(counts, key=lambda h: (counts[h], h))
+
+
+def link_blackout(topology: "Topology", duration_ms: float) -> ScenarioScript:
+    """Hard-down the overlay's most load-bearing link for the middle third
+    of the run: traffic routed over it backs up, retries, and past the
+    dead-letter timeout starts dropping — the failure analogue of
+    :func:`degrade_worst_link`."""
+    a, b, _ = min(topology.links(), key=lambda t: t[2].mean)
+    return ScenarioScript((
+        LinkFailure(at_ms=0.3 * duration_ms, a=a, b=b),
+        LinkRestore(at_ms=0.6 * duration_ms, a=a, b=b),
+    ))
+
+
+def broker_outage(topology: "Topology", duration_ms: float) -> ScenarioScript:
+    """Take the busiest subscriber-hosting broker offline for a quarter of
+    the run; its local audience goes dark and upstream queues back up."""
+    broker = _busiest_edge_broker(topology)
+    return ScenarioScript((
+        BrokerOutage(at_ms=0.3 * duration_ms, broker=broker),
+        BrokerRecover(at_ms=0.55 * duration_ms, broker=broker),
+    ))
+
+
+def partition_heal(topology: "Topology", duration_ms: float) -> ScenarioScript:
+    """Partition the busiest subscriber-hosting broker away from the rest
+    of the overlay, healing at 70% of the run."""
+    broker = _busiest_edge_broker(topology)
+    return ScenarioScript((
+        LinkPartition(
+            at_ms=0.3 * duration_ms, group=(broker,), heal_ms=0.7 * duration_ms
+        ),
+    ))
+
+
+def cascade(topology: "Topology", duration_ms: float) -> ScenarioScript:
+    """A correlated outage spreading from a publisher-hosting broker: two
+    attenuated waves along topology edges, each victim recovering 20% of
+    the run after its own failure."""
+    origin = sorted(set(topology.publisher_brokers.values()))[0]
+    return ScenarioScript((
+        CascadeOutage(
+            at_ms=0.3 * duration_ms,
+            origin=origin,
+            spread_prob=0.6,
+            decay=0.5,
+            max_depth=2,
+            step_ms=max(0.05 * duration_ms, 1.0),
+            recover_after_ms=0.2 * duration_ms,
+        ),
+    ))
+
+
 #: Named preset builders: ``(topology, duration_ms) -> ScenarioScript``.
 PRESETS: dict[str, Callable[["Topology", float], ScenarioScript]] = {
     "diurnal": diurnal,
     "flash-crowd": flash_crowd,
     "degrade-worst-link": degrade_worst_link,
     "churn-burst": churn_burst,
+    "link-blackout": link_blackout,
+    "broker-outage": broker_outage,
+    "partition-heal": partition_heal,
+    "cascade": cascade,
 }

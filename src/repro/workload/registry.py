@@ -1,0 +1,236 @@
+"""Unified scenario registry: one namespace for every runnable scenario.
+
+Three scenario families grew up in three modules with three lookup
+conventions: the scale tier's :data:`~repro.workload.scenarios.SCALE_SCENARIOS`
+(sized populations), the dynamics :data:`~repro.workload.dynamics.PRESETS`
+(topology-parameterised intervention scripts), and — new with the fault
+model — *explicit* fault scripts, either hand-written or emitted by the
+fuzzer as shrunk counterexamples.  This module folds all three into one
+:func:`registry` keyed by qualified name (``scale:100k``,
+``preset:flash-crowd``, ``script:<name>``) so CLIs, tests and the fuzzer
+resolve scenarios through a single lookup.
+
+It also owns the **script wire format**: a :class:`ScenarioScript` round-
+trips through :func:`script_to_dict` / :func:`script_from_dict` as plain
+JSON (class-name tagged interventions, lists for tuples), which is what
+``--script`` files and fuzzer repro bundles contain.  The round trip is
+exact: rebuilt scripts compare equal to the originals, so a replayed
+counterexample is the counterexample.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.network.topology import Topology
+from repro.workload.dynamics import (
+    PRESETS,
+    BrokerOutage,
+    BrokerRecover,
+    CascadeOutage,
+    ChurnWave,
+    FlashCrowd,
+    LinkDegrade,
+    LinkFailure,
+    LinkPartition,
+    LinkRecover,
+    LinkRestore,
+    RateBurst,
+    ScenarioScript,
+)
+from repro.workload.scenarios import SCALE_SCENARIOS, ScaleScenarioSpec
+
+#: Every intervention class, keyed by the wire-format type tag.  The tag
+#: is the class name: stable, greppable, and self-describing in JSON.
+INTERVENTION_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        RateBurst, LinkDegrade, LinkRecover, ChurnWave, FlashCrowd,
+        LinkFailure, LinkRestore, LinkPartition,
+        BrokerOutage, BrokerRecover, CascadeOutage,
+    )
+}
+
+#: Fields that are tuples on the dataclass but lists on the wire.
+_TUPLE_FIELDS = {"group"}
+
+#: Wire-format version; bump on incompatible script-shape changes.
+SCRIPT_SCHEMA = 1
+
+
+def intervention_to_dict(item: Any) -> dict[str, Any]:
+    """One intervention as a JSON-able, class-name-tagged dict."""
+    name = type(item).__name__
+    if name not in INTERVENTION_TYPES:
+        raise TypeError(f"not a known intervention type: {item!r}")
+    out: dict[str, Any] = {"type": name}
+    for f in fields(item):
+        value = getattr(item, f.name)
+        out[f.name] = list(value) if isinstance(value, tuple) else value
+    return out
+
+
+def intervention_from_dict(data: dict[str, Any]) -> Any:
+    """Rebuild one intervention from its wire dict (exact inverse)."""
+    payload = dict(data)
+    name = payload.pop("type", None)
+    cls = INTERVENTION_TYPES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown intervention type {name!r}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"{name}: unknown field(s) {sorted(unknown)}")
+    for key in _TUPLE_FIELDS & set(payload):
+        payload[key] = tuple(payload[key])
+    return cls(**payload)
+
+
+def script_to_dict(script: ScenarioScript) -> dict[str, Any]:
+    """A :class:`ScenarioScript` as a JSON-able dict."""
+    return {
+        "schema": SCRIPT_SCHEMA,
+        "interventions": [intervention_to_dict(i) for i in script.interventions],
+    }
+
+
+def script_from_dict(data: dict[str, Any]) -> ScenarioScript:
+    """Rebuild a script from :func:`script_to_dict` output.
+
+    Raises ``ValueError`` on a wrong schema or malformed intervention —
+    a replay file must either reproduce the scenario exactly or refuse.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"script payload must be a dict, got {type(data).__name__}")
+    schema = data.get("schema", SCRIPT_SCHEMA)
+    if schema != SCRIPT_SCHEMA:
+        raise ValueError(f"unsupported script schema {schema!r} (expected {SCRIPT_SCHEMA})")
+    items = data.get("interventions", [])
+    return ScenarioScript(
+        interventions=tuple(intervention_from_dict(i) for i in items)
+    )
+
+
+def save_script(path: str | Path, script: ScenarioScript, **meta: Any) -> Path:
+    """Write a replayable script file (wire dict + caller metadata)."""
+    path = Path(path)
+    payload = script_to_dict(script)
+    if meta:
+        payload["meta"] = meta
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_script(path: str | Path) -> ScenarioScript:
+    """Read a script file written by :func:`save_script` (or by hand)."""
+    return script_from_dict(json.loads(Path(path).read_text()))
+
+
+# --------------------------------------------------------------------- #
+# The unified registry.
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioEntry:
+    """One runnable scenario under one qualified name.
+
+    Exactly one of the three payloads is set, matching ``kind``:
+
+    * ``scale`` — a sized population spec (``scale:100k``);
+    * ``preset`` — a topology-parameterised script factory
+      (``preset:flash-crowd``): call :meth:`compile` with the run's
+      topology and duration to get the concrete script;
+    * ``script`` — an explicit, already-concrete intervention script
+      (``script:<name>``, e.g. a fuzzer counterexample).
+    """
+
+    name: str
+    kind: str
+    description: str
+    scale_spec: ScaleScenarioSpec | None = None
+    preset: Callable[[Topology, float], ScenarioScript] | None = None
+    script: ScenarioScript | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("scale", "preset", "script"):
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+        payload = {
+            "scale": self.scale_spec,
+            "preset": self.preset,
+            "script": self.script,
+        }[self.kind]
+        if payload is None:
+            raise ValueError(f"{self.name}: kind {self.kind!r} needs its payload")
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.kind}:{self.name}"
+
+    def compile(self, topology: Topology, duration_ms: float) -> ScenarioScript:
+        """The concrete intervention script for one run's world.
+
+        Scale entries have no interventions (empty script); presets are
+        compiled against the topology; explicit scripts pass through.
+        """
+        if self.kind == "preset":
+            return self.preset(topology, duration_ms)
+        if self.kind == "script":
+            return self.script
+        return ScenarioScript()
+
+
+def registry(
+    extra_scripts: dict[str, ScenarioScript] | None = None,
+) -> dict[str, ScenarioEntry]:
+    """All known scenarios keyed by qualified name.
+
+    ``extra_scripts`` adds explicit scripts (e.g. loaded counterexample
+    files) under ``script:<name>``; a clash with a built-in name raises.
+    """
+    entries: dict[str, ScenarioEntry] = {}
+    for name, spec in SCALE_SCENARIOS.items():
+        entry = ScenarioEntry(
+            name=name, kind="scale",
+            description=f"scale tier: {spec.subscribers:,} subscribers",
+            scale_spec=spec,
+        )
+        entries[entry.qualified] = entry
+    for name, factory in PRESETS.items():
+        entry = ScenarioEntry(
+            name=name, kind="preset",
+            description=(factory.__doc__ or "dynamics preset").strip().splitlines()[0],
+            preset=factory,
+        )
+        entries[entry.qualified] = entry
+    for name, script in (extra_scripts or {}).items():
+        entry = ScenarioEntry(
+            name=name, kind="script",
+            description=f"explicit script ({len(script.interventions)} intervention(s))",
+            script=script,
+        )
+        if entry.qualified in entries:
+            raise ValueError(f"duplicate scenario name {entry.qualified!r}")
+        entries[entry.qualified] = entry
+    return entries
+
+
+def resolve(name: str, extra_scripts: dict[str, ScenarioScript] | None = None) -> ScenarioEntry:
+    """Look up one scenario by qualified (``kind:name``) or bare name.
+
+    A bare name is accepted when unambiguous across kinds.
+    """
+    entries = registry(extra_scripts)
+    if name in entries:
+        return entries[name]
+    matches = [e for q, e in entries.items() if q.split(":", 1)[1] == name]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise KeyError(f"unknown scenario {name!r}; known: {sorted(entries)}")
+    raise KeyError(
+        f"ambiguous scenario {name!r}: matches {sorted(e.qualified for e in matches)}"
+    )

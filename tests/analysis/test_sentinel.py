@@ -1,0 +1,172 @@
+"""The invariant sentinel: detects manufactured corruption, stays silent
+on healthy runs, and — the acceptance bar — changes nothing it watches."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.analysis.sentinel import InvariantSentinel, InvariantViolation
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import (
+    build_system,
+    run_simulation,
+    schedule_dynamics,
+    schedule_workload,
+)
+from repro.workload.dynamics import BrokerOutage, LinkFailure, ScenarioScript
+from repro.workload.scenarios import Scenario
+
+BASE = dict(
+    seed=3,
+    scenario=Scenario.SSD,
+    publishing_rate_per_min=12.0,
+    duration_ms=60_000.0,
+)
+
+
+def _run_system(config: SimulationConfig, until: float | None = None):
+    system = build_system(config)
+    schedule_workload(system, config)
+    schedule_dynamics(system, config)
+    system.run(until=until if until is not None else config.horizon_ms)
+    return system
+
+
+def _log_sha(system) -> str:
+    h = hashlib.sha256()
+    for col in system.delivery_log.columns():
+        h.update(np.ascontiguousarray(col).tobytes())
+    return h.hexdigest()
+
+
+class TestHealthyRuns:
+    def test_final_passes_on_clean_run(self):
+        config = SimulationConfig(**BASE)
+        system = _run_system(config)
+        sentinel = InvariantSentinel(system, deep=True)
+        sentinel.final()
+        assert sentinel.checks_run == 1
+
+    def test_final_passes_on_faulted_run(self):
+        system = build_system(SimulationConfig(**BASE))
+        a, b = sorted(system.monitors)[0]
+        script = ScenarioScript((
+            LinkFailure(at_ms=5_000.0, a=a, b=b),
+            BrokerOutage(at_ms=10_000.0, broker=b),
+        ))
+        config = SimulationConfig(**BASE).replace(dynamics=script)
+        system = _run_system(config)
+        InvariantSentinel(system, deep=True).final()
+        assert not system.faults.clean
+
+    def test_boundary_checks_accumulate(self):
+        config = SimulationConfig(**BASE)
+        system = build_system(config)
+        schedule_workload(system, config)
+        schedule_dynamics(system, config)
+        sentinel = InvariantSentinel(system)
+        for target in (10_000.0, 20_000.0, config.horizon_ms):
+            system.run(until=target)
+            sentinel.check()
+        sentinel.final()
+        assert sentinel.checks_run == 4
+
+
+class TestDetection:
+    """Each manufactured corruption trips its named check."""
+
+    def _armed(self):
+        config = SimulationConfig(**BASE)
+        system = _run_system(config, until=30_000.0)
+        sentinel = InvariantSentinel(system)
+        sentinel.check()  # establish baselines
+        return system, sentinel
+
+    def test_counter_regression_detected(self):
+        system, sentinel = self._armed()
+        system.faults.retries += 5
+        sentinel.check()  # growth is fine
+        system.faults.retries -= 3
+        with pytest.raises(InvariantViolation) as exc:
+            sentinel.check()
+        assert exc.value.check == "counter-monotonic"
+        assert exc.value.context["counter"] == "retries"
+
+    def test_clock_regression_detected(self):
+        system, sentinel = self._armed()
+        system.sim._now -= 1.0
+        with pytest.raises(InvariantViolation) as exc:
+            sentinel.check()
+        assert exc.value.check == "clock-monotonic"
+
+    def test_entry_leak_detected(self):
+        system, sentinel = self._armed()
+        system.faults.enqueued_entries += 1  # a phantom entry nothing settles
+        with pytest.raises(InvariantViolation) as exc:
+            sentinel.check()
+        assert exc.value.check == "entry-conservation"
+
+    def test_pair_leak_detected(self):
+        system, sentinel = self._armed()
+        sentinel.deep = True
+        system.faults.dead_pairs += 7
+        with pytest.raises(InvariantViolation) as exc:
+            sentinel.check()
+        assert exc.value.check in ("pair-conservation", "counter-monotonic")
+
+    def test_poisoned_monitor_rate_detected(self):
+        system, sentinel = self._armed()
+        (src, dst), monitor = sorted(system.monitors.items())[0]
+
+        class _Poison:
+            mean = float("nan")
+            variance = 1.0
+
+        monitor.rate = lambda: _Poison()
+        with pytest.raises(InvariantViolation) as exc:
+            sentinel.check()
+        assert exc.value.check == "monitor-rate"
+        assert exc.value.context["link"] == f"{src}->{dst}"
+
+    def test_violation_carries_context(self):
+        system, sentinel = self._armed()
+        system.sim._now -= 1.0
+        with pytest.raises(InvariantViolation) as exc:
+            sentinel.check()
+        err = exc.value
+        assert err.time_ms == system.sim.now
+        assert "now" in err.context and "last" in err.context
+        assert "[sentinel:clock-monotonic]" in str(err)
+
+
+class TestDecisionNeutrality:
+    """ACCEPTANCE: with an empty fault script, a sentinel-on run is
+    byte-identical to a sentinel-off run — fingerprints and metrics."""
+
+    @pytest.mark.parametrize("strategy", ("fifo", "ebpc"))
+    def test_sentinel_on_off_identical(self, strategy):
+        config = SimulationConfig(**BASE).replace(strategy=strategy)
+        off = run_simulation(config.replace(sentinel=False))
+        on = run_simulation(config.replace(sentinel=True, sentinel_deep=True))
+        assert on == off
+
+    def test_delivery_log_bytes_identical(self):
+        config = SimulationConfig(**BASE)
+        plain = _run_system(config)
+
+        watched = build_system(config)
+        schedule_workload(watched, config)
+        schedule_dynamics(watched, config)
+        sentinel = InvariantSentinel(watched, deep=True)
+        for target in np.arange(10_000.0, config.horizon_ms + 1.0, 10_000.0):
+            watched.run(until=float(target))
+            sentinel.check()
+        watched.run(until=config.horizon_ms)
+        sentinel.final()
+
+        assert _log_sha(watched) == _log_sha(plain)
+        assert watched.sim.executed_events == plain.sim.executed_events
+        assert watched.metrics.earning == plain.metrics.earning

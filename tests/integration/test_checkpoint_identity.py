@@ -31,7 +31,19 @@ from repro.sim.runner import (
     schedule_dynamics,
     schedule_workload,
 )
-from repro.workload.dynamics import ChurnWave, FlashCrowd, RateBurst, ScenarioScript
+from repro.des.rng import RngStreams
+from repro.network.topology import build_layered_mesh
+from repro.workload.dynamics import (
+    BrokerOutage,
+    BrokerRecover,
+    CascadeOutage,
+    ChurnWave,
+    FlashCrowd,
+    LinkFailure,
+    LinkRestore,
+    RateBurst,
+    ScenarioScript,
+)
 from repro.workload.scenarios import Scenario
 
 #: Forces many sealed chunks in 90-second runs (a few thousand rows).
@@ -51,6 +63,31 @@ CKPT_MS = 30_000.0
 
 BASE = dict(seed=11, publishing_rate_per_min=6.0, duration_ms=90_000.0)
 
+
+def _fault_script() -> ScenarioScript:
+    """Hard faults straddling CKPT_MS: the link kill and broker outage
+    have fired by snapshot time (so the snapshot carries down links, a
+    down broker, pending retry events, and possibly dead-lettered
+    traffic); the cascade and both recoveries are still pending events
+    that must travel through the pickle.  Names come from the exact
+    topology every seed-11 run builds."""
+    topology = build_layered_mesh(RngStreams(11).get("topology"))
+    a, b = [(x, y) for x, y, _rate in topology.links()][0]
+    down = sorted(topology.brokers)[-1]
+    return ScenarioScript((
+        LinkFailure(at_ms=15_000.0, a=a, b=b),
+        BrokerOutage(at_ms=20_000.0, broker=down),
+        CascadeOutage(
+            at_ms=40_000.0, origin=a, step_ms=4_000.0, max_depth=2,
+            recover_after_ms=20_000.0,
+        ),
+        LinkRestore(at_ms=55_000.0, a=a, b=b),
+        BrokerRecover(at_ms=60_000.0, broker=down),
+    ))
+
+
+FAULTY = _fault_script()
+
 CONFIGS: dict[str, SimulationConfig] = {
     **{
         f"ssd-{s}-ledger": SimulationConfig(scenario=Scenario.SSD, strategy=s, **BASE)
@@ -66,11 +103,14 @@ CONFIGS: dict[str, SimulationConfig] = {
     "ssd-ebpc-churn": SimulationConfig(
         scenario=Scenario.SSD, strategy="ebpc", dynamics=CHURNY, **BASE
     ),
+    "ssd-eb-faults": SimulationConfig(
+        scenario=Scenario.SSD, strategy="eb", dynamics=FAULTY, **BASE
+    ),
 }
 
 #: Configs additionally exercised with the spill ring engaged (the
 #: snapshot then carries chunk *files*, not inlined arrays).
-SPILL_NAMES = ("ssd-eb-ledger", "ssd-ebpc-churn", "ssd-eb-event")
+SPILL_NAMES = ("ssd-eb-ledger", "ssd-ebpc-churn", "ssd-eb-event", "ssd-eb-faults")
 
 
 def _build(config: SimulationConfig):
@@ -102,6 +142,7 @@ def _fingerprint(system, config: SimulationConfig) -> dict:
         "earning": m.earning, "latency_sum_ms": m.latency_sum_ms,
         "delivery_rate": m.delivery_rate,
         "executed_events": system.sim.executed_events,
+        "fault_ledger": system.faults.summary(),
         "delivery_log_sha256": log_h.hexdigest(),
         "endpoint_records_sha256": rec_h.hexdigest(),
         "windowed_series_sha256": ts_h.hexdigest(),

@@ -1,0 +1,145 @@
+"""The unified scenario registry and the script wire format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.workload.dynamics import (
+    PRESETS,
+    CascadeOutage,
+    LinkFailure,
+    LinkPartition,
+    RateBurst,
+    ScenarioScript,
+)
+from repro.workload.registry import (
+    INTERVENTION_TYPES,
+    SCRIPT_SCHEMA,
+    ScenarioEntry,
+    intervention_from_dict,
+    intervention_to_dict,
+    load_script,
+    registry,
+    resolve,
+    save_script,
+    script_from_dict,
+    script_to_dict,
+)
+from repro.workload.scenarios import SCALE_SCENARIOS
+from tests.conftest import make_line_topology
+
+SAMPLE = ScenarioScript((
+    LinkFailure(at_ms=10_000.0, a="B1", b="B2"),
+    LinkPartition(at_ms=20_000.0, group=("B2", "B3"), heal_ms=35_000.0),
+    CascadeOutage(at_ms=30_000.0, origin="B1", spread_prob=0.4, decay=0.25,
+                  max_depth=2, step_ms=2_500.0, recover_after_ms=9_000.0),
+    RateBurst(5_000.0, 15_000.0, 2.5),
+))
+
+
+class TestWireFormat:
+    def test_every_intervention_type_registered(self):
+        # The Union in dynamics.py and the wire tags must stay in sync.
+        assert len(INTERVENTION_TYPES) == 11
+        assert set(INTERVENTION_TYPES) >= {
+            "LinkFailure", "LinkRestore", "LinkPartition",
+            "BrokerOutage", "BrokerRecover", "CascadeOutage",
+        }
+
+    @pytest.mark.parametrize("item", SAMPLE.interventions, ids=lambda i: type(i).__name__)
+    def test_intervention_round_trip_exact(self, item):
+        assert intervention_from_dict(intervention_to_dict(item)) == item
+
+    def test_wire_dict_is_json_safe(self):
+        payload = script_to_dict(SAMPLE)
+        rebuilt = script_from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt == SAMPLE
+
+    def test_tuple_fields_become_lists(self):
+        d = intervention_to_dict(SAMPLE.interventions[1])
+        assert d["type"] == "LinkPartition"
+        assert d["group"] == ["B2", "B3"]
+        assert isinstance(intervention_from_dict(d).group, tuple)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown intervention type"):
+            intervention_from_dict({"type": "MeteorStrike", "at_ms": 1.0})
+
+    def test_unknown_field_rejected(self):
+        d = intervention_to_dict(SAMPLE.interventions[0])
+        d["severity"] = "total"
+        with pytest.raises(ValueError, match="unknown field"):
+            intervention_from_dict(d)
+
+    def test_wrong_schema_rejected(self):
+        payload = script_to_dict(SAMPLE)
+        payload["schema"] = SCRIPT_SCHEMA + 1
+        with pytest.raises(ValueError, match="unsupported script schema"):
+            script_from_dict(payload)
+
+    def test_save_load_file_round_trip(self, tmp_path):
+        path = save_script(tmp_path / "s.json", SAMPLE, seed=7, note="repro")
+        assert load_script(path) == SAMPLE
+        raw = json.loads(path.read_text())
+        assert raw["meta"] == {"seed": 7, "note": "repro"}
+        assert raw["schema"] == SCRIPT_SCHEMA
+
+    def test_empty_script_round_trips(self):
+        empty = ScenarioScript()
+        assert script_from_dict(script_to_dict(empty)) == empty
+
+
+class TestRegistry:
+    def test_contains_all_families(self):
+        entries = registry()
+        for name in SCALE_SCENARIOS:
+            assert f"scale:{name}" in entries
+        for name in PRESETS:
+            assert f"preset:{name}" in entries
+        assert len(entries) == len(SCALE_SCENARIOS) + len(PRESETS)
+
+    def test_resolve_qualified_and_bare(self):
+        assert resolve("preset:cascade").kind == "preset"
+        assert resolve("100k").qualified == "scale:100k"
+
+    def test_resolve_unknown_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="known:"):
+            resolve("nonesuch")
+
+    def test_extra_scripts_registered_and_resolvable(self):
+        extra = {"repro-42": SAMPLE}
+        entry = resolve("repro-42", extra_scripts=extra)
+        assert entry.kind == "script"
+        assert entry.script == SAMPLE
+        assert "4 intervention(s)" in entry.description
+
+    def test_extra_scripts_never_shadow_builtins(self):
+        # An extra named like a preset lands under script: — both coexist,
+        # and the bare name becomes ambiguous rather than silently shadowed.
+        extra = {"cascade": SAMPLE}
+        entries = registry(extra_scripts=extra)
+        assert "preset:cascade" in entries and "script:cascade" in entries
+        with pytest.raises(KeyError, match="ambiguous"):
+            resolve("cascade", extra_scripts=extra)
+
+    def test_compile_by_kind(self):
+        topology = make_line_topology(
+            n=3, publishers={"P1": "B1"}, subscribers={"S1": "B3"}
+        )
+        duration = 60_000.0
+        scale = resolve("scale:smoke").compile(topology, duration)
+        assert scale == ScenarioScript()
+        preset = resolve("preset:cascade").compile(topology, duration)
+        assert preset.interventions  # concrete faults against this topology
+        explicit = ScenarioEntry(
+            name="e", kind="script", description="", script=SAMPLE
+        ).compile(topology, duration)
+        assert explicit is SAMPLE
+
+    def test_entry_payload_must_match_kind(self):
+        with pytest.raises(ValueError, match="needs its payload"):
+            ScenarioEntry(name="x", kind="script", description="")
+        with pytest.raises(ValueError, match="unknown scenario kind"):
+            ScenarioEntry(name="x", kind="magic", description="", script=SAMPLE)
