@@ -133,6 +133,78 @@ def check_scale_throughput(
     return compared, failures
 
 
+def check_shard_speedup(
+    current: dict, floor: float, overhead_ceiling: float
+) -> list[str]:
+    """Core-aware guard on the sharded engine's run-phase speedup.
+
+    The bench records ``os.cpu_count()`` alongside the sharded A/B point
+    because the same measurement means opposite things on different
+    hardware: with at least one core per shard the run phase must beat
+    the serial engine by ``floor`` (default 2.0, ``BENCH_SHARD_FLOOR``),
+    while on a core-starved runner (CI containers are often 1–2 vCPUs)
+    genuine parallel speedup is physically impossible and the guard
+    instead bounds the *overhead* — the sharded run may not be more than
+    ``overhead_ceiling`` times slower than serial, which still catches a
+    collapsed boundary-exchange path.  Either way the sharded run's
+    series digest must equal the serial point's: identity is never
+    hardware-conditional.
+    """
+    scale = current.get("scale") or {}
+    shard = scale.get("shard")
+    if not isinstance(shard, dict):
+        print("note: no sharded scale point in current run — shard guard skipped")
+        return []
+    failures: list[str] = []
+    record = shard.get("record") or {}
+    points = {scale_point_key(p): p for p in scale.get("points") or []}
+    serial = points.get(scale_point_key(record))
+    if serial is not None and record.get("series_sha256") != serial.get("series_sha256"):
+        failures.append(
+            "sharded scale run's series digest differs from the serial run "
+            f"({record.get('series_sha256')} vs {serial.get('series_sha256')})"
+        )
+    if record.get("checkpoints", 0) not in (0, None):
+        failures.append(
+            f"sharded scale point wrote {record['checkpoints']} checkpoint(s); "
+            "the speedup comparison assumes none"
+        )
+    speedup = shard.get("run_speedup")
+    shards = shard.get("shards")
+    cpus = scale.get("meta", {}).get("cpu_count")
+    if not isinstance(speedup, (int, float)) or not isinstance(shards, int):
+        print("note: sharded scale point lacks run_speedup/shards — not guarded")
+        return failures
+    if isinstance(cpus, int) and cpus >= shards:
+        status = "ok" if speedup >= floor else "REGRESSED"
+        print(f"{status:9s} shard speedup: {speedup:.2f}x at {shards} shards "
+              f"on {cpus} cores (floor {floor:.1f}x)")
+        if speedup < floor:
+            failures.append(
+                f"sharded run phase only {speedup:.2f}x serial at {shards} "
+                f"shards on {cpus} cores (floor {floor:.1f}x)"
+            )
+    else:
+        limit = 1.0 / overhead_ceiling
+        status = "ok" if speedup >= limit else "REGRESSED"
+        print(f"{status:9s} shard overhead: {speedup:.2f}x at {shards} shards "
+              f"on {cpus} core(s) — floor waived (cores < shards), "
+              f"ceiling {overhead_ceiling:.1f}x slower")
+        if speedup < limit:
+            failures.append(
+                f"sharded run phase {1.0 / speedup if speedup else float('inf'):.1f}x "
+                f"slower than serial on {cpus} core(s); exceeds the "
+                f"{overhead_ceiling:.1f}x overhead ceiling"
+            )
+    # The serial build phase is shared by every mode; surface it so the
+    # artifact trail records where setup time goes (it is not guarded —
+    # subscription-install throughput has its own microbench).
+    for key, point in sorted(points.items()):
+        if key is not None and isinstance(point.get("build_s"), (int, float)):
+            print(f"note: build phase {point['build_s']:.1f}s for scale {key}")
+    return failures
+
+
 def check_checkpoint_cost(current: dict) -> list[str]:
     """Checkpointing must be free when disabled and accounted when on.
 
@@ -194,6 +266,20 @@ def main(argv: list[str] | None = None) -> int:
         help="scale points must keep at least this fraction of the "
              "baseline deliveries_per_s (default 0.5)",
     )
+    parser.add_argument(
+        "--shard-floor", type=float,
+        default=float(os.environ.get("BENCH_SHARD_FLOOR", "2.0")),
+        help="minimum run-phase speedup for the sharded scale point, "
+             "enforced only when the recording machine had at least one "
+             "core per shard (default 2.0)",
+    )
+    parser.add_argument(
+        "--shard-overhead-ceiling", type=float,
+        default=float(os.environ.get("BENCH_SHARD_OVERHEAD", "4.0")),
+        help="on core-starved machines (cores < shards) the sharded run "
+             "may be at most this many times slower than serial "
+             "(default 4.0)",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(Path(args.baseline).read_text())
@@ -237,6 +323,9 @@ def main(argv: list[str] | None = None) -> int:
         baseline, current, args.scale_floor
     )
     failures.extend(scale_failures)
+    failures.extend(
+        check_shard_speedup(current, args.shard_floor, args.shard_overhead_ceiling)
+    )
     failures.extend(check_checkpoint_cost(current))
 
     if compared == 0:

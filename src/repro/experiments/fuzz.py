@@ -65,6 +65,11 @@ class FuzzSpec:
     max_interventions: int = 4
     #: Where shrunk counterexample scripts are written (None: don't).
     out_dir: str | None = "fuzz-findings"
+    #: Shard count for the sharded-engine differential probe: each clean
+    #: script is re-run under the broker-partitioned engine and the two
+    #: serialized results must be byte-identical (0 disables the probe).
+    shards: int = 2
+    shard_backend: str = "inline"
 
     def __post_init__(self) -> None:
         if self.budget < 1:
@@ -75,13 +80,20 @@ class FuzzSpec:
             raise ValueError("max_interventions must be >= 1")
         if len(self.pair) != 2 or self.pair[0] == self.pair[1]:
             raise ValueError("pair must name two distinct strategies")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0 (0 disables the probe)")
 
     @classmethod
-    def smoke(cls, seed: int = 0, out_dir: str | None = "fuzz-findings") -> "FuzzSpec":
+    def smoke(
+        cls,
+        seed: int = 0,
+        out_dir: str | None = "fuzz-findings",
+        shards: int = 2,
+    ) -> "FuzzSpec":
         """The CI-sized campaign: fixed seed, small budget, short runs."""
         return cls(
             seed=seed, budget=4, duration_ms=90_000.0, rate_per_min=15.0,
-            out_dir=out_dir,
+            out_dir=out_dir, shards=shards,
         )
 
 
@@ -93,6 +105,19 @@ class Violation:
     shrunk: ScenarioScript
     error: str
     strategy: str
+    replay_path: str | None = None
+
+
+@dataclass(slots=True)
+class Divergence:
+    """A fault script under which the sharded engine's serialized result
+    differs from the sequential engine's — an identity bug by definition,
+    shrunk to a 1-minimal reproducer like a sentinel violation."""
+
+    script: ScenarioScript
+    shrunk: ScenarioScript
+    strategy: str
+    detail: str
     replay_path: str | None = None
 
 
@@ -116,12 +141,15 @@ class FuzzReport:
     runs: int = 0
     violations: list[Violation] = field(default_factory=list)
     inversions: list[Inversion] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
+    #: Scripts whose sharded re-run came back byte-identical.
+    shard_probes_identical: int = 0
 
     @property
     def ok(self) -> bool:
-        """True when no sentinel violation survived (inversions are
-        findings, not failures)."""
-        return not self.violations
+        """True when no sentinel violation and no sharded-engine
+        divergence survived (inversions are findings, not failures)."""
+        return not self.violations and not self.divergences
 
 
 def generate_script(
@@ -191,7 +219,9 @@ def generate_script(
     return ScenarioScript(interventions=tuple(items))
 
 
-def _config(spec: FuzzSpec, strategy: str, script: ScenarioScript) -> SimulationConfig:
+def _config(
+    spec: FuzzSpec, strategy: str, script: ScenarioScript, shards: int = 0
+) -> SimulationConfig:
     return SimulationConfig(
         seed=spec.seed,
         scenario=spec.scenario,
@@ -202,6 +232,8 @@ def _config(spec: FuzzSpec, strategy: str, script: ScenarioScript) -> Simulation
         sentinel=True,
         sentinel_deep=True,
         sentinel_every_ms=10_000.0,
+        shards=shards,
+        shard_backend=spec.shard_backend,
     )
 
 
@@ -212,6 +244,69 @@ def _probe(spec: FuzzSpec, strategy: str, script: ScenarioScript, report: FuzzRe
         return None, run_simulation(_config(spec, strategy, script))
     except InvariantViolation as err:
         return err, None
+
+
+def _result_bytes(result) -> bytes:
+    import dataclasses
+    import json
+
+    return json.dumps(dataclasses.asdict(result), sort_keys=True).encode()
+
+
+def _shard_probe(
+    spec: FuzzSpec, strategy: str, script: ScenarioScript, report: FuzzReport
+) -> str | None:
+    """Differential: sequential fused vs sharded under this fault script.
+
+    Returns a human-readable mismatch description, or None when the two
+    serialized results are byte-identical.  A sentinel violation raised
+    only by the sharded run counts as a divergence too (the sequential
+    leg already passed when this is called)."""
+    report.runs += 1
+    sequential = run_simulation(_config(spec, strategy, script))
+    report.runs += 1
+    try:
+        sharded = run_simulation(
+            _config(spec, strategy, script, shards=spec.shards)
+        )
+    except InvariantViolation as err:
+        return f"sharded run violated the sentinel: {err}"
+    if _result_bytes(sequential) != _result_bytes(sharded):
+        deltas = [
+            f"{name}: {getattr(sequential, name)} != {getattr(sharded, name)}"
+            for name in ("published", "deliveries_valid", "deliveries_late",
+                         "earning", "delivery_rate")
+            if getattr(sequential, name, None) != getattr(sharded, name, None)
+        ]
+        return ("serialized results differ ("
+                + ("; ".join(deltas) if deltas else "field-level tie; "
+                   "divergence is in the remaining serialized fields") + ")")
+    return None
+
+
+def shrink_divergence(
+    spec: FuzzSpec,
+    strategy: str,
+    script: ScenarioScript,
+    report: FuzzReport,
+) -> ScenarioScript:
+    """Greedy 1-minimal shrink of a sharded-engine divergence, mirroring
+    :func:`shrink_script` with "still diverges" as the predicate."""
+    items = list(script.interventions)
+    changed = True
+    while changed and len(items) > 1:
+        changed = False
+        for i in range(len(items)):
+            candidate = ScenarioScript(interventions=tuple(items[:i] + items[i + 1:]))
+            try:
+                detail = _shard_probe(spec, strategy, candidate, report)
+            except InvariantViolation:
+                continue  # sequential leg broke: not the divergence we chase
+            if detail is not None:
+                items = list(candidate.interventions)
+                changed = True
+                break
+    return ScenarioScript(interventions=tuple(items))
 
 
 def shrink_script(
@@ -306,6 +401,33 @@ def run_fuzz(spec: FuzzSpec) -> FuzzReport:
             faulted[strategy] = _metric(result)
         if violated:
             continue
+        if spec.shards > 0:
+            detail = _shard_probe(spec, spec.pair[0], script, report)
+            if detail is not None:
+                shrunk = shrink_divergence(spec, spec.pair[0], script, report)
+                detail2 = _shard_probe(spec, spec.pair[0], shrunk, report)
+                finding = Divergence(
+                    script=script,
+                    shrunk=shrunk,
+                    strategy=spec.pair[0],
+                    detail=detail2 if detail2 is not None else detail,
+                )
+                if out_dir is not None:
+                    out_dir.mkdir(parents=True, exist_ok=True)
+                    path = save_script(
+                        out_dir / f"divergence-{spec.seed}-{n}-{spec.pair[0]}.json",
+                        shrunk,
+                        seed=spec.seed,
+                        strategy=spec.pair[0],
+                        scenario=spec.scenario.value,
+                        duration_ms=spec.duration_ms,
+                        rate_per_min=spec.rate_per_min,
+                        error=f"sharded-engine divergence: {finding.detail}",
+                    )
+                    finding.replay_path = str(path)
+                report.divergences.append(finding)
+                continue
+            report.shard_probes_identical += 1
         fault_winner = max(spec.pair, key=faulted.__getitem__)
         if fault_winner != base_winner and faulted[fault_winner] > faulted[base_winner]:
             report.inversions.append(Inversion(
@@ -340,6 +462,19 @@ def format_report(report: FuzzReport) -> str:
         lines.append(f"    {v.error}")
         if v.replay_path:
             lines.append(f"    replay: {v.replay_path}")
+    if spec.shards > 0:
+        lines.append(
+            f"shard differential: "
+            + (f"{report.shard_probes_identical} script(s) byte-identical at "
+               f"{spec.shards} shards ({spec.shard_backend})"
+               if not report.divergences
+               else f"{len(report.divergences)} DIVERGENCE(S)")
+        )
+        for d in report.divergences:
+            lines.append(f"  DIVERGENCE [{d.strategy}] {_describe(d.shrunk)}")
+            lines.append(f"    {d.detail}")
+            if d.replay_path:
+                lines.append(f"    replay: {d.replay_path}")
     lines.append(f"ranking inversions: {len(report.inversions)}")
     for inv in report.inversions:
         a, b = report.spec.pair

@@ -155,6 +155,11 @@ class Broker:
         #: fused engine's window lookahead and consumed by :meth:`_process`
         #: (stale versions are recomputed, so churn can never skew a match).
         self._match_memo: dict[int, tuple[int, tuple]] = {}
+        #: msg_id -> (table version, latency_ms, valid flags) for the local
+        #: group, filled by the sharded engine alongside the match memo
+        #: (workers compute the pure validity comparison too).  Same
+        #: version discipline; empty unless a sharded engine is driving.
+        self._delivery_memo: dict[int, tuple[int, float, object]] = {}
 
     # ------------------------------------------------------------------ #
     # Wiring.
@@ -183,13 +188,23 @@ class Broker:
         )
         self.queues[neighbor] = OutputQueue(neighbor, link, monitor, deliver, sched)
 
-    def install(self, row: TableRow) -> None:
+    def install(self, row: TableRow, preds=None) -> None:
         if row.next_hop is not None and row.next_hop not in self.queues:
             raise ValueError(
                 f"{self.name}: row for {row.subscriber!r} routes via unwired "
                 f"neighbor {row.next_hop!r}"
             )
-        self.table.install(row)
+        self.table.install(row, preds=preds)
+
+    def install_many(self, pairs: list[tuple[TableRow, object]]) -> None:
+        """Bulk :meth:`install`; same wiring validation, one table call."""
+        for row, _ in pairs:
+            if row.next_hop is not None and row.next_hop not in self.queues:
+                raise ValueError(
+                    f"{self.name}: row for {row.subscriber!r} routes via unwired "
+                    f"neighbor {row.next_hop!r}"
+                )
+        self.table.install_many(pairs)
 
     # ------------------------------------------------------------------ #
     # Message path.
@@ -235,8 +250,16 @@ class Broker:
             # metrics ledger and the endpoint log.  All rows share the
             # arrival latency ``hdl(now)``.
             prices = local.price
-            latency = message.hdl(now)
-            valid = latency <= effective_deadline_array(local.deadline, message)
+            dmemo = self._delivery_memo.pop(message.msg_id, None)
+            if dmemo is not None and dmemo[0] == self.table.version:
+                # Shard worker precomputed the (pure) arrival latency and
+                # validity flags; the version stamp matches the match
+                # memo's, so the rows these flags describe are the rows
+                # in ``local``.
+                latency, valid = dmemo[1], dmemo[2]
+            else:
+                latency = message.hdl(now)
+                valid = latency <= effective_deadline_array(local.deadline, message)
             if prof is not None:
                 t0 = perf_counter()
             if self._metrics_sids is not None:
@@ -445,6 +468,7 @@ class Broker:
         serializing speculative results."""
         state = self.__dict__.copy()
         state["_match_memo"] = {}
+        state["_delivery_memo"] = {}
         return state
 
     # ------------------------------------------------------------------ #

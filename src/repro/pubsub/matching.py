@@ -59,10 +59,18 @@ class BruteForceMatcher(Generic[K]):
     def __init__(self) -> None:
         self._filters: dict[K, Filter] = {}
 
-    def add(self, key: K, filter_: Filter) -> None:
+    def add(self, key: K, filter_: Filter, preds=None) -> None:
         if key in self._filters:
             raise KeyError(f"duplicate key {key!r}")
         self._filters[key] = filter_
+
+    def add_many(
+        self,
+        items: Iterable[tuple[K, Filter]],
+        preds_list: list | None = None,
+    ) -> None:
+        for key, filter_ in items:
+            self.add(key, filter_)
 
     def remove(self, key: K) -> None:
         del self._filters[key]
@@ -183,10 +191,11 @@ class CountingIndexMatcher(Generic[K]):
         #: does not rescan ``_predicate_count`` on every call.
         self._match_all: set[K] = set()
 
-    def add(self, key: K, filter_: Filter) -> None:
+    def add(self, key: K, filter_: Filter, preds=None) -> None:
         if key in self._predicate_count or key in self._fallback:
             raise KeyError(f"duplicate key {key!r}")
-        preds = conjunction_predicates(filter_)
+        if preds is None:
+            preds = conjunction_predicates(filter_)
         if preds is None:
             self._fallback.add(key, filter_)
             return
@@ -200,7 +209,11 @@ class CountingIndexMatcher(Generic[K]):
                 idx = self._indexes[(p.attribute, p.op)] = _AttrOpIndex(p.op)
             idx.add(p.value, key)
 
-    def add_many(self, items: Iterable[tuple[K, Filter]]) -> None:
+    def add_many(
+        self,
+        items: Iterable[tuple[K, Filter]],
+        preds_list: list | None = None,
+    ) -> None:
         """Bulk registration: predicates are grouped per (attribute, op)
         index and inserted with one sorted merge each.  Matching behaviour
         is identical to adding the items one at a time, in order.
@@ -211,9 +224,10 @@ class CountingIndexMatcher(Generic[K]):
             if key in self._predicate_count or key in seen or key in self._fallback:
                 raise KeyError(f"duplicate key {key!r}")
             seen.add(key)
+        if preds_list is None:
+            preds_list = [conjunction_predicates(f) for _, f in items]
         batches: dict[tuple[str, str], list[tuple[float, K]]] = defaultdict(list)
-        for key, filter_ in items:
-            preds = conjunction_predicates(filter_)
+        for (key, filter_), preds in zip(items, preds_list):
             if preds is None:
                 self._fallback.add(key, filter_)
                 continue
@@ -285,6 +299,12 @@ class _VecAttrOpIndex:
 
     def add(self, value: float, id_: int) -> None:
         self.entries.append((value, id_))
+        self.dirty = True
+
+    def add_many(self, pairs: list[tuple[float, int]]) -> None:
+        """Bulk append; equivalent to :meth:`add` per pair in order (the
+        stable compile sort makes entry order irrelevant anyway)."""
+        self.entries.extend(pairs)
         self.dirty = True
 
     def compile(self) -> None:
@@ -390,10 +410,11 @@ class VectorCountingMatcher(Generic[K]):
             self._keys_identity = False
         return id_
 
-    def add(self, key: K, filter_: Filter) -> None:
+    def add(self, key: K, filter_: Filter, preds=None) -> None:
         if key in self._predicates or key in self._fallback:
             raise KeyError(f"duplicate key {key!r}")
-        preds = conjunction_predicates(filter_)
+        if preds is None:
+            preds = conjunction_predicates(filter_)
         if preds is None:
             self._fallback.add(key, filter_)
             return
@@ -409,15 +430,45 @@ class VectorCountingMatcher(Generic[K]):
                 idx = self._indexes[(p.attribute, p.op)] = _VecAttrOpIndex(p.op)
             idx.add(p.value, id_)
 
-    def add_many(self, items: Iterable[tuple[K, Filter]]) -> None:
+    def add_many(
+        self,
+        items: Iterable[tuple[K, Filter]],
+        preds_list: list | None = None,
+    ) -> None:
+        """Bulk registration: interning happens in item order (so ids are
+        the same as sequential :meth:`add` calls) but predicate entries
+        are grouped per (attribute, op) index and appended with one
+        ``extend`` each.  ``preds_list`` lets the caller reuse already-
+        computed :func:`conjunction_predicates` results.
+        """
         items = list(items)
         seen: set[K] = set()
         for key, _ in items:
             if key in self._predicates or key in seen or key in self._fallback:
                 raise KeyError(f"duplicate key {key!r}")
             seen.add(key)
-        for key, filter_ in items:
-            self.add(key, filter_)
+        if preds_list is None:
+            preds_list = [conjunction_predicates(f) for _, f in items]
+        per_index: dict[tuple[str, str], list[tuple[float, int]]] = {}
+        predicates = self._predicates
+        setdefault = per_index.setdefault
+        for (key, filter_), preds in zip(items, preds_list):
+            if preds is None:
+                self._fallback.add(key, filter_)
+                continue
+            id_ = self._intern(key, len(preds))
+            predicates[key] = preds
+            self._live += 1
+            self._total_entries += len(preds)
+            if not preds:
+                self._match_all.add(key)
+            for p in preds:
+                setdefault((p.attribute, p.op), []).append((p.value, id_))
+        for (attr, op), pairs in per_index.items():
+            idx = self._indexes.get((attr, op))
+            if idx is None:
+                idx = self._indexes[(attr, op)] = _VecAttrOpIndex(op)
+            idx.add_many(pairs)
 
     def remove(self, key: K) -> None:
         preds = self._predicates.pop(key, None)

@@ -252,6 +252,12 @@ class SubscriptionTable:
         #: computed ahead of time is only consumed if the table has not
         #: changed since (churn between lookahead and execution recomputes).
         self._version = 0
+        #: Mutation journal, armed (set to a list) by the sharded engine
+        #: when worker processes hold replicas of this table: every
+        #: install/uninstall is recorded so replicas replay the identical
+        #: op sequence (same interned ids, same version count) before
+        #: matching.  ``None`` (the default) costs one branch per mutation.
+        self.journal: list[tuple[str, object]] | None = None
         # Compiled views (rebuilt lazily after install/uninstall).
         self._dirty = True
         self._c_cols5 = np.empty((5, 0))
@@ -269,7 +275,12 @@ class SubscriptionTable:
     # ------------------------------------------------------------------ #
     # Mutation.
     # ------------------------------------------------------------------ #
-    def install(self, row: TableRow) -> None:
+    def install(self, row: TableRow, preds=None) -> None:
+        """Install one row.  ``preds`` optionally carries the row filter's
+        precomputed :func:`~repro.pubsub.filters.conjunction_predicates`
+        result — a subscription installs the same filter at every broker
+        on its path, so callers compute it once per subscription instead
+        of once per row."""
         key = (row.subscriber, row.path_id)
         if key in self._id_of_key:
             raise KeyError(f"row {key!r} already installed")
@@ -318,13 +329,101 @@ class SubscriptionTable:
             self._src_set.append(src_set)
         self._id_of_key[key] = row_id
         self._ids_of_subscriber.setdefault(row.subscriber, []).append(row_id)
-        self._matcher.add(row_id, row.subscription.filter)
+        self._matcher.add(row_id, row.subscription.filter, preds=preds)
         if row.path_id != 0:
             self._has_multipath_rows = True
         if row.min_msg_id > 0:
             self._has_epoch_rows = True
+        if self.journal is not None:
+            self.journal.append(("i", row))
         self._dirty = True
         self._version += 1
+
+    def install_many(self, pairs: list[tuple[TableRow, object]]) -> None:
+        """Bulk install: end state identical to :meth:`install` per
+        ``(row, preds)`` pair in order — same interned ids, same version
+        count, same journal entries — but with per-row Python overhead
+        hoisted and one grouped matcher ``add_many`` instead of a call
+        per row (the 100k-subscriber build's hot path).
+        """
+        if not pairs:
+            return
+        id_of_key = self._id_of_key
+        seen: set[tuple[str, int]] = set()
+        for row, _ in pairs:
+            key = (row.subscriber, row.path_id)
+            if key in id_of_key or key in seen:
+                raise KeyError(f"row {key!r} already installed")
+            seen.add(key)
+        hop_id_of = self._hop_id_of
+        hop_names = self._hop_names
+        sub_id_of = self._sub_id_of
+        sub_names = self._sub_names
+        src_id_of = self._src_set_id_of
+        src_by_id = self._src_set_by_id
+        free_ids = self._free_ids
+        rows_by_id = self._rows_by_id
+        ids_of_subscriber = self._ids_of_subscriber
+        journal = self.journal
+        items: list[tuple[int, object]] = []
+        preds_list: list = []
+        for row, preds in pairs:
+            if row.next_hop is None:
+                hop = -1
+            else:
+                hop = hop_id_of.get(row.next_hop)
+                if hop is None:
+                    hop = hop_id_of[row.next_hop] = len(hop_names)
+                    hop_names.append(row.next_hop)
+            sub = sub_id_of.get(row.subscriber)
+            if sub is None:
+                sub = sub_id_of[row.subscriber] = len(sub_names)
+                sub_names.append(row.subscriber)
+            deadline = row.deadline_ms if row.deadline_ms is not None else np.inf
+            price = row.price if row.price is not None else 1.0
+            src_set = src_id_of.get(row.sources)
+            if src_set is None:
+                src_set = src_id_of[row.sources] = len(src_by_id)
+                src_by_id.append(row.sources)
+            if free_ids:
+                row_id = free_ids.pop()
+                rows_by_id[row_id] = row
+                self._nn[row_id] = float(row.nn)
+                self._mean[row_id] = row.rate.mean
+                self._std[row_id] = row.rate.std
+                self._deadline[row_id] = deadline
+                self._price[row_id] = price
+                self._hop_id[row_id] = hop
+                self._sub_id[row_id] = sub
+                self._min_msg[row_id] = row.min_msg_id
+                self._sources[row_id] = row.sources
+                self._src_set[row_id] = src_set
+            else:
+                row_id = len(rows_by_id)
+                rows_by_id.append(row)
+                self._nn.append(float(row.nn))
+                self._mean.append(row.rate.mean)
+                self._std.append(row.rate.std)
+                self._deadline.append(deadline)
+                self._price.append(price)
+                self._hop_id.append(hop)
+                self._sub_id.append(sub)
+                self._min_msg.append(row.min_msg_id)
+                self._sources.append(row.sources)
+                self._src_set.append(src_set)
+            id_of_key[(row.subscriber, row.path_id)] = row_id
+            ids_of_subscriber.setdefault(row.subscriber, []).append(row_id)
+            items.append((row_id, row.subscription.filter))
+            preds_list.append(preds)
+            if row.path_id != 0:
+                self._has_multipath_rows = True
+            if row.min_msg_id > 0:
+                self._has_epoch_rows = True
+            if journal is not None:
+                journal.append(("i", row))
+        self._matcher.add_many(items, preds_list)
+        self._dirty = True
+        self._version += len(pairs)
 
     def uninstall(self, subscriber: str) -> None:
         """Remove every row (any path) of a subscriber."""
@@ -337,6 +436,8 @@ class SubscriptionTable:
             del self._id_of_key[(subscriber, row.path_id)]
             self._matcher.remove(row_id)
             self._free_ids.append(row_id)
+        if self.journal is not None:
+            self.journal.append(("u", subscriber))
         self._dirty = True
         self._version += 1
 

@@ -21,6 +21,7 @@ Responsibilities:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -42,6 +43,7 @@ from repro.pubsub.broker import Broker
 from repro.pubsub.client import DeliveryLog, PublisherHandle, SubscriberHandle
 from repro.pubsub.engine import ENGINE_BACKENDS, make_engine
 from repro.pubsub.faults import FaultLedger
+from repro.pubsub.filters import conjunction_predicates
 from repro.pubsub.matching import MATCHER_BACKENDS, MatchingEngine, make_matcher
 from repro.pubsub.message import Message
 from repro.pubsub.metrics import METRICS_BACKENDS, MetricsCollector, make_metrics
@@ -139,6 +141,17 @@ class SystemConfig:
     fault_retry_backoff_ms: float = 1_000.0
     fault_retry_max_backoff_ms: float = 8_000.0
     dead_letter_timeout_ms: float = 30_000.0
+    #: Broker-partitioned parallel lookahead: 0 = off (sequential fused /
+    #: event driver), N >= 1 = partition the overlay into N shards and
+    #: distribute the pure match phase (see
+    #: :mod:`repro.pubsub.shard_engine`).  Byte-identical outputs — a
+    #: result-neutral knob, like spill.  Requires ``engine_backend`` =
+    #: "fused".  The ``REPRO_SHARDS`` env var forces a shard count onto
+    #: fused systems built with ``shards=0`` (suite-wide override).
+    shards: int = 0
+    #: "process" forks one worker per shard (POSIX); "inline" runs the
+    #: identical protocol in-process (portable, deterministic testing).
+    shard_backend: str = "process"
 
     def __post_init__(self) -> None:
         if (
@@ -181,6 +194,22 @@ class SystemConfig:
             raise ValueError(
                 f"metrics_backend must be one of {METRICS_BACKENDS}, "
                 f"got {self.metrics_backend!r}"
+            )
+        # Imported here (not at module top) to keep repro.sim imports
+        # lazy from the pubsub layer.
+        from repro.sim.shard import SHARD_BACKENDS, ShardConfigError
+
+        if self.shards < 0:
+            raise ShardConfigError(f"shards must be non-negative, got {self.shards}")
+        if self.shard_backend not in SHARD_BACKENDS:
+            raise ShardConfigError(
+                f"shard_backend must be one of {SHARD_BACKENDS}, "
+                f"got {self.shard_backend!r}"
+            )
+        if self.shards and self.engine_backend != "fused":
+            raise ShardConfigError(
+                "shards > 0 requires engine_backend='fused' (the per-event "
+                "oracle has no lookahead to distribute)"
             )
 
 
@@ -225,6 +254,13 @@ class PubSubSystem:
         self._subscriptions: dict[str, Subscription] = {}
         self._population: MatchingEngine[str] = make_matcher(self.config.matcher_backend)
         self._sink_trees: dict[str, SinkTree] = {}
+        #: Single-path install plans per edge broker, tagged with the
+        #: publisher-broker count they were computed under (attaching a
+        #: publisher can add a source broker; link-rate changes clear the
+        #: cache with the sink trees).  100k subscribers share a few
+        #: dozen edge brokers, so routing is computed per *edge*, not per
+        #: subscriber.
+        self._install_plans: dict[str, tuple[int, list]] = {}
         self._next_msg_id = 0
         #: Build-time link distributions, keyed ``(a, b)`` with a < b —
         #: the restore point for degrade/recover interventions.
@@ -258,9 +294,22 @@ class PubSubSystem:
         )
 
         #: The event-pipeline driver (None = per-event oracle kernel).
+        #: ``REPRO_SHARDS`` forces sharding onto fused systems built
+        #: without it (decision-neutral, so the whole suite can run
+        #: sharded), mirroring ``REPRO_SENTINEL``; the backend then comes
+        #: from ``REPRO_SHARD_BACKEND`` (default "inline" — cheap enough
+        #: for thousands of tiny test systems).
+        shards = self.config.shards
+        shard_backend = self.config.shard_backend
+        if shards == 0 and self.config.engine_backend == "fused":
+            env = os.environ.get("REPRO_SHARDS", "")
+            if env not in ("", "0"):
+                shards = int(env)
+                shard_backend = os.environ.get("REPRO_SHARD_BACKEND", "inline")
         self._engine = make_engine(
             self.config.engine_backend, sim, system=self,
             window_ms=self.config.engine_window_ms,
+            shards=shards, shard_backend=shard_backend,
         )
 
         self._build_brokers()
@@ -398,25 +447,47 @@ class PubSubSystem:
         self._patch_endpoint_ids(name, handle.log_id)
         return handle
 
-    def _install_single_path(self, subscription: Subscription, edge: str) -> None:
+    def _install_plan(self, edge: str) -> list:
+        """The single-path install plan shared by every subscriber at one
+        edge broker: ``(node, next_hop, nn, rate, sources)`` per on-path
+        broker, in the canonical walk order.  Cached per edge — and
+        recomputed if a publisher attached since (new source broker)."""
+        n_pubs = len(self.topology.publisher_brokers)
+        cached = self._install_plans.get(edge)
+        if cached is not None and cached[0] == n_pubs:
+            return cached[1]
         tree = self._sink_tree(edge)
-        source_brokers = sorted(set(self.topology.publisher_brokers.values()))
         on_path_sources: dict[str, set[str]] = {}
-        for source in source_brokers:
+        for source in sorted(set(self.topology.publisher_brokers.values())):
             for node in tree.path_from(source):
                 on_path_sources.setdefault(node, set()).add(source)
-
+        plan = []
         for node, sources in on_path_sources.items():
             entry = tree.entry(node)
+            plan.append((
+                node,
+                entry.next_hop,
+                entry.nn,
+                entry.rate if entry.next_hop is not None else Normal(0.0, 0.0),
+                frozenset(sources),
+            ))
+        self._install_plans[edge] = (n_pubs, plan)
+        return plan
+
+    def _install_single_path(self, subscription: Subscription, edge: str) -> None:
+        preds = conjunction_predicates(subscription.filter)
+        min_msg = self._next_msg_id
+        for node, next_hop, nn, rate, sources in self._install_plan(edge):
             self.brokers[node].install(
                 TableRow(
                     subscription=subscription,
-                    next_hop=entry.next_hop,
-                    nn=entry.nn,
-                    rate=entry.rate if entry.next_hop is not None else Normal(0.0, 0.0),
-                    sources=frozenset(sources),
-                    min_msg_id=self._next_msg_id,
-                )
+                    next_hop=next_hop,
+                    nn=nn,
+                    rate=rate,
+                    sources=sources,
+                    min_msg_id=min_msg,
+                ),
+                preds=preds,
             )
 
     def _install_multi_path(self, subscription: Subscription, edge: str) -> None:
@@ -449,8 +520,55 @@ class PubSubSystem:
                 path_id += 1
 
     def subscribe_all(self, subscriptions: list[Subscription]) -> None:
+        """Install a population in bulk.
+
+        End state is identical to calling :meth:`subscribe` per entry in
+        order — per-table row order, interned ids, endpoint ids and (when
+        armed) journal entries are all the same — but rows are grouped
+        per broker so each table takes one bulk
+        :meth:`~repro.pubsub.subscription.SubscriptionTable.install_many`
+        instead of one call per (subscriber, on-path broker) pair: the
+        scale tier's build-phase hot path.
+        """
+        if not self.config.routing.is_single_path:
+            for subscription in subscriptions:
+                self.subscribe(subscription)
+            return
+        per_broker: dict[str, list] = {}
         for subscription in subscriptions:
-            self.subscribe(subscription)
+            name = subscription.subscriber
+            if name in self._subscriptions:
+                raise ValueError(f"subscriber {name!r} already has a subscription")
+            edge = self.topology.subscriber_brokers.get(name)
+            if edge is None:
+                raise TopologyError(
+                    f"subscriber {name!r} is not attached to any broker"
+                )
+            preds = conjunction_predicates(subscription.filter)
+            min_msg = self._next_msg_id
+            for node, next_hop, nn, rate, sources in self._install_plan(edge):
+                per_broker.setdefault(node, []).append((
+                    TableRow(
+                        subscription=subscription,
+                        next_hop=next_hop,
+                        nn=nn,
+                        rate=rate,
+                        sources=sources,
+                        min_msg_id=min_msg,
+                    ),
+                    preds,
+                ))
+            self._subscriptions[name] = subscription
+            self._population.add(name, subscription.filter, preds=preds)
+            handle = SubscriberHandle(name, log=self.delivery_log)
+            self.subscribers[name] = handle
+            assert handle.log_id == len(self._endpoint_price)
+            self._endpoint_price.append(
+                subscription.price if subscription.price is not None else 1.0
+            )
+            self._patch_endpoint_ids(name, handle.log_id)
+        for node, pairs in per_broker.items():
+            self.brokers[node].install_many(pairs)
 
     def unsubscribe(self, subscriber: str) -> SubscriberHandle:
         """Remove a subscription from every broker that holds a row for it.
@@ -567,6 +685,7 @@ class PubSubSystem:
         for src, dst in ((a, b), (b, a)):
             self.monitors[(src, dst)].link.set_true_rate(rate)
         self._sink_trees.clear()
+        self._install_plans.clear()
 
     def degrade_link(self, a: str, b: str, factor: float) -> None:
         """Slow link ``a–b`` by ``factor`` relative to its *build-time*

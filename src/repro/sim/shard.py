@@ -1,0 +1,264 @@
+"""Broker-overlay partitioning for the sharded in-run engine.
+
+The conservative-parallel-DES opening (ROADMAP item 1): each broker owns
+its queues, table shard and local deliveries, and cross-broker traffic
+only travels over links with known latency.  This module turns the
+static overlay into a :class:`ShardPlan` — a deterministic, balanced
+partition of the broker set into N shards that greedily minimises the
+expected traffic crossing shard boundaries — which the
+:class:`~repro.pubsub.shard_engine.ShardedEngine` uses to place each
+broker's pure match work on a worker.
+
+Everything here is a pure function of the topology: the same topology
+and shard count always produce the same plan, so a sharded run's
+partition (and therefore its worker placement) is reproducible, and the
+hypothesis differential can inject arbitrary alternative plans to prove
+placement cannot change results.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.network.topology import Topology, TopologyError
+
+#: Recognised ``shard_backend`` selectors: ``"process"`` runs each
+#: shard's match phase in a forked worker process (POSIX only);
+#: ``"inline"`` runs the identical batching/encode/decode protocol in
+#: the coordinator thread — the deterministic testing backend and the
+#: portable fallback.
+SHARD_BACKENDS: tuple[str, ...] = ("process", "inline")
+
+
+class ShardConfigError(ValueError):
+    """A shard configuration the engine refuses to run (typed so callers
+    and tests can distinguish refusal from accidental misuse)."""
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of the broker set into shards.
+
+    ``assignments[i]`` is shard ``i``'s broker names (sorted);
+    ``cut_weight`` is the summed traffic weight of links crossing shard
+    boundaries (the quantity the partitioner minimises) and
+    ``min_cut_ms_per_kb`` the smallest mean per-KB transmission time of
+    any crossing link — the conservative lookahead bound: a message
+    needs at least ``min_cut_ms_per_kb * size_kb`` simulated ms to hop
+    between shards, so epochs at that granularity cannot miss a
+    boundary crossing.  ``inf`` when nothing crosses (single shard).
+    """
+
+    assignments: tuple[tuple[str, ...], ...]
+    cut_weight: float = 0.0
+    min_cut_ms_per_kb: float = math.inf
+    _shard_of: dict[str, int] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        seen: dict[str, int] = {}
+        for idx, names in enumerate(self.assignments):
+            for name in names:
+                if name in seen:
+                    raise ShardConfigError(
+                        f"broker {name!r} assigned to shards {seen[name]} and {idx}"
+                    )
+                seen[name] = idx
+        self._shard_of.update(seen)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def brokers(self) -> frozenset[str]:
+        return frozenset(self._shard_of)
+
+    def shard_of(self, broker: str) -> int:
+        return self._shard_of[broker]
+
+    def lookahead_ms(self, size_kb: float) -> float:
+        """Minimum simulated time for a ``size_kb`` message to cross a
+        shard boundary (``inf`` when no link crosses)."""
+        return self.min_cut_ms_per_kb * size_kb
+
+    def validate_against(self, topology: Topology) -> None:
+        """Refuse plans that do not cover the topology exactly."""
+        want = set(topology.brokers)
+        have = set(self._shard_of)
+        if want != have:
+            missing = sorted(want - have)
+            extra = sorted(have - want)
+            raise ShardConfigError(
+                f"shard plan does not cover the topology exactly "
+                f"(missing={missing[:5]}, extra={extra[:5]})"
+            )
+
+
+def _link_weight(mean_ms_per_kb: float) -> float:
+    """Expected-traffic proxy for one link: fast links (small mean per-KB
+    time) sit on more routed paths and carry proportionally more
+    messages per simulated second, so weight ~ 1/mean."""
+    return 1.0 / max(mean_ms_per_kb, 1e-9)
+
+
+def partition_brokers(topology: Topology, n_shards: int) -> ShardPlan:
+    """Deterministic balanced min-cut partition of the broker overlay.
+
+    Three phases, all order-stable:
+
+    1. *Seeding*: farthest-point heuristic over hop distance — spread
+       the N seeds across the overlay so initial regions don't collide.
+    2. *Growth*: balanced multi-source BFS; shards claim unassigned
+       neighbours round-robin, preferring the heaviest connecting link
+       (keep chatty pairs together), capped at ``ceil(n / n_shards)``.
+    3. *Refinement*: greedy single-move passes — move a broker to an
+       adjacent shard when that strictly lowers the crossing weight and
+       keeps both shards' sizes within the balance cap.
+    """
+    brokers = topology.brokers  # sorted
+    if not brokers:
+        raise TopologyError("cannot partition an empty topology")
+    if n_shards < 1:
+        raise ShardConfigError(f"shards must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, len(brokers))
+
+    weight: dict[tuple[str, str], float] = {}
+    mean_ms: dict[tuple[str, str], float] = {}
+    adjacency: dict[str, list[str]] = {name: [] for name in brokers}
+    for a, b, rate in topology.links():
+        weight[(a, b)] = _link_weight(rate.mean)
+        mean_ms[(a, b)] = rate.mean
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    for name in brokers:
+        adjacency[name].sort()
+
+    if n_shards == 1:
+        return ShardPlan(assignments=(tuple(brokers),))
+
+    # -- 1. farthest-point seeds over hop distance ---------------------- #
+    def hop_distances(src: str) -> dict[str, int]:
+        dist = {src: 0}
+        queue = deque([src])
+        while queue:
+            node = queue.popleft()
+            for nxt in adjacency[node]:
+                if nxt not in dist:
+                    dist[nxt] = dist[node] + 1
+                    queue.append(nxt)
+        return dist
+
+    seeds = [brokers[0]]
+    min_dist = hop_distances(seeds[0])
+    while len(seeds) < n_shards:
+        # Max-min-distance; name-sorted iteration breaks ties low.
+        best, best_d = None, -1
+        for name in brokers:
+            if name in seeds:
+                continue
+            d = min_dist.get(name, 0)
+            if d > best_d:
+                best, best_d = name, d
+        seeds.append(best)
+        for name, d in hop_distances(best).items():
+            if d < min_dist.get(name, math.inf):
+                min_dist[name] = d
+
+    # -- 2. balanced round-robin BFS growth ----------------------------- #
+    cap = math.ceil(len(brokers) / n_shards)
+    assign: dict[str, int] = {seed: idx for idx, seed in enumerate(seeds)}
+    sizes = [1] * n_shards
+
+    def edge_w(a: str, b: str) -> float:
+        return weight.get((a, b) if a < b else (b, a), 0.0)
+
+    unassigned = [name for name in brokers if name not in assign]
+    while unassigned:
+        progressed = False
+        for idx in range(n_shards):
+            if sizes[idx] >= cap:
+                continue
+            # The unassigned broker most strongly attached to shard idx
+            # (heaviest total connecting weight; name breaks ties).
+            best, best_w = None, -1.0
+            for name in unassigned:
+                w = sum(
+                    edge_w(name, nb)
+                    for nb in adjacency[name]
+                    if assign.get(nb) == idx
+                )
+                if w > best_w:
+                    best, best_w = name, w
+            if best is None:
+                continue
+            if best_w <= 0.0 and progressed:
+                # Nothing touches this shard yet; let others grow first.
+                continue
+            assign[best] = idx
+            sizes[idx] += 1
+            unassigned.remove(best)
+            progressed = True
+            if not unassigned:
+                break
+        if not progressed:
+            # Capacity exhausted everywhere (can't happen with the ceil
+            # cap) — assign leftovers to the smallest shard defensively.
+            for name in unassigned:
+                idx = sizes.index(min(sizes))
+                assign[name] = idx
+                sizes[idx] += 1
+            break
+
+    # -- 3. greedy refinement ------------------------------------------- #
+    floor = max(1, len(brokers) // n_shards - 1)
+
+    def move_gain(name: str, dst: int) -> float:
+        src = assign[name]
+        gain = 0.0
+        for nb in adjacency[name]:
+            w = edge_w(name, nb)
+            if assign[nb] == src:
+                gain -= w  # would start crossing
+            elif assign[nb] == dst:
+                gain += w  # would stop crossing
+        return gain
+
+    for _ in range(4):
+        moved = False
+        for name in brokers:
+            src = assign[name]
+            if sizes[src] <= floor:
+                continue
+            candidates = sorted({assign[nb] for nb in adjacency[name]} - {src})
+            best_dst, best_gain = None, 0.0
+            for dst in candidates:
+                if sizes[dst] >= cap:
+                    continue
+                gain = move_gain(name, dst)
+                if gain > best_gain + 1e-12:
+                    best_dst, best_gain = dst, gain
+            if best_dst is not None:
+                assign[name] = best_dst
+                sizes[src] -= 1
+                sizes[best_dst] += 1
+                moved = True
+        if not moved:
+            break
+
+    assignments = tuple(
+        tuple(sorted(name for name, idx in assign.items() if idx == shard))
+        for shard in range(n_shards)
+    )
+    cut = 0.0
+    min_cut_ms = math.inf
+    for (a, b), w in weight.items():
+        if assign[a] != assign[b]:
+            cut += w
+            min_cut_ms = min(min_cut_ms, mean_ms[(a, b)])
+    return ShardPlan(
+        assignments=assignments, cut_weight=cut, min_cut_ms_per_kb=min_cut_ms
+    )

@@ -158,3 +158,50 @@ class TestCampaign:
         text = format_report(report)
         assert "ranking inversions: 0" in text
         assert "all invariants held" in text
+
+
+class TestShardDifferential:
+    def test_clean_campaign_counts_identical_probes(self, tmp_path):
+        spec = FuzzSpec(
+            seed=2, budget=2, duration_ms=45_000.0, rate_per_min=10.0,
+            out_dir=str(tmp_path / "findings"), shards=2,
+        )
+        report = run_fuzz(spec)
+        assert report.ok, format_report(report)
+        assert report.shard_probes_identical == spec.budget
+        assert not report.divergences
+        assert "byte-identical at 2 shards" in format_report(report)
+
+    def test_shards_zero_disables_probe(self, tmp_path):
+        spec = FuzzSpec(
+            seed=2, budget=1, duration_ms=30_000.0, rate_per_min=5.0,
+            out_dir=str(tmp_path / "findings"), shards=0,
+        )
+        report = run_fuzz(spec)
+        assert report.shard_probes_identical == 0
+        assert "shard differential" not in format_report(report)
+
+    def test_planted_divergence_is_shrunk_and_saved(self, tmp_path, monkeypatch):
+        spec = FuzzSpec(
+            seed=3, budget=1, duration_ms=30_000.0, rate_per_min=5.0,
+            out_dir=str(tmp_path / "findings"), shards=2,
+        )
+
+        def fake_shard_probe(s, strategy, candidate, report):
+            report.runs += 1
+            # Divergence iff the script still carries any intervention:
+            # the shrinker must bottom out at a single-item script.
+            return "planted divergence" if candidate.interventions else None
+
+        monkeypatch.setattr(fuzz_mod, "_shard_probe", fake_shard_probe)
+        report = run_fuzz(spec)
+        assert not report.ok and len(report.divergences) == 1
+        d = report.divergences[0]
+        assert len(d.shrunk.interventions) == 1
+        assert d.replay_path is not None
+        assert load_script(d.replay_path) == d.shrunk
+        assert "DIVERGENCE" in format_report(report)
+
+    def test_spec_rejects_negative_shards(self):
+        with pytest.raises(ValueError):
+            FuzzSpec(shards=-1)

@@ -1,0 +1,339 @@
+"""Differential tests for the broker-partitioned sharded engine.
+
+The sharded engine (:mod:`repro.pubsub.shard_engine`) distributes the
+fused window lookahead's pure match phase across shard workers; the
+sequential :class:`~repro.pubsub.engine.FusedEngine` and the per-event
+kernel remain the oracles.  Everything observable must be **byte
+identical**: serialized figure data, delivery-log bytes, windowed time
+series — across shard counts (including ``--shards 1``), both shard
+backends, all five strategies, both metrics backends, spill on/off,
+churn and hard-fault scripts, arbitrary injected partitions, and runs
+split by checkpoints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.timeseries import windowed_metrics
+from repro.core.registry import STRATEGY_NAMES
+from repro.des.rng import RngStreams
+from repro.des.simulator import Simulator
+from repro.network.topology import build_layered_mesh
+from repro.pubsub.engine import make_engine
+from repro.pubsub.shard_engine import ShardedEngine
+from repro.pubsub.system import PubSubSystem, SystemConfig
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import (
+    CheckpointPolicy,
+    build_system,
+    make_sentinel,
+    resume_run,
+    run_simulation,
+    run_to_horizon,
+    schedule_dynamics,
+    schedule_workload,
+)
+from repro.sim.shard import ShardConfigError, ShardPlan, partition_brokers
+from repro.workload.dynamics import (
+    BrokerOutage,
+    BrokerRecover,
+    ChurnWave,
+    FlashCrowd,
+    LinkFailure,
+    RateBurst,
+    ScenarioScript,
+)
+from repro.workload.scenarios import Scenario
+
+BASE = SimulationConfig(
+    seed=3,
+    scenario=Scenario.SSD,
+    publishing_rate_per_min=12.0,
+    duration_ms=60_000.0,
+    grace_ms=30_000.0,
+)
+
+CHURNY = ScenarioScript((
+    RateBurst(20_000.0, 40_000.0, 3.0),
+    ChurnWave(at_ms=25_000.0, leave=6, join=6),
+    FlashCrowd(at_ms=35_000.0, count=8),
+))
+
+
+def _fault_script() -> ScenarioScript:
+    """Hard faults against the BASE topology's real broker/link names."""
+    topo = build_layered_mesh(RngStreams(BASE.seed).get("topology"))
+    a, b, _rate = topo.links()[0]
+    victim = topo.brokers[2]
+    return ScenarioScript((
+        LinkFailure(at_ms=10_000.0, a=a, b=b),
+        BrokerOutage(at_ms=25_000.0, broker=victim),
+        BrokerRecover(at_ms=45_000.0, broker=victim),
+    ))
+
+
+def result_bytes(result) -> bytes:
+    return json.dumps(dataclasses.asdict(result), sort_keys=True).encode()
+
+
+def _log_digest(system) -> str:
+    h = hashlib.sha256()
+    for col in system.delivery_log.columns():
+        h.update(col.tobytes())
+    return h.hexdigest()
+
+
+def _fingerprint(system) -> tuple:
+    m = system.metrics
+    return (
+        m.published, m.receptions, m.transmissions, m.deliveries_valid,
+        m.deliveries_late, m.pruned, m.earning, m.latency_sum_ms,
+        system.sim.executed_events, _log_digest(system),
+    )
+
+
+def _run_config(config: SimulationConfig):
+    system = build_system(config)
+    schedule_workload(system, config)
+    schedule_dynamics(system, config)
+    run_to_horizon(system, config, make_sentinel(system, config))
+    engine = system._engine
+    if engine is not None and hasattr(engine, "close"):
+        engine.close()
+    return system
+
+
+# --------------------------------------------------------------------- #
+# The identity matrix.
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+@pytest.mark.parametrize("shards", (1, 2, 4))
+def test_sharded_matches_fused_all_strategies(strategy, shards):
+    """Every strategy, shard counts 1/2/4: serialized figure data agrees
+    byte for byte with both sequential oracles."""
+    cfg = BASE.replace(strategy=strategy)
+    fused = run_simulation(cfg)
+    sharded = run_simulation(cfg.replace(shards=shards, shard_backend="inline"))
+    assert result_bytes(sharded) == result_bytes(fused)
+
+
+def test_sharded_matches_event_oracle():
+    fused = run_simulation(BASE.replace(shards=4, shard_backend="inline"))
+    event = run_simulation(BASE.replace(engine_backend="event"))
+    assert result_bytes(fused) == result_bytes(event)
+
+
+@pytest.mark.parametrize("metrics_backend", ("ledger", "scalar"))
+def test_sharded_agrees_for_both_metrics_backends(metrics_backend):
+    cfg = BASE.replace(metrics_backend=metrics_backend)
+    fused = run_simulation(cfg)
+    sharded = run_simulation(cfg.replace(shards=3, shard_backend="inline"))
+    assert result_bytes(sharded) == result_bytes(fused)
+
+
+def test_sharded_agrees_with_spill_enabled():
+    cfg = BASE.replace(log_spill=True, log_chunk_rows=256)
+    fused = _run_config(cfg)
+    sharded = _run_config(cfg.replace(shards=2, shard_backend="inline"))
+    assert sharded.delivery_log.spilled_chunks > 0
+    assert _fingerprint(sharded) == _fingerprint(fused)
+
+
+def test_sharded_agrees_under_churn_dynamics():
+    """Churn rewrites the tables mid-run: the replicas' mutation journals
+    must replay every op so precomputed matches stay version-fresh."""
+    cfg = BASE.replace(duration_ms=90_000.0, dynamics=CHURNY)
+    fused = _run_config(cfg)
+    sharded = _run_config(cfg.replace(shards=3, shard_backend="inline"))
+    assert _fingerprint(sharded) == _fingerprint(fused)
+    sharded.metrics.check_invariants()
+
+
+def test_sharded_agrees_under_hard_faults():
+    """Link failures and broker outages (retry + dead-letter paths live)
+    cannot diverge the sharded run."""
+    cfg = BASE.replace(dynamics=_fault_script())
+    fused = _run_config(cfg)
+    sharded = _run_config(cfg.replace(shards=2, shard_backend="inline"))
+    assert _fingerprint(sharded) == _fingerprint(fused)
+
+
+def test_sharded_windowed_series_identical():
+    cfg = BASE.replace(dynamics=CHURNY)
+    digests = []
+    for shards in (0, 2):
+        system = _run_config(cfg.replace(shards=shards,
+                                         shard_backend="inline" if shards else "process"))
+        ts = windowed_metrics(system, 10_000.0, cfg.horizon_ms)
+        h = hashlib.sha256()
+        for arr in (ts.edges, ts.published, ts.interested, ts.deliveries_valid,
+                    ts.deliveries_late, ts.earning, ts.latency_sum_ms):
+            h.update(arr.tobytes())
+        digests.append(h.hexdigest())
+    assert digests[0] == digests[1]
+
+
+def test_process_backend_matches_fused():
+    """Real forked workers: boundary exchange over pipes, journal replay
+    on replicas, byte-identical results (skips on no-fork platforms)."""
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    cfg = BASE.replace(dynamics=CHURNY, duration_ms=45_000.0)
+    fused = run_simulation(cfg)
+    sharded = run_simulation(cfg.replace(shards=2, shard_backend="process"))
+    assert result_bytes(sharded) == result_bytes(fused)
+
+
+# --------------------------------------------------------------------- #
+# Arbitrary partitions: placement can never change results.
+# --------------------------------------------------------------------- #
+
+_REFERENCE: dict[int, tuple] = {}
+
+
+def _reference(seed: int) -> tuple:
+    ref = _REFERENCE.get(seed)
+    if ref is None:
+        ref = _REFERENCE[seed] = _fingerprint(
+            _run_config(BASE.replace(seed=seed, duration_ms=30_000.0))
+        )
+    return ref
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_random_partitions_never_change_results(data):
+    """Hypothesis differential: random shard counts and arbitrary (even
+    unbalanced or empty-shard) broker assignments all replay the fused
+    oracle exactly — sharding is pure placement."""
+    seed = data.draw(st.integers(0, 2), label="seed")
+    config = BASE.replace(seed=seed, duration_ms=30_000.0)
+    system = build_system(config)
+    brokers = system.topology.brokers
+    k = data.draw(st.integers(1, 4), label="shards")
+    labels = [
+        data.draw(st.integers(0, k - 1), label=f"shard@{name}")
+        for name in brokers
+    ]
+    assignments = tuple(
+        tuple(b for b, lab in zip(brokers, labels) if lab == s) for s in range(k)
+    )
+    min_cut = data.draw(
+        st.sampled_from([math.inf, 0.0, 5.0, 250.0, 1e6]), label="min_cut"
+    )
+    plan = ShardPlan(assignments=assignments, min_cut_ms_per_kb=min_cut)
+    system._engine = ShardedEngine(
+        system.sim, system, window_ms=config.engine_window_ms,
+        shards=k, shard_backend="inline", plan=plan,
+    )
+    schedule_workload(system, config)
+    run_to_horizon(system, config, make_sentinel(system, config))
+    assert _fingerprint(system) == _reference(seed)
+
+
+def test_partition_plan_is_deterministic_and_covering():
+    topo = build_layered_mesh(RngStreams(7).get("topology"))
+    plan_a = partition_brokers(topo, 4)
+    plan_b = partition_brokers(topo, 4)
+    assert plan_a == plan_b
+    plan_a.validate_against(topo)
+    assert sorted(plan_a.brokers) == list(topo.brokers)
+    sizes = [len(s) for s in plan_a.assignments]
+    assert min(sizes) >= 1
+    # Balanced growth: no shard hoards the overlay.
+    assert max(sizes) <= -(-len(topo.brokers) // 4) + 1
+    # Requesting more shards than brokers clamps.
+    assert partition_brokers(topo, 10_000).n_shards <= len(topo.brokers)
+
+
+# --------------------------------------------------------------------- #
+# Composition: checkpoints and the sentinel.
+# --------------------------------------------------------------------- #
+
+def test_sharded_run_with_checkpoints_and_resume(tmp_path):
+    """A sharded run snapshots mid-flight (workers are dropped from the
+    pickle, re-forked lazily on resume) and both the checkpointed run and
+    a resume from the first snapshot match the plain fused result."""
+    cfg = BASE.replace(shards=2, shard_backend="inline", dynamics=CHURNY)
+    plain = run_simulation(cfg.replace(shards=0))
+    policy = CheckpointPolicy(directory=tmp_path, every_ms=30_000.0, keep=10)
+    checkpointed = run_simulation(cfg, checkpoint=policy)
+    assert result_bytes(checkpointed) == result_bytes(plain)
+    snaps = sorted(p for p in tmp_path.glob("ckpt-*") if p.is_dir())
+    assert snaps
+    system, restored_cfg, _ = resume_run(snaps[0])
+    assert isinstance(system._engine, ShardedEngine)
+    assert not system._engine._started  # workers re-fork lazily
+    run_to_horizon(system, restored_cfg, make_sentinel(system, restored_cfg))
+    assert _fingerprint(system)[:9] == _fingerprint(_run_config(cfg.replace(shards=0)))[:9]
+
+
+def test_sharded_composes_with_deep_sentinel():
+    cfg = BASE.replace(
+        shards=2, shard_backend="inline",
+        sentinel=True, sentinel_deep=True, sentinel_every_ms=10_000.0,
+        dynamics=CHURNY,
+    )
+    sharded = run_simulation(cfg)
+    plain = run_simulation(cfg.replace(shards=0))
+    assert result_bytes(sharded) == result_bytes(plain)
+
+
+def test_repro_shards_env_override(monkeypatch):
+    """REPRO_SHARDS mirrors REPRO_SENTINEL: forces sharding onto any
+    fused run whose config leaves it off (CI runs the tier-1 suite under
+    it), and never touches explicit settings or the event oracle."""
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    system = build_system(BASE)
+    assert isinstance(system._engine, ShardedEngine)
+    assert system._engine.shards == 2
+    assert system._engine.shard_backend == "inline"
+    # Explicit event-oracle configs are untouched.
+    system = build_system(BASE.replace(engine_backend="event"))
+    assert system._engine is None
+
+
+# --------------------------------------------------------------------- #
+# Knob plumbing and typed refusals.
+# --------------------------------------------------------------------- #
+
+def test_shards_require_fused_engine():
+    with pytest.raises(ShardConfigError):
+        SimulationConfig(seed=1, shards=2, engine_backend="event")
+    with pytest.raises(ShardConfigError):
+        SystemConfig(shards=2, engine_backend="event")
+    with pytest.raises(ShardConfigError):
+        make_engine("event", Simulator(), shards=2)
+
+
+def test_bad_shard_knobs_rejected():
+    with pytest.raises(ShardConfigError):
+        SimulationConfig(seed=1, shards=-1)
+    with pytest.raises(ShardConfigError):
+        SimulationConfig(seed=1, shards=2, shard_backend="typo")
+    with pytest.raises(ShardConfigError):
+        SystemConfig(shards=2, shard_backend="typo")
+    with pytest.raises(ShardConfigError):
+        ShardedEngine(Simulator(), None, shards=2)
+    with pytest.raises(ShardConfigError):
+        ShardedEngine(Simulator(), object(), shards=0)
+
+
+def test_overlapping_plan_rejected():
+    with pytest.raises(ShardConfigError):
+        ShardPlan(assignments=(("B1", "B2"), ("B2",)))
+    topo = build_layered_mesh(RngStreams(3).get("topology"))
+    partial = ShardPlan(assignments=(tuple(topo.brokers[:2]),))
+    with pytest.raises(ShardConfigError):
+        partial.validate_against(topo)
