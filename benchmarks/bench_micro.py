@@ -19,7 +19,6 @@ from repro.des.simulator import Simulator
 from repro.network.routing import compute_sink_tree
 from repro.network.topology import build_layered_mesh
 from repro.pubsub.matching import BruteForceMatcher, CountingIndexMatcher
-from repro.pubsub.message import Message
 from repro.pubsub.subscription import RowArrays
 from repro.stats.normal import normal_cdf_vec
 from repro.workload.subscriptions import random_attributes, random_conjunctive_filter

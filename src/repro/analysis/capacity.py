@@ -86,7 +86,7 @@ def saturation_rate_per_publisher(
             mean_tx_ms = queue.link.true_rate.mean * size_kb
             busy = 0.0
             for source in publishers:
-                k = sum(
+                k = sum(  # repro-lint: ignore[RL006] -- exact integer tally
                     1
                     for row in broker.table.rows()
                     if row.next_hop == neighbor and source in row.sources

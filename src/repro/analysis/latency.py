@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.chunked import grouped_runs, sorted_contains
+from repro.core.folds import fold_mean
 from repro.pubsub.client import DeliveryLog, SubscriberHandle
 
 
@@ -36,7 +37,7 @@ class LatencyStats:
         ordered = sorted(samples)
         return cls(
             count=len(ordered),
-            mean=sum(ordered) / len(ordered),
+            mean=fold_mean(ordered),
             p50=_quantile(ordered, 0.50),
             p90=_quantile(ordered, 0.90),
             p99=_quantile(ordered, 0.99),

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.folds import fold_sum
 from repro.pubsub.system import PubSubSystem
 
 
@@ -66,8 +67,8 @@ def revenue_by_tier(system: PubSubSystem) -> list[TierRevenue]:
 
 def premium_share(tiers: list[TierRevenue]) -> float:
     """Fraction of total revenue earned by the highest-priced tier."""
-    total = sum(t.revenue for t in tiers)
+    total = fold_sum(t.revenue for t in tiers)
     if total == 0.0 or not tiers:
         return 0.0
     top_price = max(t.price for t in tiers)
-    return sum(t.revenue for t in tiers if t.price == top_price) / total
+    return fold_sum(t.revenue for t in tiers if t.price == top_price) / total

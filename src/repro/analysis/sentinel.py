@@ -212,7 +212,7 @@ class InvariantSentinel:
             return
         m = self.system.metrics
         f = self.system.faults
-        queued_pairs = sum(
+        queued_pairs = sum(  # repro-lint: ignore[RL006] -- exact integer tally
             len(entry.arrays)
             for broker in self.system.brokers.values()
             for queue in broker.queues.values()

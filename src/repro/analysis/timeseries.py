@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.chunked import sorted_contains
+from repro.core.folds import fold_sum_array
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pubsub.system import PubSubSystem
@@ -101,7 +102,10 @@ class MetricsTimeSeries:
             "total_interested": interested,
             "deliveries_valid": valid,
             "deliveries_late": int(self.deliveries_late.sum()),
-            "earning": float(self.earning.sum()),
+            # Sequential fold, not .sum(): deliveries land in time order,
+            # so folding window subtotals left-to-right is the same
+            # grouped chain the ledger's arrival-order fold performs.
+            "earning": fold_sum_array(self.earning),
             "delivery_rate": valid / interested if interested else 0.0,
         }
 

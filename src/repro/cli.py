@@ -172,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_args(p)
 
     p = sub.add_parser(
+        "lint",
+        help="determinism & fork-safety static analyzer (RL001-RL006)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+
+    p = sub.add_parser(
         "fuzz",
         help="search fault-scenario space for invariant violations and "
              "strategy-ranking inversions",
@@ -296,7 +304,7 @@ def _add_log_args(parser: argparse.ArgumentParser) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: ignore[RL001] -- CLI elapsed footer, decision-neutral
     try:
         return _dispatch(args, start)
     except CheckpointInterrupted as stop:
@@ -310,6 +318,11 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace, start: float) -> int:
+    if args.command == "lint":
+        # No elapsed footer: the lint output is consumed by CI and tests.
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
     if args.command in _FIGURES:
         result = _FIGURES[args.command](
             ScaleSpec(scale=args.scale, seed=args.seed),
@@ -485,11 +498,13 @@ def _dispatch(args: argparse.Namespace, start: float) -> int:
         report = run_fuzz(spec)
         print(format_report(report))
         if not report.ok:
+            # repro-lint: ignore[RL001] -- CLI elapsed footer, decision-neutral
             print(f"\n[{time.perf_counter() - start:.1f}s]", file=sys.stderr)
             return 1
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(2)
 
+    # repro-lint: ignore[RL001] -- CLI elapsed footer, decision-neutral
     print(f"\n[{time.perf_counter() - start:.1f}s]", file=sys.stderr)
     return 0
 

@@ -33,7 +33,7 @@ import weakref
 import zipfile
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -88,7 +88,7 @@ def _chunk_id_of(path: Path) -> int:
         return -1
 
 
-def _retrying(op: str, path: Path, fn):
+def _retrying(op: str, path: Path, fn: Callable[[], Any]) -> Any:
     """Run ``fn`` with bounded retry-with-backoff on OSError; convert
     corrupt-chunk errors immediately and exhausted retries finally into
     :class:`SpillError`."""
@@ -333,14 +333,14 @@ class ChunkedColumnStore:
         self._rows_sealed += rows
         self._active = self._fresh_active()
 
-    def append_row(self, *values) -> None:
+    def append_row(self, *values: Any) -> None:
         """Append one row (scalar per column, schema order)."""
         for g, v in zip(self._active, values):
             g.append(v)
         if len(self._active[0]) >= self._chunk_rows:
             self._seal_active()
 
-    def append_batch(self, count: int, *columns) -> None:
+    def append_batch(self, count: int, *columns: Any) -> None:
         """Append ``count`` rows; each column is a length-``count`` array
         or a scalar (broadcast with one slice-fill per chunk segment).
 

@@ -56,7 +56,7 @@ def _erf_dense_pure(z: np.ndarray) -> np.ndarray:
 
 if HAVE_NUMBA:  # pragma: no cover - exercised only with the [fast] extra
     @_numba.vectorize(["float64(float64)"], nopython=True, cache=True)
-    def _erf_dense_numba(z):
+    def _erf_dense_numba(z: float) -> float:
         return math.erf(z)
 
     _erf_dense = _erf_dense_numba

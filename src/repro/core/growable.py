@@ -11,6 +11,7 @@ backend (:mod:`repro.pubsub.metrics`) both sit on this.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 #: Starting capacity; small because most instances are per-subscriber or
 #: per-message tallies that may never grow past a handful of entries.
@@ -22,7 +23,7 @@ class GrowableArray:
 
     __slots__ = ("_data", "_n")
 
-    def __init__(self, dtype, capacity: int = _INITIAL_CAPACITY) -> None:
+    def __init__(self, dtype: DTypeLike, capacity: int = _INITIAL_CAPACITY) -> None:
         self._data = np.zeros(max(capacity, 1), dtype=dtype)
         self._n = 0
 
@@ -40,7 +41,7 @@ class GrowableArray:
         grown[: self._n] = self._data[: self._n]
         self._data = grown
 
-    def append(self, value) -> None:
+    def append(self, value: float | int | bool) -> None:
         self._reserve(1)
         self._data[self._n] = value
         self._n += 1
@@ -53,7 +54,7 @@ class GrowableArray:
         self._data[self._n : self._n + k] = values
         self._n += k
 
-    def extend_scalar(self, value, count: int) -> None:
+    def extend_scalar(self, value: float | int | bool, count: int) -> None:
         """Append ``count`` copies of one scalar with a single broadcast
         slice-fill — no ``np.full`` temporary on the append hot path."""
         if count <= 0:

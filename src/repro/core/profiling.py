@@ -84,7 +84,7 @@ def disable() -> StageProfiler | None:
     return prof
 
 
-def timed(stage: str):
+def timed(stage: str) -> "_Section":
     """Decorator-free helper for coarse call sites::
 
         with profiling.timed("analysis"):  # no-op when disabled
@@ -109,6 +109,6 @@ class _Section:
             self._t0 = perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         if ACTIVE is not None:
             ACTIVE.add(self.stage, perf_counter() - self._t0)

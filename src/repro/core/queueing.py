@@ -335,7 +335,9 @@ class ScheduledQueue:
             else None
         )
 
-    def _pick_backend(self, backend: str):
+    def _pick_backend(
+        self, backend: str
+    ) -> "_ScanBackend | _KeyedHeapBackend | _BoundedHeapBackend":
         if backend == "scan":
             return _ScanBackend(self.strategy, self._live)
         kind = self.strategy.score_kind

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 from repro.core.context import SchedulingContext
 from repro.core.metrics import (
@@ -20,7 +21,7 @@ from repro.core.metrics import (
 )
 from repro.core.success import effective_deadline
 from repro.pubsub.message import Message
-from repro.pubsub.subscription import RowArrays, TableRow
+from repro.pubsub.subscription import RowArrays, RowGroup, TableRow
 
 
 class QueueEntry:
@@ -46,7 +47,7 @@ class QueueEntry:
     def __init__(
         self,
         message: Message,
-        rows,
+        rows: RowGroup | Sequence[TableRow],
         enqueue_time: float,
         seq: int,
         arrays: RowArrays | None = None,

@@ -227,14 +227,14 @@ def run_scale_point(
         shards=shards, shard_backend=shard_backend,
         sentinel=sentinel, script=script,
     )
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # repro-lint: ignore[RL001] -- phase stopwatch (build/run/analysis), decision-neutral
     if resume is not None:
         system, config, _ = resume_run(resume, config=config)
     else:
         system = build_scale_system(spec, config)
         schedule_workload(system, config)
         schedule_dynamics(system, config)
-    t1 = time.perf_counter()
+    t1 = time.perf_counter()  # repro-lint: ignore[RL001] -- phase stopwatch, decision-neutral
     run_sentinel = make_sentinel(system, config)
     ck_count, ck_write_s, ck_bytes = 0, 0.0, 0
     if checkpoint is not None:
@@ -244,7 +244,7 @@ def run_scale_point(
             run_sentinel.final()
     else:
         run_to_horizon(system, config, run_sentinel)
-    t2 = time.perf_counter()
+    t2 = time.perf_counter()  # repro-lint: ignore[RL001] -- phase stopwatch, decision-neutral
     live_engine = getattr(system, "_engine", None)
     if live_engine is not None and hasattr(live_engine, "close"):
         # Reap shard workers before analysis: their copy-on-write pages
@@ -252,7 +252,7 @@ def run_scale_point(
         live_engine.close()
     ts = windowed_metrics(system, window_s * 1000.0, config.horizon_ms)
     digest = series_digest(ts)
-    t3 = time.perf_counter()
+    t3 = time.perf_counter()  # repro-lint: ignore[RL001] -- phase stopwatch, decision-neutral
     m = system.metrics
     return ScalePointResult(
         scenario=scenario,

@@ -1,0 +1,77 @@
+"""``python -m repro lint`` — argument handling for the analyzer.
+
+Kept separate from :mod:`repro.cli` so the analyzer stays importable
+(and testable) without the simulation stack, and so ``repro.cli`` only
+pays the import when the subcommand is actually used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.config import DEFAULT_CONFIG
+from repro.lint.engine import lint_paths
+from repro.lint.registry import all_rules
+from repro.lint.report import FORMATS, format_report
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text",
+        help="report format (github emits CI file:line annotations)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Exit code: 0 clean, 1 findings, 2 usage/parse errors."""
+    if args.list_rules:
+        for rule in all_rules():
+            scope = (
+                ", ".join(rule.default_paths)
+                if rule.default_paths is not None
+                else "everywhere"
+            )
+            print(f"{rule.rule_id} {rule.name:<20} {rule.summary}  [{scope}]")
+        return 0
+    config = DEFAULT_CONFIG
+    if args.rules:
+        wanted = frozenset(part.strip() for part in args.rules.split(",") if part.strip())
+        known = set(r.rule_id for r in all_rules())
+        unknown = wanted - known
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        config = config.with_select(wanted)
+    report = lint_paths(args.paths, config)
+    output = format_report(report, args.format)
+    if output:
+        print(output)
+    if report.errors:
+        return 2
+    return 0 if not report.findings else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & fork-safety static analyzer",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""Path-scoped rule configuration.
+
+A :class:`LintConfig` is a list of :class:`RuleScope` entries matched
+against the *normalized* module path (the part starting at ``repro/``
+when the file lives in the package, the bare filename otherwise — so
+scopes written once work from any checkout root, and fixture files in
+temp dirs can still be scoped by name).  Later scopes win, mirroring the
+"most specific last" layering of per-module tool configs.
+
+Each rule also declares ``default_paths``: fnmatch patterns naming where
+the invariant applies at all (``None`` = everywhere).  A scope can then
+*disable* a rule somewhere it would apply (``core/profiling.py`` owns
+the clock; ``des/rng.py`` owns seeding) or *enable* one outside its
+default paths, and can set per-rule options (e.g. ``RL003`` dict-mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import PurePosixPath
+
+
+def normalize_path(path: str) -> str:
+    """Project-relative posix path: from the ``repro/`` package root when
+    present, else the path as given (fixtures, scratch files)."""
+    posix = PurePosixPath(str(path).replace("\\", "/"))
+    parts = posix.parts
+    for i, part in enumerate(parts):
+        if part == "repro" and i + 1 < len(parts):
+            return str(PurePosixPath(*parts[i:]))
+    return str(posix)
+
+
+def path_matches(normalized: str, patterns: tuple[str, ...]) -> bool:
+    """True when any fnmatch pattern matches the normalized path.
+
+    A pattern ending in ``/*`` also matches arbitrarily deep descendants
+    (fnmatch's ``*`` does not cross ``/`` boundaries in spirit here, so
+    ``repro/des/*`` is widened to the whole subtree).
+    """
+    for pattern in patterns:
+        if fnmatch(normalized, pattern):
+            return True
+        if pattern.endswith("/*") and normalized.startswith(pattern[:-1]):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class RuleScope:
+    """One path-scoped adjustment: disable/enable rules, set options."""
+
+    pattern: str
+    disable: frozenset[str] = frozenset()
+    enable: frozenset[str] = frozenset()
+    options: dict[str, dict[str, object]] = field(default_factory=dict)
+    reason: str = ""
+
+    def matches(self, normalized: str) -> bool:
+        return path_matches(normalized, (self.pattern,))
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Scopes applied in order; later entries override earlier ones."""
+
+    scopes: tuple[RuleScope, ...] = ()
+    #: Restrict the run to these rule ids (None = all registered).
+    select: frozenset[str] | None = None
+
+    def rule_applies(self, rule: "object", path: str) -> bool:
+        """Whether ``rule`` runs on ``path`` under this config."""
+        rule_id = rule.rule_id  # type: ignore[attr-defined]
+        if self.select is not None and rule_id not in self.select:
+            return False
+        default_paths = rule.default_paths  # type: ignore[attr-defined]
+        applies = default_paths is None or path_matches(path, default_paths)
+        for scope in self.scopes:
+            if not scope.matches(path):
+                continue
+            if rule_id in scope.disable:
+                applies = False
+            if rule_id in scope.enable:
+                applies = True
+        return applies
+
+    def options_for(self, rule_id: str, path: str) -> dict[str, object]:
+        """Merged per-rule options from every matching scope, in order."""
+        merged: dict[str, object] = {}
+        for scope in self.scopes:
+            if scope.matches(path):
+                merged.update(scope.options.get(rule_id, {}))
+        return merged
+
+    def with_select(self, rule_ids: frozenset[str] | None) -> "LintConfig":
+        return LintConfig(scopes=self.scopes, select=rule_ids)
+
+
+#: The repo's committed configuration.  Deliberate architectural
+#: exceptions live here (whole modules that *own* an invariant);
+#: site-level exceptions use ``# repro-lint: ignore[...]`` comments.
+DEFAULT_CONFIG = LintConfig(
+    scopes=(
+        RuleScope(
+            pattern="repro/core/profiling.py",
+            disable=frozenset({"RL001"}),
+            reason="the profiling subsystem is the one sanctioned clock owner",
+        ),
+        RuleScope(
+            pattern="repro/des/rng.py",
+            disable=frozenset({"RL002"}),
+            reason="the named-stream registry is the one sanctioned seeding site",
+        ),
+    ),
+)

@@ -1,0 +1,106 @@
+"""Shared per-module analysis context for rules.
+
+One parse, one parent map, one import table — every rule reads the same
+:class:`ModuleContext` instead of re-walking the file.  The context also
+carries the small cross-rule vocabulary: *dotted-name resolution through
+import aliases* (``np.random.rand`` → ``numpy.random.rand`` whatever the
+module called numpy) and *ancestor iteration* (rules that exempt guarded
+or wrapped call sites need the enclosing statements).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class ModuleContext:
+    path: str  # normalized project-relative path (config.normalize_path)
+    tree: ast.Module
+    source: str
+    #: child node -> parent node, for ancestor walks.
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    #: local alias -> canonical module path ("np" -> "numpy").
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: local name -> canonical dotted origin ("pc" -> "time.perf_counter").
+    name_origins: dict[str, str] = field(default_factory=dict)
+    #: function node -> names of functions def'd anywhere inside it.
+    nested_defs: dict[ast.AST, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, path: str, source: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        ctx = cls(path=path, tree=tree, source=source)
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                ctx.parents[child] = node
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    ctx.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    ctx.name_origins[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names = {
+                    inner.name
+                    for inner in ast.walk(node)
+                    if inner is not node
+                    and isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                ctx.nested_defs[node] = names
+        return ctx
+
+    # ------------------------------------------------------------------ #
+    # Name resolution.
+    # ------------------------------------------------------------------ #
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of an attribute chain, through aliases.
+
+        ``Name('pc')`` with ``from time import perf_counter as pc`` →
+        ``"time.perf_counter"``; ``np.random.rand`` → ``"numpy.random.rand"``.
+        Returns ``None`` when the chain is not rooted in a plain name
+        (calls on ``self.x``, subscripts, call results...).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        parts.reverse()
+        if root in self.module_aliases:
+            return ".".join([self.module_aliases[root], *parts])
+        if root in self.name_origins:
+            return ".".join([self.name_origins[root], *parts])
+        return ".".join([root, *parts])
+
+    # ------------------------------------------------------------------ #
+    # Tree navigation.
+    # ------------------------------------------------------------------ #
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        while node in self.parents:
+            node = self.parents[node]
+            yield node
+
+    def enclosing_functions(self, node: ast.AST) -> Iterator[ast.AST]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield anc
+
+    def is_nested_def_name(self, node: ast.AST, name: str) -> bool:
+        """Whether ``name`` at this site refers to a function def'd inside
+        an enclosing function (a closure candidate — pickles by value,
+        i.e. not at all)."""
+        return any(
+            name in self.nested_defs.get(fn, ())
+            for fn in self.enclosing_functions(node)
+        )

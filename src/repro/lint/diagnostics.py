@@ -1,0 +1,39 @@
+"""Finding records emitted by lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule fired at ``path:line:col``.
+
+    Ordered ``(path, line, col, rule)`` so reports are stable independent
+    of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def format_github(self) -> str:
+        """GitHub Actions workflow-command annotation (file:line in the UI)."""
+        return (
+            f"::error file={self.path},line={self.line},col={self.col},"
+            f"title={self.rule}::{self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

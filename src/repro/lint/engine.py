@@ -1,0 +1,96 @@
+"""The per-file runner: parse once, run applicable rules, apply
+suppressions, aggregate a report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig, normalize_path
+from repro.lint.context import ModuleContext
+from repro.lint.diagnostics import Finding
+from repro.lint.registry import all_rules
+from repro.lint.suppress import is_suppressed, suppressions
+
+
+@dataclass
+class LintReport:
+    """Everything a reporter or a test needs from one run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    suppressed: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "checked_files": self.checked_files,
+            "suppressed": self.suppressed,
+            "errors": list(self.errors),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def lint_source(
+    source: str, path: str, config: LintConfig = DEFAULT_CONFIG
+) -> tuple[list[Finding], int]:
+    """Findings + suppressed-count for one module's source text."""
+    normalized = normalize_path(path)
+    ctx = ModuleContext.build(normalized, source)
+    table = suppressions(source)
+    kept: list[Finding] = []
+    silenced = 0
+    for rule in all_rules():
+        if not config.rule_applies(rule, normalized):
+            continue
+        options = config.options_for(rule.rule_id, normalized)
+        for finding in rule.check(ctx, options):
+            if is_suppressed(table, finding.line, finding.rule):
+                silenced += 1
+            else:
+                kept.append(finding)
+    kept.sort()
+    return kept, silenced
+
+
+def lint_file(
+    path: str | Path, config: LintConfig = DEFAULT_CONFIG
+) -> tuple[list[Finding], int]:
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, str(path), config)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/dirs to a sorted, de-duplicated list of .py files."""
+    out: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            out.update(q for q in p.rglob("*.py") if q.is_file())
+        elif p.suffix == ".py" and p.is_file():
+            out.add(p)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], config: LintConfig = DEFAULT_CONFIG
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    report = LintReport()
+    for path in iter_python_files(list(paths)):
+        try:
+            findings, silenced = lint_file(path, config)
+        except SyntaxError as exc:
+            report.errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+            continue
+        report.checked_files += 1
+        report.suppressed += silenced
+        report.findings.extend(findings)
+    report.findings.sort()
+    return report

@@ -1,0 +1,63 @@
+"""Rule registry: id → check function + metadata.
+
+A rule is a plain function ``check(ctx: ModuleContext, options: dict)
+-> Iterator[Finding]`` registered with the :func:`rule` decorator.
+Registration happens at import of :mod:`repro.lint.rules`, so the
+registry is complete the moment the engine imports it — no entry-point
+machinery, no dynamic discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.context import ModuleContext
+    from repro.lint.diagnostics import Finding
+
+CheckFn = Callable[["ModuleContext", dict], Iterator["Finding"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    rule_id: str
+    name: str
+    summary: str
+    #: fnmatch patterns the rule applies to by default (None = everywhere).
+    default_paths: tuple[str, ...] | None
+    check: CheckFn
+
+
+#: rule_id -> Rule, insertion-ordered (registration order is file order).
+RULES: dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str,
+    name: str,
+    summary: str,
+    default_paths: Iterable[str] | None = None,
+) -> Callable[[CheckFn], CheckFn]:
+    """Register ``check`` under ``rule_id``; duplicate ids are a bug."""
+
+    def decorate(check: CheckFn) -> CheckFn:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        RULES[rule_id] = Rule(
+            rule_id=rule_id,
+            name=name,
+            summary=summary,
+            default_paths=tuple(default_paths) if default_paths is not None else None,
+            check=check,
+        )
+        return check
+
+    return decorate
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in id order (import triggers registration)."""
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+
+    return [RULES[k] for k in sorted(RULES)]

@@ -1,0 +1,27 @@
+"""Reporters: text (human), json (golden-testable), github (CI
+file:line annotations)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+
+FORMATS = ("text", "json", "github")
+
+
+def format_report(report: LintReport, fmt: str = "text") -> str:
+    if fmt == "json":
+        return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    lines: list[str] = []
+    if fmt == "github":
+        lines.extend(f.format_github() for f in report.findings)
+        lines.extend(f"::error ::{err}" for err in report.errors)
+        return "\n".join(lines)
+    lines.extend(f.format_text() for f in report.findings)
+    lines.extend(f"error: {err}" for err in report.errors)
+    lines.append(
+        f"{len(report.findings)} finding(s), {report.suppressed} suppressed, "
+        f"{report.checked_files} file(s) checked"
+    )
+    return "\n".join(lines)

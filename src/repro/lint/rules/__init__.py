@@ -1,0 +1,14 @@
+"""Rule modules; importing this package registers every rule.
+
+Each module encodes one invariant the codebase already relies on — see
+the module docstrings for the failure mode each rule prevents.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (registration side effects)
+    closure_events,
+    float_fold,
+    fork_safety,
+    global_rng,
+    ordered_iteration,
+    wallclock,
+)

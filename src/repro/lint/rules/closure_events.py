@@ -1,0 +1,71 @@
+"""RL004 no-closure-events: DES event actions must pickle by reference.
+
+Checkpoint/restore (PR 7) serializes the live DES heap; pending ``Event``
+actions therefore must be picklable — ``functools.partial`` of a bound
+method or a module-level function, never a lambda or a function def'd
+inside another function (closures pickle not-at-all).  A closure handed
+to ``schedule()`` works fine right up until the first ``--checkpoint``
+run dies mid-experiment.  This rule makes the PR 7 hand-sweep permanent:
+it flags lambdas and nested-def names passed as the action argument of
+any ``schedule``/``schedule_at`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.diagnostics import Finding
+from repro.lint.registry import rule
+
+_SCHEDULE_ATTRS = frozenset({"schedule", "schedule_at"})
+
+
+def _action_argument(call: ast.Call) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == "action":
+            return kw.value
+    if len(call.args) >= 2:
+        return call.args[1]
+    return None
+
+
+def _describe(node: ast.expr, ctx: ModuleContext) -> str | None:
+    if isinstance(node, ast.Lambda):
+        return "a lambda"
+    if isinstance(node, ast.Name) and ctx.is_nested_def_name(node, node.id):
+        return f"nested function {node.id!r}"
+    return None
+
+
+@rule(
+    "RL004",
+    "no-closure-events",
+    "lambda / nested def scheduled as a DES event action",
+)
+def check(ctx: ModuleContext, options: dict) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _SCHEDULE_ATTRS):
+            continue
+        action = _action_argument(node)
+        if action is None:
+            continue
+        what = _describe(action, ctx)
+        if what is None:
+            continue
+        yield Finding(
+            path=ctx.path,
+            line=action.lineno,
+            col=action.col_offset,
+            rule="RL004",
+            message=(
+                f"{what} scheduled as a DES event action; closures do not "
+                "pickle, so the first checkpoint of this run fails — use "
+                "functools.partial of a bound method or a module-level "
+                "function."
+            ),
+        )

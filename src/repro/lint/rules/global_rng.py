@@ -1,0 +1,71 @@
+"""RL002 no-global-rng: every draw comes from a named stream.
+
+Paired strategy comparison needs the *workload* bit-identical across
+runs, which the project gets from ``des/rng.py``'s named
+``SeedSequence``-spawned streams.  A draw from the process-global RNG
+(``random.random()``, ``np.random.rand()``) is invisible to that
+registry: it perturbs other draws, breaks replay after checkpoint
+restore, and silently couples modules through shared hidden state.
+Constructing *seeded generator objects* (``default_rng``,
+``SeedSequence``, bit generators) is allowed — that is how streams are
+made — and ``des/rng.py`` itself is exempted by the default config.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.diagnostics import Finding
+from repro.lint.registry import rule
+
+#: numpy.random names that construct seeded state rather than draw from
+#: the global stream.
+ALLOWED_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@rule(
+    "RL002",
+    "no-global-rng",
+    "draw from the process-global RNG instead of a named stream",
+)
+def check(ctx: ModuleContext, options: dict) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            continue
+        offender: str | None = None
+        if resolved.startswith("random."):
+            offender = resolved
+        elif resolved.startswith("numpy.random."):
+            leaf = resolved.rsplit(".", 1)[1]
+            if leaf not in ALLOWED_CONSTRUCTORS:
+                offender = resolved
+        if offender is None:
+            continue
+        yield Finding(
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule="RL002",
+            message=(
+                f"global-RNG call {offender}(); draw from a named stream "
+                "(RngStreams.get(name)) so workloads stay bit-identical "
+                "across runs and checkpoint restores."
+            ),
+        )

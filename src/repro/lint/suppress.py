@@ -1,0 +1,72 @@
+"""``# repro-lint: ignore[...]`` suppression comments.
+
+A suppression silences findings reported on the comment's own physical
+line; a comment that *is* the whole line (only whitespace before the
+``#``) also covers the line below it, so multi-line statements can carry
+their annotation above the flagged call::
+
+    t0 = perf_counter()  # repro-lint: ignore[RL001] -- decision-neutral
+
+    # repro-lint: ignore[RL003] -- replica set, order never reaches scheduling
+    for name in replicas:
+        ...
+
+``ignore`` with no bracket silences every rule on the line; ids are
+comma-separated and case-sensitive.  Comments are found with
+``tokenize`` so strings containing the marker never suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+#: Sentinel meaning "all rules suppressed on this line".
+ALL_RULES = "*"
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+def suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Physical line (1-based) → rule ids suppressed there."""
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.start[1], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:  # partial file: best-effort regex per line
+        comments = [
+            (i, line.find("#"), line[line.find("#"):])
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+    lines = source.splitlines()
+    for line_no, col, text in comments:
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        ids_text = match.group("ids")
+        if ids_text is None:
+            ids = {ALL_RULES}
+        else:
+            ids = {part.strip() for part in ids_text.split(",") if part.strip()}
+            if not ids:
+                ids = {ALL_RULES}
+        out.setdefault(line_no, set()).update(ids)
+        own_line = line_no <= len(lines) and not lines[line_no - 1][:col].strip()
+        if own_line:
+            out.setdefault(line_no + 1, set()).update(ids)
+    return {line: frozenset(ids) for line, ids in out.items()}
+
+
+def is_suppressed(
+    table: dict[int, frozenset[str]], line: int, rule_id: str
+) -> bool:
+    ids = table.get(line)
+    return ids is not None and (rule_id in ids or ALL_RULES in ids)

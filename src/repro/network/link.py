@@ -12,7 +12,7 @@ whoever is listening (the measurement substrate).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

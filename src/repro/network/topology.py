@@ -11,8 +11,8 @@ the paper (clients talk to their broker locally).
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable
 
 import networkx as nx
 import numpy as np

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.folds import fold_sum_array
 from repro.core.growable import GrowableArray
 
 #: Available accounting backends, fast path first.
@@ -143,6 +144,7 @@ class MetricsCollector:
     # ------------------------------------------------------------------ #
     @property
     def total_interested(self) -> int:
+        # repro-lint: ignore[RL006] -- exact integer tally (int counters)
         return sum(self.interested.values())
 
     @property
@@ -158,10 +160,11 @@ class MetricsCollector:
     def check_invariants(self) -> None:
         """Accounting sanity: raise :class:`MetricsError` on impossible
         counters (a real raise, not ``assert`` — survives ``python -O``)."""
+        # repro-lint: ignore[RL006] -- exact integer tally (int counters)
         if self.deliveries_valid != sum(self.delivered.values()):
             raise MetricsError(
                 f"valid-delivery total {self.deliveries_valid} != per-message "
-                f"sum {sum(self.delivered.values())}"
+                f"sum {sum(self.delivered.values())}"  # repro-lint: ignore[RL006]
             )
         if self.deliveries_valid > self.total_interested:
             raise MetricsError("delivered more than the interested population")
@@ -224,15 +227,11 @@ class _FoldedSum:
         n = len(self._log)
         if self._folded < n:
             tail = self._log.view()[self._folded:]
-            # np.add.accumulate is the same sequential left-to-right
-            # chain of float64 additions as the scalar ``acc += v`` loop
-            # (pairwise reassociation applies to reductions, never to
-            # accumulations), so seeding it with the accumulator
-            # reproduces the running sum byte-for-byte without a
-            # Python-level loop over the tail.
-            self._acc = float(
-                np.add.accumulate(np.concatenate(((self._acc,), tail)))[-1]
-            )
+            # The documented left fold (repro.core.folds): the same
+            # sequential chain of float64 additions as the scalar
+            # ``acc += v`` loop, seeded with the accumulator — the
+            # running sum byte-for-byte, no Python loop over the tail.
+            self._acc = fold_sum_array(tail, start=self._acc)
             self._folded = n
         return self._acc
 

@@ -22,7 +22,7 @@ Responsibilities:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
 import networkx as nx

@@ -104,6 +104,7 @@ class PointCache:
 
     def _sweep_orphans(self) -> None:
         """Remove stale ``*.tmp`` files left by crashed writers."""
+        # repro-lint: ignore[RL001] -- filesystem janitor age gate, never reaches sim state
         cutoff = time.time() - self._TMP_ORPHAN_AGE_S
         for tmp in self.root.glob("*.tmp"):
             try:

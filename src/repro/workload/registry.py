@@ -84,7 +84,7 @@ def intervention_from_dict(data: dict[str, Any]) -> Any:
     unknown = set(payload) - known
     if unknown:
         raise ValueError(f"{name}: unknown field(s) {sorted(unknown)}")
-    for key in _TUPLE_FIELDS & set(payload):
+    for key in sorted(_TUPLE_FIELDS & set(payload)):
         payload[key] = tuple(payload[key])
     return cls(**payload)
 

@@ -12,7 +12,7 @@ from repro.des.simulator import Simulator
 from repro.network.measurement import MeasurementMode
 from repro.pubsub.filters import Predicate
 from repro.pubsub.subscription import Subscription
-from repro.pubsub.system import PubSubSystem, SystemConfig
+from repro.pubsub.system import PubSubSystem
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import build_system, run_simulation, schedule_workload
 from repro.stats.normal import Normal

@@ -29,7 +29,7 @@ from repro.des.simulator import Simulator
 from repro.network.topology import build_layered_mesh
 from repro.pubsub.engine import make_engine
 from repro.pubsub.shard_engine import ShardedEngine
-from repro.pubsub.system import PubSubSystem, SystemConfig
+from repro.pubsub.system import SystemConfig
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import (
     CheckpointPolicy,

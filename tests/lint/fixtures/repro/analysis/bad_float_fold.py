@@ -1,0 +1,15 @@
+# RL006 fixture: order-sensitive float sums flagged, exact forms allowed.
+import numpy as np
+
+from repro.core.folds import fold_sum
+
+
+def totals(prices, arr, flags):
+    a = sum(prices)  # RL006: positive (builtin sum in metrics path)
+    b = np.sum(arr)  # RL006: positive (pairwise reduction)
+    c = arr.sum()  # RL006: positive (pairwise reduction)
+    d = int(arr.sum())  # negative: int-wrapped exact tally
+    e = (arr > 0.0).sum()  # negative: boolean counting
+    f = fold_sum(prices)  # negative: the documented left fold
+    g = sum(flags)  # repro-lint: ignore[RL006] -- fixture: exact integer tally
+    return a, b, c, d, e, f, g

@@ -1,0 +1,25 @@
+# RL001 fixture: positives, a profiling-guarded negative, a suppression.
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+from repro.core import profiling
+
+
+def decisions(sim):
+    t = time.time()  # RL001: positive (aliased module)
+    u = pc()  # RL001: positive (from-import alias)
+    stamp = datetime.now()  # RL001: positive (datetime)
+    return t, u, stamp
+
+
+def guarded():
+    prof = profiling.ACTIVE
+    t0 = pc() if prof is not None else 0.0  # negative: profiling-guarded
+    if prof is not None:
+        prof.add("stage", pc() - t0)  # negative: feeds prof.add under guard
+    return t0
+
+
+def annotated():
+    return time.monotonic()  # repro-lint: ignore[RL001] -- fixture: deliberate

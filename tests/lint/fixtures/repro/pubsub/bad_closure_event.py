@@ -1,0 +1,14 @@
+# RL004 fixture: closure actions flagged, partials/bound methods allowed.
+from functools import partial
+
+
+def schedule_all(sim, broker, msg):
+    sim.schedule(5.0, lambda: broker.process(msg))  # RL004: positive
+
+    def helper():
+        broker.process(msg)
+
+    sim.schedule_at(9.0, helper)  # RL004: positive (nested def)
+    sim.schedule(1.0, partial(broker.process, msg))  # negative: partial
+    sim.schedule(2.0, broker.flush)  # negative: bound method
+    sim.schedule(3.0, action=lambda: None)  # repro-lint: ignore[RL004] -- fixture

@@ -1,0 +1,27 @@
+# RL003 fixture: hash-order iteration flagged, sorted()/dict allowed.
+
+
+def hash_order(table, names):
+    pending = {"b1", "b2"}
+    for name in pending:  # RL003: positive (set literal via local)
+        table.install(name)
+    snapshot = list(pending | {"b3"})  # RL003: positive (set materialised)
+    return snapshot
+
+
+def disciplined(table):
+    pending = set(["b1", "b2"])
+    for name in sorted(pending):  # negative: sorted
+        table.install(name)
+    counts = {"b1": 1}
+    for name in counts:  # negative: dict (insertion order, default mode)
+        table.install(name)
+    if "b1" in pending:  # negative: membership, not iteration
+        return True
+    return False
+
+
+def annotated(callbacks):
+    # repro-lint: ignore[RL003] -- fixture: order provably cannot reach scheduling
+    for cb in {c for c in callbacks}:
+        cb()

@@ -1,0 +1,16 @@
+# RL005 fixture (path mirrors the real fork-boundary module).
+
+
+def _run_point(point):
+    return point
+
+
+class Pool:
+    def go(self, pool, ctx, point):
+        pool.submit(lambda: point)  # RL005: positive (lambda over pipe)
+        self.on_done = lambda r: r  # RL005: positive (state must pickle)
+        pool.submit(_run_point, point)  # negative: module-level function
+        proc = ctx.Process(target=_run_point, args=(point,))  # negative
+        # repro-lint: ignore[RL005] -- fixture: deliberate
+        pool.submit(lambda: 1)
+        return proc

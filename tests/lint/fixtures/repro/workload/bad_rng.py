@@ -1,0 +1,17 @@
+# RL002 fixture: global draws flagged, seeded constructors allowed.
+import random
+
+import numpy as np
+
+
+def draws():
+    a = random.random()  # RL002: positive (stdlib global RNG)
+    b = np.random.rand(3)  # RL002: positive (numpy global RNG)
+    c = random.randint(0, 9)  # repro-lint: ignore[RL002] -- fixture: deliberate
+    return a, b, c
+
+
+def streams(seed):
+    gen = np.random.default_rng(seed)  # negative: seeded constructor
+    ss = np.random.SeedSequence(entropy=seed)  # negative: seeded constructor
+    return gen, ss

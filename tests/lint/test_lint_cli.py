@@ -1,0 +1,70 @@
+"""CLI contract: exit codes and output shape for ``repro lint`` both as
+a standalone entry point and through the ``python -m repro`` dispatcher."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+
+FIXTURES = str(Path(__file__).parent / "fixtures")
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("def f(x):\n    return x\n")
+    assert lint_main([str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_findings_exit_one_with_file_line_rule(capsys):
+    assert lint_main([FIXTURES]) == 1
+    out = capsys.readouterr().out
+    assert "repro/des/bad_wallclock.py:10:" in out
+    assert "RL001" in out
+
+
+def test_json_format(capsys):
+    assert lint_main(["--format", "json", FIXTURES]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["checked_files"] == 6
+
+
+def test_rules_filter(capsys):
+    assert lint_main(["--rules", "RL002", FIXTURES]) == 1
+    out = capsys.readouterr().out
+    lines = [l for l in out.splitlines() if ": RL" in l]
+    assert lines and all(": RL002" in l for l in lines)
+
+
+def test_unknown_rule_exits_two(capsys):
+    assert lint_main(["--rules", "RL999", FIXTURES]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_syntax_error_exits_two(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text("def broken(:\n")
+    assert lint_main([str(tmp_path)]) == 2
+    assert "syntax error" in capsys.readouterr().out
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        assert rule_id in out
+
+
+def test_repro_dispatcher_routes_lint(capsys):
+    assert repro_main(["lint", FIXTURES]) == 1
+    out = capsys.readouterr().out
+    assert "finding(s)" in out
+
+
+def test_github_format_annotations(capsys):
+    assert lint_main(["--format", "github", FIXTURES]) == 1
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")

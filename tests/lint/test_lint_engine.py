@@ -1,0 +1,201 @@
+"""Engine plumbing: path normalization, scoping, suppressions,
+reporters and the directory walker."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint import DEFAULT_CONFIG, LintConfig, RuleScope
+from repro.lint.config import normalize_path, path_matches
+from repro.lint.diagnostics import Finding
+from repro.lint.engine import LintReport, iter_python_files, lint_paths, lint_source
+from repro.lint.report import FORMATS, format_report
+from repro.lint.suppress import ALL_RULES, is_suppressed, suppressions
+
+
+class TestNormalizePath:
+    def test_slices_from_repro_segment(self):
+        assert normalize_path("/root/repo/src/repro/des/event.py") == "repro/des/event.py"
+        assert normalize_path("src/repro/core/clock.py") == "repro/core/clock.py"
+
+    def test_fixture_trees_mirror_package_paths(self):
+        got = normalize_path("tests/lint/fixtures/repro/sim/parallel.py")
+        assert got == "repro/sim/parallel.py"
+
+    def test_non_package_path_passes_through(self):
+        assert normalize_path("scratch/demo.py") == "scratch/demo.py"
+
+    def test_windows_separators(self):
+        assert normalize_path("src\\repro\\des\\rng.py") == "repro/des/rng.py"
+
+    def test_bare_repro_file_not_treated_as_root(self):
+        # A file literally named repro (no children after the segment)
+        # cannot anchor a package-relative path.
+        assert normalize_path("repro") == "repro"
+
+
+class TestPathMatches:
+    def test_exact_and_glob(self):
+        assert path_matches("repro/des/rng.py", ("repro/des/rng.py",))
+        assert path_matches("repro/des/rng.py", ("repro/des/*",))
+        assert not path_matches("repro/core/clock.py", ("repro/des/*",))
+
+    def test_trailing_star_crosses_directories(self):
+        assert path_matches("repro/des/sub/deep.py", ("repro/des/*",))
+
+
+class TestConfig:
+    def test_scope_disable_and_enable(self):
+        from repro.lint.registry import RULES
+
+        rule = RULES["RL003"]
+        config = LintConfig(scopes=(
+            RuleScope(pattern="repro/pubsub/hot.py", disable=frozenset({"RL003"})),
+            RuleScope(pattern="repro/experiments/*", enable=frozenset({"RL003"})),
+        ))
+        assert not config.rule_applies(rule, "repro/pubsub/hot.py")
+        assert config.rule_applies(rule, "repro/pubsub/other.py")
+        # enable widens beyond the rule's default paths
+        assert config.rule_applies(rule, "repro/experiments/report.py")
+        assert not DEFAULT_CONFIG.rule_applies(rule, "repro/experiments/report.py")
+
+    def test_later_scope_wins(self):
+        from repro.lint.registry import RULES
+
+        rule = RULES["RL001"]
+        config = LintConfig(scopes=(
+            RuleScope(pattern="repro/core/*", disable=frozenset({"RL001"})),
+            RuleScope(pattern="repro/core/clock.py", enable=frozenset({"RL001"})),
+        ))
+        assert not config.rule_applies(rule, "repro/core/other.py")
+        assert config.rule_applies(rule, "repro/core/clock.py")
+
+    def test_select_restricts(self):
+        from repro.lint.registry import RULES
+
+        config = DEFAULT_CONFIG.with_select(frozenset({"RL002"}))
+        assert config.rule_applies(RULES["RL002"], "repro/workload/traffic.py")
+        assert not config.rule_applies(RULES["RL001"], "repro/workload/traffic.py")
+
+    def test_options_merge_in_scope_order(self):
+        config = LintConfig(scopes=(
+            RuleScope(pattern="repro/pubsub/*", options={"RL003": {"dicts": False}}),
+            RuleScope(pattern="repro/pubsub/table.py", options={"RL003": {"dicts": True}}),
+        ))
+        assert config.options_for("RL003", "repro/pubsub/table.py") == {"dicts": True}
+        assert config.options_for("RL003", "repro/pubsub/other.py") == {"dicts": False}
+        assert config.options_for("RL003", "repro/des/event.py") == {}
+
+
+class TestSuppressions:
+    def test_trailing_comment_covers_own_line(self):
+        table = suppressions("x = 1  # repro-lint: ignore[RL001]\ny = 2\n")
+        assert is_suppressed(table, 1, "RL001")
+        assert not is_suppressed(table, 1, "RL002")
+        assert not is_suppressed(table, 2, "RL001")
+
+    def test_own_line_comment_covers_next_line(self):
+        src = "# repro-lint: ignore[RL003] -- reason\nfor x in s:\n    pass\n"
+        table = suppressions(src)
+        assert is_suppressed(table, 1, "RL003")
+        assert is_suppressed(table, 2, "RL003")
+        assert not is_suppressed(table, 3, "RL003")
+
+    def test_bare_ignore_silences_all_rules(self):
+        table = suppressions("x = 1  # repro-lint: ignore\n")
+        assert table[1] == frozenset({ALL_RULES})
+        assert is_suppressed(table, 1, "RL001")
+        assert is_suppressed(table, 1, "RL006")
+
+    def test_multiple_ids(self):
+        table = suppressions("x = 1  # repro-lint: ignore[RL001, RL002]\n")
+        assert is_suppressed(table, 1, "RL001")
+        assert is_suppressed(table, 1, "RL002")
+        assert not is_suppressed(table, 1, "RL003")
+
+    def test_marker_inside_string_never_suppresses(self):
+        table = suppressions('x = "# repro-lint: ignore[RL001]"\n')
+        assert table == {}
+
+    def test_suppressed_counted_not_reported(self):
+        src = textwrap.dedent("""
+        import time
+
+        def f():
+            return time.time()  # repro-lint: ignore[RL001]
+        """)
+        findings, silenced = lint_source(src, "repro/des/clock.py")
+        assert findings == [] and silenced == 1
+
+    def test_wrong_id_does_not_suppress(self):
+        src = textwrap.dedent("""
+        import time
+
+        def f():
+            return time.time()  # repro-lint: ignore[RL002]
+        """)
+        findings, _ = lint_source(src, "repro/des/clock.py")
+        assert [f.rule for f in findings] == ["RL001"]
+
+
+def _report() -> LintReport:
+    report = LintReport()
+    report.checked_files = 2
+    report.suppressed = 1
+    report.findings = [
+        Finding(path="repro/des/a.py", line=3, col=4, rule="RL001",
+                message="wall-clock read"),
+    ]
+    return report
+
+
+class TestReporters:
+    def test_text(self):
+        out = format_report(_report(), "text")
+        assert "repro/des/a.py:3:4: RL001" in out
+        assert out.splitlines()[-1] == "1 finding(s), 1 suppressed, 2 file(s) checked"
+
+    def test_json_round_trips(self):
+        payload = json.loads(format_report(_report(), "json"))
+        assert payload["version"] == 1
+        assert payload["checked_files"] == 2
+        assert payload["findings"][0]["rule"] == "RL001"
+        assert payload["findings"][0]["line"] == 3
+
+    def test_github_annotations(self):
+        out = format_report(_report(), "github")
+        assert out.startswith("::error file=repro/des/a.py,line=3,col=4")
+        assert "RL001" in out
+
+    def test_formats_tuple_is_the_cli_contract(self):
+        assert FORMATS == ("text", "json", "github")
+
+
+class TestWalker:
+    def test_sorted_and_deduplicated(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "b.py").write_text("x = 1\n")
+        (pkg / "a.py").write_text("y = 2\n")
+        (pkg / "notes.txt").write_text("not python\n")
+        files = iter_python_files([tmp_path, pkg / "a.py"])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = lint_paths([tmp_path])
+        assert not report.ok
+        assert report.checked_files == 0
+        assert len(report.errors) == 1 and "syntax error" in report.errors[0]
+
+    def test_findings_sorted_across_files(self, tmp_path):
+        tree = tmp_path / "repro" / "des"
+        tree.mkdir(parents=True)
+        (tree / "zz.py").write_text("import time\nt = time.time()\n")
+        (tree / "aa.py").write_text("import time\nt = time.time()\n")
+        report = lint_paths([tmp_path])
+        assert [f.path for f in report.findings] == [
+            "repro/des/aa.py", "repro/des/zz.py",
+        ]

@@ -1,0 +1,45 @@
+"""Golden-report test: the fixture tree's JSON report is pinned
+byte-for-byte (modulo parsing) so any behaviour drift in rules,
+suppressions or reporters shows up as a reviewable diff to
+``tests/lint/data/golden_report.json``.
+
+Regenerate with::
+
+    PYTHONPATH=src python -m repro lint --format json tests/lint/fixtures \
+        > tests/lint/data/golden_report.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.report import format_report
+
+HERE = Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+GOLDEN = HERE / "data" / "golden_report.json"
+
+
+def test_fixture_tree_matches_golden_report():
+    report = lint_paths([FIXTURES])
+    got = json.loads(format_report(report, "json"))
+    want = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert got == want
+
+
+def test_golden_exercises_every_rule():
+    want = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    rules_hit = {f["rule"] for f in want["findings"]}
+    assert rules_hit == {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"}
+    assert want["errors"] == []
+    assert want["checked_files"] == 6
+    # every fixture carries at least one deliberate suppression
+    assert want["suppressed"] == 6
+
+
+def test_fixture_paths_normalize_to_package_paths():
+    want = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    for finding in want["findings"]:
+        assert finding["path"].startswith("repro/"), finding

@@ -1,0 +1,404 @@
+"""Per-rule unit tests: positive, negative and suppressed snippets.
+
+Each case feeds a synthetic module to :func:`lint_source` under a path
+chosen to hit (or miss) the rule's default scope, and asserts the exact
+rule ids and lines that fire — the analyzer's behaviour is part of the
+repo's correctness contract, so it is pinned at the same granularity as
+the engine differentials.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import DEFAULT_CONFIG, all_rules
+from repro.lint.engine import lint_source
+
+
+def run(source: str, path: str = "repro/pubsub/module.py", config=DEFAULT_CONFIG):
+    return lint_source(textwrap.dedent(source), path, config)
+
+
+def fired(source: str, path: str = "repro/pubsub/module.py"):
+    findings, _ = run(source, path)
+    return [(f.rule, f.line) for f in findings]
+
+
+def test_registry_ships_all_six_rules():
+    assert [r.rule_id for r in all_rules()] == [
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+    ]
+
+
+# --------------------------------------------------------------------- #
+# RL001 no-wallclock
+# --------------------------------------------------------------------- #
+class TestWallclock:
+    def test_positive_direct_and_aliased(self):
+        src = """
+        import time
+        from time import perf_counter as pc
+
+        def f():
+            return time.time() + pc()
+        """
+        assert fired(src) == [("RL001", 6), ("RL001", 6)]
+
+    def test_positive_datetime(self):
+        src = """
+        from datetime import datetime
+
+        def f():
+            return datetime.now()
+        """
+        assert fired(src) == [("RL001", 5)]
+
+    def test_negative_profiling_guarded(self):
+        src = """
+        from time import perf_counter
+        from repro.core import profiling
+
+        def f():
+            prof = profiling.ACTIVE
+            t0 = perf_counter() if prof is not None else 0.0
+            if prof is not None:
+                prof.add("stage", perf_counter() - t0)
+            return t0
+        """
+        assert fired(src) == []
+
+    def test_negative_sim_clock(self):
+        src = """
+        def f(sim):
+            return sim.now
+        """
+        assert fired(src) == []
+
+    def test_suppressed(self):
+        src = """
+        import time
+
+        def f():
+            return time.time()  # repro-lint: ignore[RL001] -- footer
+        """
+        findings, silenced = run(src)
+        assert findings == [] and silenced == 1
+
+    def test_config_exempts_profiling_module(self):
+        src = """
+        from time import perf_counter
+
+        def f():
+            return perf_counter()
+        """
+        assert fired(src, path="repro/core/profiling.py") == []
+        assert fired(src, path="repro/core/other.py") == [("RL001", 5)]
+
+
+# --------------------------------------------------------------------- #
+# RL002 no-global-rng
+# --------------------------------------------------------------------- #
+class TestGlobalRng:
+    def test_positive_stdlib_and_numpy(self):
+        src = """
+        import random
+        import numpy as np
+
+        def f():
+            return random.random() + np.random.rand()
+        """
+        assert fired(src) == [("RL002", 6), ("RL002", 6)]
+
+    def test_positive_from_import(self):
+        src = """
+        from random import randint
+
+        def f():
+            return randint(0, 9)
+        """
+        assert fired(src) == [("RL002", 5)]
+
+    def test_negative_seeded_constructors(self):
+        src = """
+        import numpy as np
+
+        def f(seed):
+            ss = np.random.SeedSequence(entropy=seed)
+            return np.random.default_rng(ss)
+        """
+        assert fired(src) == []
+
+    def test_negative_named_stream_draw(self):
+        src = """
+        def f(streams):
+            return streams.get("noise").normal()
+        """
+        assert fired(src) == []
+
+    def test_config_exempts_rng_module(self):
+        src = """
+        import numpy as np
+
+        def f():
+            return np.random.rand()
+        """
+        assert fired(src, path="repro/des/rng.py") == []
+
+    def test_suppressed(self):
+        src = """
+        import random
+
+        def f():
+            return random.random()  # repro-lint: ignore[RL002] -- fixture
+        """
+        findings, silenced = run(src)
+        assert findings == [] and silenced == 1
+
+
+# --------------------------------------------------------------------- #
+# RL003 ordered-iteration
+# --------------------------------------------------------------------- #
+class TestOrderedIteration:
+    def test_positive_local_set(self):
+        src = """
+        def f(table):
+            pending = {"a", "b"}
+            for name in pending:
+                table.install(name)
+        """
+        assert fired(src) == [("RL003", 4)]
+
+    def test_positive_set_call_and_materialisers(self):
+        src = """
+        def f(names):
+            s = set(names)
+            return list(s), tuple(s)
+        """
+        assert fired(src) == [("RL003", 4), ("RL003", 4)]
+
+    def test_positive_self_attribute_set(self):
+        src = """
+        class Table:
+            def __init__(self):
+                self._dirty = set()
+
+            def flush(self):
+                return [x for x in self._dirty]
+        """
+        assert fired(src) == [("RL003", 7)]
+
+    def test_positive_set_binop(self):
+        src = """
+        def f(a):
+            for x in a | {"k"}:
+                pass
+        """
+        assert fired(src) == [("RL003", 3)]
+
+    def test_negative_sorted_and_membership(self):
+        src = """
+        def f(table):
+            pending = {"a", "b"}
+            for name in sorted(pending):
+                table.install(name)
+            return "a" in pending
+        """
+        assert fired(src) == []
+
+    def test_negative_dicts_by_default(self):
+        src = """
+        def f(d=None):
+            counts = {"a": 1}
+            for k in counts:
+                pass
+            for k, v in counts.items():
+                pass
+        """
+        assert fired(src) == []
+
+    def test_dict_mode_option_flags_dicts(self):
+        from repro.lint import LintConfig, RuleScope
+
+        config = LintConfig(scopes=(
+            RuleScope(
+                pattern="repro/pubsub/*",
+                options={"RL003": {"dicts": True}},
+            ),
+        ))
+        src = """
+        def f():
+            counts = {"a": 1}
+            for k in counts:
+                pass
+        """
+        findings, _ = run(src, config=config)
+        assert [(f.rule, f.line) for f in findings] == [("RL003", 4)]
+
+    def test_poisoned_name_stays_silent(self):
+        src = """
+        def f(rows):
+            items = {"a"}
+            items = rows  # reassigned to unknown: kind poisoned
+            for x in items:
+                pass
+        """
+        assert fired(src) == []
+
+    def test_out_of_scope_path_not_checked(self):
+        src = """
+        def f():
+            for x in {"a", "b"}:
+                pass
+        """
+        assert fired(src, path="repro/experiments/report.py") == []
+
+    def test_suppressed(self):
+        src = """
+        def f():
+            # repro-lint: ignore[RL003] -- order cannot reach scheduling
+            for x in {"a", "b"}:
+                pass
+        """
+        findings, silenced = run(src)
+        assert findings == [] and silenced == 1
+
+
+# --------------------------------------------------------------------- #
+# RL004 no-closure-events
+# --------------------------------------------------------------------- #
+class TestClosureEvents:
+    def test_positive_lambda_and_nested_def(self):
+        src = """
+        def f(sim, broker, msg):
+            sim.schedule(5.0, lambda: broker.process(msg))
+
+            def helper():
+                broker.process(msg)
+
+            sim.schedule_at(9.0, helper)
+        """
+        assert fired(src) == [("RL004", 3), ("RL004", 8)]
+
+    def test_positive_action_keyword(self):
+        src = """
+        def f(sim):
+            sim.schedule(1.0, action=lambda: None)
+        """
+        assert fired(src) == [("RL004", 3)]
+
+    def test_negative_partial_bound_and_module_level(self):
+        src = """
+        from functools import partial
+
+        def tick():
+            pass
+
+        def f(sim, broker, msg):
+            sim.schedule(1.0, partial(broker.process, msg))
+            sim.schedule(2.0, broker.flush)
+            sim.schedule(3.0, tick)  # module-level: pickles by reference
+        """
+        assert fired(src) == []
+
+    def test_suppressed(self):
+        src = """
+        def f(sim):
+            sim.schedule(1.0, lambda: None)  # repro-lint: ignore[RL004] -- test-only sim
+        """
+        findings, silenced = run(src)
+        assert findings == [] and silenced == 1
+
+
+# --------------------------------------------------------------------- #
+# RL005 fork-safety
+# --------------------------------------------------------------------- #
+class TestForkSafety:
+    PATH = "repro/sim/parallel.py"
+
+    def test_positive_lambda_submit_and_state(self):
+        src = """
+        class Pool:
+            def go(self, pool, point):
+                pool.submit(lambda: point)
+                self.on_done = lambda r: r
+        """
+        assert fired(src, path=self.PATH) == [("RL005", 4), ("RL005", 5)]
+
+    def test_positive_process_target_keyword(self):
+        src = """
+        def go(ctx, point):
+            def local():
+                return point
+            return ctx.Process(target=local)
+        """
+        assert fired(src, path=self.PATH) == [("RL005", 5)]
+
+    def test_negative_module_level_function(self):
+        src = """
+        def _run(point):
+            return point
+
+        def go(pool, point):
+            pool.submit(_run, point)
+        """
+        assert fired(src, path=self.PATH) == []
+
+    def test_out_of_scope_path_not_checked(self):
+        src = """
+        def go(pool, point):
+            pool.submit(lambda: point)
+        """
+        assert fired(src, path="repro/sim/sweep.py") == []
+
+    def test_suppressed(self):
+        src = """
+        def go(pool, point):
+            pool.submit(lambda: point)  # repro-lint: ignore[RL005] -- inline backend only
+        """
+        findings, silenced = run(src, path=self.PATH)
+        assert findings == [] and silenced == 1
+
+
+# --------------------------------------------------------------------- #
+# RL006 float-fold
+# --------------------------------------------------------------------- #
+class TestFloatFold:
+    PATH = "repro/analysis/module.py"
+
+    def test_positive_builtin_np_and_method(self):
+        src = """
+        import numpy as np
+
+        def f(prices, arr):
+            return sum(prices), np.sum(arr), arr.sum()
+        """
+        assert fired(src, path=self.PATH) == [
+            ("RL006", 5), ("RL006", 5), ("RL006", 5),
+        ]
+
+    def test_negative_exact_forms(self):
+        src = """
+        from repro.core.folds import fold_sum
+
+        def f(prices, arr):
+            a = int(arr.sum())  # exact integer tally
+            b = (arr > 0.0).sum()  # boolean counting
+            c = fold_sum(prices)  # the documented left fold
+            return a, b, c
+        """
+        assert fired(src, path=self.PATH) == []
+
+    def test_out_of_scope_path_not_checked(self):
+        src = """
+        def f(xs):
+            return sum(xs)
+        """
+        assert fired(src, path="repro/core/queueing.py") == []
+
+    def test_suppressed(self):
+        src = """
+        def f(counts):
+            return sum(counts)  # repro-lint: ignore[RL006] -- exact integer tally
+        """
+        findings, silenced = run(src, path=self.PATH)
+        assert findings == [] and silenced == 1

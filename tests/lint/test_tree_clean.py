@@ -1,0 +1,31 @@
+"""Meta-test: the shipped ``repro`` package must lint clean.
+
+This is the in-suite mirror of the CI gate — the analyzer's invariants
+(no wall-clock in decisions, no global RNG, no hash-order iteration, no
+closure events, fork-safe boundaries, left-fold float sums) hold over
+the whole tree, with every deliberate exception carrying a suppression
+comment or a DEFAULT_CONFIG scope.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.lint import lint_paths
+from repro.lint.report import format_report
+
+PACKAGE_ROOT = Path(repro.__file__).parent
+
+
+def test_shipped_tree_is_violation_free():
+    report = lint_paths([PACKAGE_ROOT])
+    assert report.checked_files > 50  # the walker actually found the tree
+    assert report.ok, "\n" + format_report(report, "text")
+
+
+def test_deliberate_exceptions_are_annotated_not_invisible():
+    # The tree is clean *because* exceptions are explicit: the run must
+    # see the suppression comments, not an empty rule set.
+    report = lint_paths([PACKAGE_ROOT])
+    assert report.suppressed > 0

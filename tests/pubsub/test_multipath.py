@@ -15,7 +15,6 @@ from repro.core.strategies import EbStrategy, FifoStrategy
 from repro.des.rng import RngStreams
 from repro.des.simulator import Simulator
 from repro.pubsub.filters import Predicate
-from repro.pubsub.metrics import MetricsCollector
 from repro.pubsub.subscription import Subscription
 from repro.pubsub.system import PubSubSystem, RoutingMode, SystemConfig
 from repro.stats.normal import Normal

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.sim.config import PAPER_DURATION_MS, SimulationConfig
-from repro.workload.scenarios import Scenario
 
 
 class TestDefaults:
